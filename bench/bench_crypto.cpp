@@ -1,0 +1,107 @@
+// Microbenchmarks of the cryptographic primitives (google-benchmark).
+//
+// These are the primitives whose 2002-era costs the paper quotes in section
+// 6.1.1 (modular exponentiation at 512/1024 bits, RSA-1024 sign/verify with
+// e=3). On modern hardware the absolute numbers are far smaller; the *ratios*
+// (1024-bit exp ~4x 512-bit, sign >> verify for e=3) are what the simulator's
+// cost model encodes, and these benchmarks let you check those ratios hold
+// for this implementation too.
+#include <benchmark/benchmark.h>
+
+#include "bignum/modmath.h"
+#include "bignum/prime.h"
+#include "crypto/aes.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+
+namespace sgk {
+namespace {
+
+void BM_ModExp512_Short(benchmark::State& state) {
+  const DhGroup& grp = dh_group(DhBits::k512);
+  Drbg rng(1, "bench");
+  BigInt e = grp.random_exponent(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(grp.exp_g(e));
+}
+BENCHMARK(BM_ModExp512_Short);
+
+void BM_ModExp1024_Short(benchmark::State& state) {
+  const DhGroup& grp = dh_group(DhBits::k1024);
+  Drbg rng(2, "bench");
+  BigInt e = grp.random_exponent(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(grp.exp_g(e));
+}
+BENCHMARK(BM_ModExp1024_Short);
+
+void BM_ModExp512_SmallExponent(benchmark::State& state) {
+  // BD's step-3 "hidden cost" exponentiations: exponent < group size.
+  const DhGroup& grp = dh_group(DhBits::k512);
+  Drbg rng(3, "bench");
+  BigInt base = grp.exp_g(grp.random_exponent(rng));
+  BigInt e(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(grp.exp(base, e));
+}
+BENCHMARK(BM_ModExp512_SmallExponent)->Arg(7)->Arg(25)->Arg(50);
+
+void BM_RsaSign1024(benchmark::State& state) {
+  const RsaPrivateKey& key = RsaPrivateKey::test_key(0);
+  Bytes msg = str_bytes("group key agreement message");
+  for (auto _ : state) benchmark::DoNotOptimize(key.sign(msg));
+}
+BENCHMARK(BM_RsaSign1024);
+
+void BM_RsaVerify1024_E3(benchmark::State& state) {
+  const RsaPrivateKey& key = RsaPrivateKey::test_key(0);
+  Bytes msg = str_bytes("group key agreement message");
+  Bytes sig = key.sign(msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(key.public_key().verify(msg, sig));
+}
+BENCHMARK(BM_RsaVerify1024_E3);
+
+void BM_ModInverseQ(benchmark::State& state) {
+  const DhGroup& grp = dh_group(DhBits::k512);
+  Drbg rng(4, "bench");
+  BigInt a = grp.random_exponent(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(mod_inverse(a, grp.q()));
+}
+BENCHMARK(BM_ModInverseQ);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(Sha256::digest(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes data(1024, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(hmac_sha256(key, data));
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_Aes128CbcEncrypt(benchmark::State& state) {
+  Bytes key(16, 0x22), iv(16, 0x33);
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(aes128_cbc_encrypt(key, iv, data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aes128CbcEncrypt)->Arg(1024);
+
+void BM_MillerRabin512(benchmark::State& state) {
+  Drbg rng(5, "bench");
+  const BigInt p = dh_group(DhBits::k512).p();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(is_probable_prime(p, rng, 8));
+}
+BENCHMARK(BM_MillerRabin512);
+
+}  // namespace
+}  // namespace sgk
+
+BENCHMARK_MAIN();

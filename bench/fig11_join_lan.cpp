@@ -1,0 +1,46 @@
+// Reproduces Figure 11: average time to establish a secure membership after
+// a JOIN, on the 13-machine LAN testbed, for DH-512 and DH-1024, group sizes
+// 2..50, all five protocols plus the bare membership service.
+//
+// Expected shape (paper section 6.1.3):
+//  * 512-bit: BD cheapest-ish for small groups but deteriorates rapidly,
+//    doubling every 13 members (CPU contention), worst past ~30; STR/TGDH
+//    close and best at scale; GDH/CKD linear with GDH above CKD.
+//  * 1024-bit: GDH worst (expensive exponentiations dominate); BD stays
+//    competitive up to ~24 members.
+//
+// Usage: fig11_join_lan [max_size] [--csv out_prefix]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  std::size_t max_size = 50;
+  std::string csv_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_prefix = argv[++i];
+    } else {
+      max_size = static_cast<std::size_t>(std::stoul(argv[i]));
+    }
+  }
+
+  for (sgk::DhBits bits : {sgk::DhBits::k512, sgk::DhBits::k1024}) {
+    const char* label = bits == sgk::DhBits::k512 ? "512" : "1024";
+    sgk::SweepConfig cfg;
+    cfg.dh_bits = bits;
+    cfg.max_size = max_size;
+    sgk::SweepResult result = sgk::sweep_join(cfg);
+    sgk::print_sweep_table(std::cout,
+                           std::string("Figure 11: join, LAN, DH ") + label +
+                               " bits (avg total time, ms)",
+                           result, 4);
+    sgk::print_sweep_summary(std::cout, result);
+    if (!csv_prefix.empty())
+      sgk::write_sweep_csv(csv_prefix + "_join_" + label + ".csv", result);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 12: average time to establish a secure membership after
+// a LEAVE, on the 13-machine LAN testbed, for DH-512 and DH-1024, group
+// sizes 2..50 (size before the leave), all five protocols plus the bare
+// membership service.
+//
+// Test scenarios follow section 6.1.2: STR removes the middle member (its
+// average case); the other protocols remove a uniformly random member, which
+// realizes CKD's 1/n probability of losing the controller (visible as spikes
+// that average out over seeds).
+//
+// Expected shape (paper section 6.1.4):
+//  * 512-bit: TGDH clearly best (sub-linear), BD worst at every size,
+//    STR/CKD/GDH linear with STR's slope steepest.
+//  * 1024-bit: STR most expensive, TGDH remains the leader, BD no longer
+//    worst and close to GDH for smaller groups.
+//
+// Usage: fig12_leave_lan [max_size] [--seeds k] [--csv out_prefix]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  std::size_t max_size = 50;
+  int seeds = 3;
+  std::string csv_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::stoi(argv[++i]);
+    } else {
+      max_size = static_cast<std::size_t>(std::stoul(argv[i]));
+    }
+  }
+
+  for (sgk::DhBits bits : {sgk::DhBits::k512, sgk::DhBits::k1024}) {
+    const char* label = bits == sgk::DhBits::k512 ? "512" : "1024";
+    sgk::SweepConfig cfg;
+    cfg.dh_bits = bits;
+    cfg.max_size = max_size;
+    cfg.seeds = seeds;
+    sgk::SweepResult result = sgk::sweep_leave(cfg);
+    sgk::print_sweep_table(std::cout,
+                           std::string("Figure 12: leave, LAN, DH ") + label +
+                               " bits (avg total time, ms)",
+                           result, 4);
+    sgk::print_sweep_summary(std::cout, result);
+    if (!csv_prefix.empty())
+      sgk::write_sweep_csv(csv_prefix + "_leave_" + label + ".csv", result);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: a five-member secure peer group.
+//
+// Demonstrates the core loop of the library: create a simulated Spread
+// deployment, attach SecureGroupMembers running a key agreement protocol
+// (TGDH here, the paper's overall recommendation), let the group form, and
+// exchange AES-encrypted, HMAC-authenticated application data under the
+// agreed group key.
+#include <iostream>
+
+#include "core/secure_group.h"
+
+using namespace sgk;
+
+int main() {
+  Simulator sim;
+  SpreadNetwork net(sim, lan_testbed());
+  auto pki = std::make_shared<Pki>();
+
+  // Five members, spread over the cluster machines.
+  std::vector<std::unique_ptr<SecureGroupMember>> members;
+  for (int i = 0; i < 5; ++i) {
+    ProcessId pid = net.create_process(static_cast<MachineId>(i % 13));
+    MemberConfig cfg;
+    cfg.group = "quickstart";
+    cfg.protocol = ProtocolKind::kTgdh;
+    members.push_back(std::make_unique<SecureGroupMember>(net, pid, pki, cfg));
+  }
+
+  // Members join one at a time; each join triggers a view change and a
+  // re-key, all of it driven by the group communication system.
+  for (auto& m : members) {
+    m->join();
+    sim.run();
+    std::cout << "t=" << sim.now() << "ms  member " << m->id()
+              << " joined; group key epoch " << m->key_epoch() << ", key "
+              << to_hex(m->key()).substr(0, 16) << "...\n";
+  }
+
+  // Every member now holds the same key.
+  for (auto& m : members) {
+    if (to_hex(m->key()) != to_hex(members[0]->key())) {
+      std::cerr << "key mismatch!\n";
+      return 1;
+    }
+  }
+  std::cout << "\nall 5 members share the group key\n\n";
+
+  // Encrypted group data: member 0 multicasts, everyone else decrypts.
+  for (auto& m : members) {
+    m->set_data_listener([&](ProcessId sender, const Bytes& plaintext) {
+      std::cout << "t=" << sim.now() << "ms  member " << m->id()
+                << " received from " << sender << ": \""
+                << std::string(plaintext.begin(), plaintext.end()) << "\"\n";
+    });
+  }
+  members[0]->send_data(str_bytes("hello, secure group!"));
+  sim.run();
+
+  // A member leaves; the group re-keys so the leaver is excluded.
+  Bytes old_key = members[0]->key();
+  std::cout << "\nmember " << members[2]->id() << " leaves...\n";
+  members[2]->leave();
+  sim.run();
+  std::cout << "new key epoch " << members[0]->key_epoch() << ", key changed: "
+            << (to_hex(members[0]->key()) != to_hex(old_key) ? "yes" : "no")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Scenario runner: drive arbitrary membership traces from a tiny DSL.
+//
+// Lets a user script the exact experiment they care about without writing
+// C++. Commands (one per line, ';' also separates, '#' starts a comment):
+//
+//   protocol <gdh|ckd|tgdh|tgdh-bal|str|bd>    (before the first event)
+//   topology <lan|wan> [machines]              (before the first event)
+//   dh <512|1024>                              (before the first event)
+//   join [count]          add member(s), one measured event each
+//   leave <random|middle|oldest|newest>        remove one member
+//   burst <count>         several members leave at once
+//   partition <spec>      e.g. "partition 0-6/7-12" by machine ranges
+//   heal                  merge all partitions back
+//   rekey                 explicit refresh of the group key
+//
+// Example:
+//   ./scenario_runner "protocol tgdh; join 8; leave middle; partition 0-6/7-12; heal; rekey"
+//   ./scenario_runner my_trace.txt
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+using namespace sgk;
+
+namespace {
+
+struct Script {
+  ExperimentConfig config;
+  std::vector<std::string> events;  // normalized event commands
+};
+
+[[noreturn]] void fail(const std::string& what) {
+  std::cerr << "scenario error: " << what << "\n";
+  std::exit(2);
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> commands;
+  std::string current;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream parts(line);
+    std::string piece;
+    std::string cmd;
+    while (std::getline(parts, piece, ';')) {
+      // collapse whitespace
+      std::istringstream ws(piece);
+      std::string word, joined;
+      while (ws >> word) {
+        if (!joined.empty()) joined += ' ';
+        joined += word;
+      }
+      if (!joined.empty()) commands.push_back(joined);
+    }
+  }
+  return commands;
+}
+
+ProtocolKind parse_protocol(const std::string& name) {
+  if (name == "gdh") return ProtocolKind::kGdh;
+  if (name == "ckd") return ProtocolKind::kCkd;
+  if (name == "tgdh") return ProtocolKind::kTgdh;
+  if (name == "tgdh-bal") return ProtocolKind::kTgdhBalanced;
+  if (name == "str") return ProtocolKind::kStr;
+  if (name == "bd") return ProtocolKind::kBd;
+  fail("unknown protocol '" + name + "'");
+}
+
+/// "0-6/7-12" -> {{0..6},{7..12}}
+std::vector<std::vector<MachineId>> parse_partition(const std::string& spec,
+                                                    std::size_t machines) {
+  std::vector<std::vector<MachineId>> parts;
+  std::istringstream in(spec);
+  std::string side;
+  while (std::getline(in, side, '/')) {
+    std::vector<MachineId> ids;
+    std::istringstream ranges(side);
+    std::string range;
+    while (std::getline(ranges, range, ',')) {
+      const std::size_t dash = range.find('-');
+      int lo = std::stoi(range.substr(0, dash));
+      int hi = dash == std::string::npos ? lo : std::stoi(range.substr(dash + 1));
+      for (int m = lo; m <= hi; ++m) ids.push_back(m);
+    }
+    parts.push_back(std::move(ids));
+  }
+  // Validate coverage early for a friendly error.
+  std::vector<bool> seen(machines, false);
+  for (const auto& p : parts)
+    for (MachineId m : p) {
+      if (m < 0 || static_cast<std::size_t>(m) >= machines || seen[static_cast<std::size_t>(m)])
+        fail("partition spec must cover each machine exactly once");
+      seen[static_cast<std::size_t>(m)] = true;
+    }
+  for (bool s : seen)
+    if (!s) fail("partition spec must cover every machine");
+  return parts;
+}
+
+Script parse(const std::string& text) {
+  Script script;
+  bool started = false;
+  for (const std::string& cmd : tokenize(text)) {
+    std::istringstream in(cmd);
+    std::string op;
+    in >> op;
+    if (op == "protocol" || op == "topology" || op == "dh") {
+      if (started) fail("'" + op + "' must precede the first event");
+      std::string arg;
+      in >> arg;
+      if (op == "protocol") {
+        script.config.protocol = parse_protocol(arg);
+      } else if (op == "dh") {
+        if (arg == "512") script.config.dh_bits = DhBits::k512;
+        else if (arg == "1024") script.config.dh_bits = DhBits::k1024;
+        else fail("dh must be 512 or 1024");
+      } else {
+        int machines = 13;
+        in >> machines;
+        if (arg == "lan") script.config.topology = lan_testbed(machines);
+        else if (arg == "wan") script.config.topology = wan_testbed();
+        else fail("topology must be lan or wan");
+      }
+      continue;
+    }
+    started = true;
+    script.events.push_back(cmd);
+  }
+  if (script.events.empty()) fail("no events in scenario");
+  return script;
+}
+
+void report(const std::string& what, const EventResult& r) {
+  std::cout << std::left << std::setw(28) << what << std::right << std::setw(10)
+            << std::fixed << std::setprecision(2) << r.elapsed_ms
+            << " ms   group=" << std::setw(3) << r.group_size
+            << "  msgs=" << std::setw(3) << r.total.messages()
+            << "  exps=" << std::setw(4) << r.total.exp_total()
+            << "  bytes=" << r.total.bytes_sent << "\n";
+}
+
+void run(const Script& script) {
+  Experiment exp(script.config);
+  std::cout << "protocol " << to_string(script.config.protocol) << ", "
+            << script.config.topology.machine_count() << " machines, DH-"
+            << (script.config.dh_bits == DhBits::k512 ? 512 : 1024) << "\n\n";
+  for (const std::string& cmd : script.events) {
+    std::istringstream in(cmd);
+    std::string op;
+    in >> op;
+    if (op == "join") {
+      int count = 1;
+      in >> count;
+      for (int i = 0; i < count; ++i) report("join", exp.measure_join());
+    } else if (op == "leave") {
+      std::string which = "random";
+      in >> which;
+      LeavePolicy policy = LeavePolicy::kRandom;
+      if (which == "middle") policy = LeavePolicy::kMiddle;
+      else if (which == "oldest") policy = LeavePolicy::kOldest;
+      else if (which == "newest") policy = LeavePolicy::kNewest;
+      else if (which != "random") fail("unknown leave policy '" + which + "'");
+      report("leave " + which, exp.measure_leave(policy));
+    } else if (op == "burst") {
+      int count = 2;
+      in >> count;
+      report("burst leave x" + std::to_string(count),
+             exp.measure_multi_leave(static_cast<std::size_t>(count)));
+    } else if (op == "partition") {
+      std::string spec;
+      in >> spec;
+      report("partition " + spec,
+             exp.measure_partition(parse_partition(
+                 spec, script.config.topology.machine_count())));
+    } else if (op == "heal") {
+      report("heal (merge)", exp.measure_merge());
+    } else if (op == "rekey") {
+      auto members = exp.members();
+      if (members.empty()) fail("rekey before any member joined");
+      const double t0 = exp.simulator().now();
+      members.front()->request_rekey();
+      exp.simulator().run();
+      double keyed = t0;
+      for (SecureGroupMember* m : exp.members())
+        keyed = std::max(keyed, m->key_time());
+      std::cout << std::left << std::setw(28) << "rekey" << std::right
+                << std::setw(10) << std::fixed << std::setprecision(2)
+                << keyed - t0 << " ms   group=" << std::setw(3)
+                << exp.group_size() << "\n";
+    } else {
+      fail("unknown command '" + op + "'");
+    }
+  }
+  std::cout << "\nscenario complete; " << exp.group_size()
+            << " members hold the final key.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc < 2) {
+    text = "protocol tgdh; join 8; leave middle; join; burst 2; "
+           "partition 0-6/7-12; heal; rekey";
+    std::cout << "(no scenario given; running the built-in demo)\n";
+  } else {
+    std::ifstream file(argv[1]);
+    if (file) {
+      std::ostringstream buf;
+      buf << file.rdbuf();
+      text = buf.str();
+    } else {
+      text = argv[1];  // inline scenario string
+    }
+  }
+  run(parse(text));
+  return 0;
+}

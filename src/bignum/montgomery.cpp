@@ -1,0 +1,157 @@
+#include "bignum/montgomery.h"
+
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace sgk {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// -n^{-1} mod 2^64 by Newton iteration (n odd).
+u64 neg_inv64(u64 n) {
+  u64 inv = n;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) inv *= 2 - n * inv;
+  return ~inv + 1;  // -(n^{-1})
+}
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : n_(modulus) {
+  if (!modulus.is_odd() || modulus <= BigInt(1))
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+  k_ = n_.limbs().size();
+  n0_inv_ = neg_inv64(n_.limbs()[0]);
+  // R^2 mod n where R = 2^(64k).
+  rr_ = (BigInt(1) << (128 * k_)) % n_;
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::mont_mul(const Limbs& a, const Limbs& b) const {
+  // CIOS (coarsely integrated operand scanning).
+  const auto& n = n_.limbs();
+  Limbs t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<u64>(cur);
+    t[k_ + 1] = static_cast<u64>(cur >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const u64 m = t[0] * n0_inv_;
+    u128 acc = static_cast<u128>(m) * n[0] + t[0];
+    carry = static_cast<u64>(acc >> 64);
+    for (std::size_t j = 1; j < k_; ++j) {
+      acc = static_cast<u128>(m) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> 64);
+    }
+    cur = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<u64>(cur);
+    t[k_] = t[k_ + 1] + static_cast<u64>(cur >> 64);
+    t[k_ + 1] = 0;
+  }
+  t.resize(k_ + 1);
+
+  // Conditional final subtraction: t may be in [0, 2n).
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  t.resize(k_);
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      u128 diff = static_cast<u128>(t[i]) - n[i] - borrow;
+      t[i] = static_cast<u64>(diff);
+      borrow = static_cast<u64>((diff >> 64) & 1);
+    }
+  }
+  return t;
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::to_mont(const BigInt& a) const {
+  BigInt reduced = a >= n_ ? a % n_ : a;
+  Limbs al(reduced.limbs());
+  al.resize(k_, 0);
+  Limbs rr(rr_.limbs());
+  rr.resize(k_, 0);
+  return mont_mul(al, rr);
+}
+
+BigInt MontgomeryCtx::from_mont(const Limbs& a) const {
+  Limbs one(k_, 0);
+  one[0] = 1;
+  Limbs plain = mont_mul(a, one);
+  return BigInt::from_limbs(std::move(plain));
+}
+
+BigInt MontgomeryCtx::mul(const BigInt& a, const BigInt& b) const {
+  Limbs am = to_mont(a);
+  Limbs bm = to_mont(b);
+  return from_mont(mont_mul(am, bm));
+}
+
+BigInt MontgomeryCtx::exp(const BigInt& base, const BigInt& exponent) const {
+  if (exponent.is_zero()) return BigInt(1) % n_;
+  const std::size_t ebits = exponent.bit_length();
+  // Window size 4 matches typical sliding-window implementations for the
+  // 160..1024-bit exponents used here.
+  constexpr std::size_t kWindow = 4;
+
+  Limbs basem = to_mont(base);
+  // Precompute odd powers base^1, base^3, ..., base^(2^w - 1).
+  Limbs base_sq = mont_mul(basem, basem);
+  std::vector<Limbs> odd_pows(1 << (kWindow - 1));
+  odd_pows[0] = basem;
+  for (std::size_t i = 1; i < odd_pows.size(); ++i)
+    odd_pows[i] = mont_mul(odd_pows[i - 1], base_sq);
+
+  Limbs acc = to_mont(BigInt(1));
+  std::size_t i = ebits;
+  while (i > 0) {
+    if (!exponent.bit(i - 1)) {
+      acc = mont_mul(acc, acc);
+      --i;
+      continue;
+    }
+    // Take the largest window [i-1 .. j] with an odd low bit, width<=kWindow.
+    std::size_t width = std::min(kWindow, i);
+    while (!exponent.bit(i - width)) --width;  // terminates: bit(i-1)==1
+    unsigned value = 0;
+    for (std::size_t b = 0; b < width; ++b)
+      value = value << 1 | (exponent.bit(i - 1 - b) ? 1u : 0u);
+    for (std::size_t b = 0; b < width; ++b) acc = mont_mul(acc, acc);
+    acc = mont_mul(acc, odd_pows[value >> 1]);
+    i -= width;
+  }
+  return from_mont(acc);
+}
+
+BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& modulus) {
+  if (modulus.is_zero()) throw std::domain_error("mod_exp: zero modulus");
+  if (modulus == BigInt(1)) return BigInt();
+  if (modulus.is_odd()) return MontgomeryCtx(modulus).exp(base, exp);
+  // Plain square-and-multiply fallback for even moduli.
+  BigInt acc(1);
+  BigInt b = base % modulus;
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    acc = acc * acc % modulus;
+    if (exp.bit(i)) acc = acc * b % modulus;
+  }
+  return acc;
+}
+
+}  // namespace sgk

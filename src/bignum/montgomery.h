@@ -1,0 +1,52 @@
+// Montgomery modular arithmetic and sliding-window exponentiation.
+//
+// This mirrors the implementation strategy the paper attributes to OpenSSL
+// (Montgomery reduction + sliding-window exponentiation), which matters for
+// the fidelity of the cost model: the cost of a modular exponentiation is
+// essentially (#squarings + #multiplies) * cost(montgomery multiply), i.e.
+// roughly linear in the exponent bit-length for a fixed modulus size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace sgk {
+
+/// Precomputed context for arithmetic modulo a fixed odd modulus.
+class MontgomeryCtx {
+ public:
+  /// Requires an odd modulus > 1; throws std::invalid_argument otherwise.
+  explicit MontgomeryCtx(const BigInt& modulus);
+
+  const BigInt& modulus() const { return n_; }
+
+  /// (a * b) mod n, for a, b already reduced mod n.
+  BigInt mul(const BigInt& a, const BigInt& b) const;
+
+  /// (base ^ exp) mod n using 4-bit sliding windows. base need not be reduced.
+  BigInt exp(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  // All internal values are in Montgomery form, little-endian limb vectors of
+  // exactly k_ limbs.
+  using Limbs = std::vector<std::uint64_t>;
+
+  Limbs to_mont(const BigInt& a) const;
+  BigInt from_mont(const Limbs& a) const;
+  // out = mont_reduce(a * b)
+  Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+
+  BigInt n_;
+  std::size_t k_ = 0;        // limb count of n_
+  std::uint64_t n0_inv_ = 0; // -n^{-1} mod 2^64
+  BigInt rr_;                // R^2 mod n, for conversion into Montgomery form
+};
+
+/// Convenience one-shot (base ^ exp) mod modulus. For odd moduli uses
+/// Montgomery; for even moduli falls back to square-and-multiply with full
+/// reductions (only needed by tests).
+BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& modulus);
+
+}  // namespace sgk

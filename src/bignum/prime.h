@@ -1,0 +1,31 @@
+// Primality testing and prime / group-parameter generation.
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/bigint.h"
+#include "util/random_source.h"
+
+namespace sgk {
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases
+/// (error probability <= 4^-rounds), preceded by trial division by small
+/// primes.
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds = 32);
+
+/// Generates a random prime of exactly `bits` bits.
+BigInt generate_prime(std::size_t bits, RandomSource& rng);
+
+/// Schnorr-group parameters: prime p of `p_bits` bits, prime q of `q_bits`
+/// bits with q | p-1, and a generator g of the order-q subgroup. This is the
+/// parameter shape the paper uses (512/1024-bit p with 160-bit q).
+struct SchnorrGroup {
+  BigInt p;
+  BigInt q;
+  BigInt g;
+};
+
+SchnorrGroup generate_schnorr_group(std::size_t p_bits, std::size_t q_bits,
+                                    RandomSource& rng);
+
+}  // namespace sgk

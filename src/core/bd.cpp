@@ -1,0 +1,92 @@
+#include "core/bd.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sgk {
+
+std::size_t BdProtocol::index_of(ProcessId p) const {
+  auto it = std::lower_bound(view_.members.begin(), view_.members.end(), p);
+  SGK_CHECK(it != view_.members.end() && *it == p);
+  return static_cast<std::size_t>(it - view_.members.begin());
+}
+
+ProcessId BdProtocol::at_offset(std::size_t i, std::ptrdiff_t delta) const {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(view_.members.size());
+  std::ptrdiff_t j = (static_cast<std::ptrdiff_t>(i) + delta) % n;
+  if (j < 0) j += n;
+  return view_.members[static_cast<std::size_t>(j)];
+}
+
+void BdProtocol::on_view(const View& view, const ViewDelta& /*delta*/) {
+  // BD restarts from scratch on any membership change.
+  view_ = view;
+  z_.clear();
+  x_values_.clear();
+  sent_x_ = false;
+
+  r_ = crypto().random_exponent();
+  const BigInt z = crypto().exp_g(r_);
+  z_[self()] = z;
+
+  if (view.members.size() == 1) {
+    // Degenerate group: K = z^r = g^(r^2).
+    host_.deliver_key(crypto().exp(z, r_));
+    return;
+  }
+  Writer w;
+  w.u8(kZ);
+  put_bigint(w, z);
+  host_.send_multicast(w.take());
+}
+
+void BdProtocol::maybe_round2() {
+  if (sent_x_ || z_.size() < view_.members.size()) return;
+  sent_x_ = true;
+  const std::size_t i = index_of(self());
+  const BigInt& z_next = z_.at(at_offset(i, +1));
+  const BigInt& z_prev = z_.at(at_offset(i, -1));
+  const BigInt ratio = crypto().mul_p(z_next, crypto().inverse_p(z_prev));
+  const BigInt x = crypto().exp(ratio, r_);
+  x_values_[self()] = x;
+  Writer w;
+  w.u8(kX);
+  put_bigint(w, x);
+  host_.send_multicast(w.take());
+  maybe_finish();
+}
+
+void BdProtocol::maybe_finish() {
+  if (!sent_x_ || x_values_.size() < view_.members.size()) return;
+  const std::size_t n = view_.members.size();
+  const std::size_t i = index_of(self());
+  // K = z_{i-1}^(n r_i) * prod_{j=0}^{n-2} X_{i+j}^(n-1-j)
+  BigInt key = crypto().exp(z_.at(at_offset(i, -1)), BigInt(n) * r_ % crypto().group().q());
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    const std::uint64_t e = static_cast<std::uint64_t>(n - 1 - j);
+    const BigInt& xj = x_values_.at(at_offset(i, static_cast<std::ptrdiff_t>(j)));
+    BigInt term = e == 1 ? xj : crypto().exp(xj, BigInt(e));
+    key = crypto().mul_p(key, term);
+  }
+  host_.deliver_key(key);
+}
+
+void BdProtocol::on_message(ProcessId sender, const Bytes& body) {
+  Reader r(body);
+  const std::uint8_t type = r.u8();
+  switch (type) {
+    case kZ:
+      if (sender != self()) z_[sender] = get_bigint(r);
+      maybe_round2();
+      return;
+    case kX:
+      if (sender != self()) x_values_[sender] = get_bigint(r);
+      maybe_finish();
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace sgk

@@ -1,0 +1,182 @@
+#include "core/ckd.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sgk {
+
+namespace {
+std::vector<ProcessId> sorted_copy(std::vector<ProcessId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+void CkdProtocol::on_view(const View& view, const ViewDelta& delta) {
+  view_ = view;
+  awaiting_.clear();
+
+  if (view.members.size() == 1) {
+    order_ = {self()};
+    pairwise_.clear();
+    controller_seen_ = self();
+    host_.deliver_key(crypto().random_exponent());
+    return;
+  }
+
+  const std::vector<ProcessId>* core = core_side(delta);
+  SGK_CHECK(core != nullptr && !core->empty());
+  bool i_am_new = std::find(core->begin(), core->end(), self()) == core->end();
+
+  std::vector<ProcessId> pruned;
+  for (ProcessId p : order_)
+    if (view.contains(p)) pruned.push_back(p);
+
+  if (!i_am_new && sorted_copy(pruned) != *core) {
+    // Cascade fallback: no established state on this side; the lowest id
+    // deterministically becomes the controller of a fresh session.
+    const ProcessId seed = view.members.front();
+    if (self() == seed) {
+      order_ = {self()};
+      pairwise_.clear();
+      std::vector<ProcessId> need(view.members.begin() + 1, view.members.end());
+      for (ProcessId p : need) order_.push_back(p);
+      begin_controller_round(need);
+    } else {
+      order_.clear();
+    }
+    return;
+  }
+
+  if (i_am_new) {
+    order_.clear();
+    return;  // wait for the controller's challenge
+  }
+
+  // Established member: update order (new members join at the end, sorted)
+  // and drop state for departed members.
+  order_ = std::move(pruned);
+  std::vector<ProcessId> new_members;
+  for (ProcessId p : view.members)
+    if (std::find(core->begin(), core->end(), p) == core->end())
+      new_members.push_back(p);
+  for (ProcessId p : new_members) order_.push_back(p);
+  for (auto it = pairwise_.begin(); it != pairwise_.end();)
+    it = view.contains(it->first) ? std::next(it) : pairwise_.erase(it);
+
+  if (self() != order_.front()) return;  // wait for the controller
+
+  // I am the controller (possibly freshly promoted after the previous
+  // controller departed). Channels may be missing for new members and, in
+  // the promotion case, for everyone.
+  std::vector<ProcessId> need;
+  for (ProcessId p : view.members)
+    if (p != self() && pairwise_.count(p) == 0) need.push_back(p);
+  if (need.empty()) {
+    rekey();
+  } else {
+    begin_controller_round(need);
+  }
+}
+
+void CkdProtocol::begin_controller_round(const std::vector<ProcessId>& need_channel) {
+  if (!have_pub_) {
+    x_ = crypto().random_exponent();
+    my_pub_ = crypto().exp_g(x_);
+    have_pub_ = true;
+  }
+  awaiting_ = need_channel;
+  Writer w;
+  w.u8(kChallenge);
+  put_bigint(w, my_pub_);
+  w.u32(static_cast<std::uint32_t>(need_channel.size()));
+  for (ProcessId p : need_channel) w.u32(p);
+  host_.send_multicast(w.take());
+}
+
+void CkdProtocol::rekey() {
+  SGK_CHECK(have_pub_);
+  const BigInt s = crypto().random_exponent();
+  Writer w;
+  w.u8(kKeyBcast);
+  w.u32(static_cast<std::uint32_t>(order_.size()));
+  for (ProcessId p : order_) w.u32(p);
+  w.u32(static_cast<std::uint32_t>(view_.members.size() - 1));
+  for (ProcessId p : view_.members) {
+    if (p == self()) continue;
+    auto it = pairwise_.find(p);
+    SGK_CHECK(it != pairwise_.end());
+    w.u32(p);
+    put_bigint(w, crypto().exp(it->second, s));
+  }
+  host_.send_multicast(w.take());
+  // Group secret: g^(x_c * s), which every member recovers from its wrap.
+  host_.deliver_key(crypto().exp(my_pub_, s));
+}
+
+void CkdProtocol::on_message(ProcessId sender, const Bytes& body) {
+  Reader r(body);
+  const std::uint8_t type = r.u8();
+  switch (type) {
+    case kChallenge: {
+      if (sender == self()) return;
+      BigInt controller_pub = get_bigint(r);
+      const std::uint32_t count = r.u32();
+      bool addressed = false;
+      for (std::uint32_t i = 0; i < count; ++i)
+        if (r.u32() == self()) addressed = true;
+      controller_seen_ = sender;
+      if (!addressed) return;
+      if (!have_pub_) {
+        x_ = crypto().random_exponent();
+        my_pub_ = crypto().exp_g(x_);
+        have_pub_ = true;
+      }
+      // Establish the pairwise channel (the member's half of the two-party
+      // DH). The value itself is not needed by the unwrap path — the member
+      // recovers the group secret with x^{-1} — but the exponentiation is
+      // the real cost the paper attributes to channel setup, so we perform
+      // and charge it.
+      (void)crypto().exp(controller_pub, x_);
+      Writer w;
+      w.u8(kResponse);
+      put_bigint(w, my_pub_);
+      host_.send_unicast(sender, w.take());
+      return;
+    }
+    case kResponse: {
+      auto it = std::find(awaiting_.begin(), awaiting_.end(), sender);
+      if (it == awaiting_.end()) return;
+      awaiting_.erase(it);
+      pairwise_[sender] = crypto().exp(get_bigint(r), x_);
+      if (awaiting_.empty()) rekey();
+      return;
+    }
+    case kKeyBcast: {
+      if (sender == self()) return;
+      const std::uint32_t order_len = r.u32();
+      order_.clear();
+      for (std::uint32_t i = 0; i < order_len; ++i) order_.push_back(r.u32());
+      const std::uint32_t count = r.u32();
+      BigInt my_wrap;
+      bool found = false;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ProcessId member = r.u32();
+        BigInt wrap = get_bigint(r);
+        if (member == self()) {
+          my_wrap = wrap;
+          found = true;
+        }
+      }
+      SGK_CHECK(found);
+      controller_seen_ = sender;
+      host_.deliver_key(crypto().exp(my_wrap, crypto().inverse_q(x_)));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace sgk

@@ -1,0 +1,57 @@
+// CKD: centralized key distribution with a dynamically chosen key server.
+//
+// The controller (the oldest group member) maintains a long-term pairwise
+// Diffie-Hellman key K_ci = g^(x_c x_i) with every member. On every
+// membership change it picks a fresh group secret exponent s and broadcasts
+// E_i = K_ci ^ s for every member; member i unwraps the group secret
+// g^(x_c s) = E_i ^ (x_i^{-1} mod q). This costs the controller one
+// exponentiation per member per re-key (matching Table 1's linear cost) and
+// provides key independence because s is fresh each time.
+//
+// Join/merge additionally establishes the new pairwise channels (the
+// controller broadcasts g^(x_c), each new member responds with g^(x_i)),
+// which is why CKD needs three rounds where the contributory protocols need
+// two. When the controller itself leaves, the new controller (next oldest)
+// must first establish channels with everyone — the expensive case the
+// paper calls out.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/key_agreement.h"
+
+namespace sgk {
+
+class CkdProtocol final : public KeyAgreement {
+ public:
+  explicit CkdProtocol(ProtocolHost& host) : KeyAgreement(host) {}
+
+  void on_view(const View& view, const ViewDelta& delta) override;
+  void on_message(ProcessId sender, const Bytes& body) override;
+  ProtocolKind kind() const override { return ProtocolKind::kCkd; }
+
+  ProcessId controller() const { return order_.empty() ? kNoProcess : order_.front(); }
+  const std::vector<ProcessId>& join_order() const { return order_; }
+
+ private:
+  enum MsgType : std::uint8_t { kChallenge = 1, kResponse = 2, kKeyBcast = 3 };
+
+  void begin_controller_round(const std::vector<ProcessId>& need_channel);
+  void rekey();
+
+  View view_;
+  std::vector<ProcessId> order_;  // oldest first; controller == order_.front()
+  BigInt x_;                      // my long-term DH exponent (per session)
+  BigInt my_pub_;                 // g^x, computed lazily
+  bool have_pub_ = false;
+
+  // Controller state.
+  std::map<ProcessId, BigInt> pairwise_;  // member -> K_ci
+  std::vector<ProcessId> awaiting_;       // responses still missing
+
+  // Member state.
+  ProcessId controller_seen_ = kNoProcess;  // sender of the last challenge
+};
+
+}  // namespace sgk

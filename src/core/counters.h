@@ -1,0 +1,60 @@
+// Operation counters for the conceptual-cost experiments (Table 1).
+#pragma once
+
+#include <cstdint>
+
+namespace sgk {
+
+/// Counts of cryptographic and communication operations performed by one
+/// member during one key agreement instance (or accumulated over a run).
+struct OpCounters {
+  // Modular exponentiations, split the way the paper's analysis splits them:
+  // full-size exponents (the 160-bit session exponents) vs the small-exponent
+  // ones that make up BD's "hidden cost".
+  std::uint64_t exp_full = 0;
+  std::uint64_t exp_small = 0;
+  std::uint64_t mod_inverse = 0;
+  std::uint64_t mod_mul = 0;
+
+  std::uint64_t sign_ops = 0;
+  std::uint64_t verify_ops = 0;
+
+  std::uint64_t multicasts = 0;
+  std::uint64_t unicasts = 0;
+  std::uint64_t ordered_sends = 0;
+  std::uint64_t bytes_sent = 0;
+
+  OpCounters& operator+=(const OpCounters& o) {
+    exp_full += o.exp_full;
+    exp_small += o.exp_small;
+    mod_inverse += o.mod_inverse;
+    mod_mul += o.mod_mul;
+    sign_ops += o.sign_ops;
+    verify_ops += o.verify_ops;
+    multicasts += o.multicasts;
+    unicasts += o.unicasts;
+    ordered_sends += o.ordered_sends;
+    bytes_sent += o.bytes_sent;
+    return *this;
+  }
+
+  OpCounters operator-(const OpCounters& o) const {
+    OpCounters r = *this;
+    r.exp_full -= o.exp_full;
+    r.exp_small -= o.exp_small;
+    r.mod_inverse -= o.mod_inverse;
+    r.mod_mul -= o.mod_mul;
+    r.sign_ops -= o.sign_ops;
+    r.verify_ops -= o.verify_ops;
+    r.multicasts -= o.multicasts;
+    r.unicasts -= o.unicasts;
+    r.ordered_sends -= o.ordered_sends;
+    r.bytes_sent -= o.bytes_sent;
+    return r;
+  }
+
+  std::uint64_t exp_total() const { return exp_full + exp_small; }
+  std::uint64_t messages() const { return multicasts + unicasts + ordered_sends; }
+};
+
+}  // namespace sgk

@@ -1,0 +1,230 @@
+#include "core/gdh.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sgk {
+
+namespace {
+std::vector<ProcessId> sorted_copy(std::vector<ProcessId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+void GdhProtocol::on_view(const View& view, const ViewDelta& delta) {
+  view_ = view;
+  // Discard transient state from any interrupted instance.
+  factors_.clear();
+  accum_ = BigInt();
+  new_members_.clear();
+  new_controller_ = kNoProcess;
+  i_am_new_ = false;
+
+  // Singleton group: re-key locally (fresh contribution, K = g^r).
+  if (view.members.size() == 1) {
+    r_ = crypto().random_exponent();
+    order_ = {self()};
+    partials_.clear();
+    partials_[self()] = crypto().group().g();
+    host_.deliver_key(crypto().exp(partials_[self()], r_));
+    return;
+  }
+
+  const std::vector<ProcessId>* core = core_side(delta);
+  SGK_CHECK(core != nullptr && !core->empty());
+  i_am_new_ = std::find(core->begin(), core->end(), self()) == core->end();
+
+  if (!i_am_new_) {
+    // Validate that my stored state matches the core side; a cascaded event
+    // can leave the side without an established key, in which case every
+    // member deterministically falls back to a full initial key agreement
+    // rooted at the lowest id.
+    std::vector<ProcessId> pruned;
+    for (ProcessId p : order_)
+      if (view.contains(p)) pruned.push_back(p);
+    if (sorted_copy(pruned) != *core) {
+      const ProcessId seed = view.members.front();
+      if (self() == seed) {
+        r_ = crypto().random_exponent();
+        order_ = {self()};
+        partials_.clear();
+        partials_[self()] = crypto().group().g();
+        new_members_.assign(view.members.begin() + 1, view.members.end());
+        new_controller_ = new_members_.back();
+        start_merge();
+      } else {
+        i_am_new_ = true;
+        order_.clear();
+        partials_.clear();
+        new_members_.assign(view.members.begin() + 1, view.members.end());
+        new_controller_ = new_members_.back();
+      }
+      return;
+    }
+    order_ = std::move(pruned);
+    for (auto it = partials_.begin(); it != partials_.end();)
+      it = view.contains(it->first) ? std::next(it) : partials_.erase(it);
+  }
+
+  // New members, in token-chain order.
+  for (ProcessId p : view.members)
+    if (std::find(core->begin(), core->end(), p) == core->end())
+      new_members_.push_back(p);
+
+  if (i_am_new_) {
+    order_.clear();
+    partials_.clear();
+    SGK_CHECK(!new_members_.empty());
+    new_controller_ = new_members_.back();
+    return;  // wait for the token / accumulated broadcast
+  }
+
+  if (new_members_.empty()) {
+    handle_leave(delta);
+  } else {
+    new_controller_ = new_members_.back();
+    start_merge();
+  }
+}
+
+void GdhProtocol::start_merge() {
+  if (self() != order_.back()) return;  // only the current controller acts
+  // Step 1: refresh my contribution and pass the accumulated token to the
+  // first new member. The token carries the join order so the eventual
+  // partial-key broadcast can reinstall it at everyone.
+  r_ = crypto().random_exponent();
+  SGK_CHECK(partials_.count(self()) == 1);
+  BigInt token = crypto().exp(partials_[self()], r_);
+
+  Writer w;
+  w.u8(kToken);
+  put_bigint(w, token);
+  w.u32(static_cast<std::uint32_t>(order_.size()));
+  for (ProcessId p : order_) w.u32(p);
+  // The robust GDH implementation sends the token in agreed order with
+  // respect to group messages (section 6.2.2), like the factor-out round.
+  host_.send_ordered(new_members_.front(), w.take());
+}
+
+void GdhProtocol::handle_leave(const ViewDelta& delta) {
+  (void)delta;
+  if (self() != order_.back()) return;  // wait for the controller broadcast
+  // Refresh my exponent by a factor f; every other partial key gains f, my
+  // own stays (it excludes my contribution by construction).
+  const BigInt f = crypto().random_exponent();
+  r_ = r_ * f % crypto().group().q();
+  for (auto& [member, partial] : partials_) {
+    if (member == self()) continue;
+    partial = crypto().exp(partial, f);
+  }
+  broadcast_partials();
+  host_.deliver_key(crypto().exp(partials_[self()], r_));
+}
+
+Bytes GdhProtocol::encode_partials() const {
+  Writer w;
+  w.u8(kPartials);
+  w.u32(static_cast<std::uint32_t>(order_.size()));
+  for (ProcessId p : order_) w.u32(p);
+  w.u32(static_cast<std::uint32_t>(partials_.size()));
+  for (const auto& [member, partial] : partials_) {
+    w.u32(member);
+    put_bigint(w, partial);
+  }
+  return w.take();
+}
+
+void GdhProtocol::broadcast_partials() { host_.send_multicast(encode_partials()); }
+
+void GdhProtocol::adopt_partials(Reader& r, ProcessId /*sender*/) {
+  const std::uint32_t order_len = r.u32();
+  order_.clear();
+  for (std::uint32_t i = 0; i < order_len; ++i) order_.push_back(r.u32());
+  const std::uint32_t count = r.u32();
+  partials_.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ProcessId member = r.u32();
+    partials_[member] = get_bigint(r);
+  }
+  auto it = partials_.find(self());
+  SGK_CHECK(it != partials_.end());
+  host_.deliver_key(crypto().exp(it->second, r_));
+}
+
+void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
+  Reader r(body);
+  const std::uint8_t type = r.u8();
+  switch (type) {
+    case kToken: {
+      if (!i_am_new_) return;
+      BigInt token = get_bigint(r);
+      const std::uint32_t order_len = r.u32();
+      std::vector<ProcessId> chain_order;
+      for (std::uint32_t i = 0; i < order_len; ++i) chain_order.push_back(r.u32());
+      auto pos = std::find(new_members_.begin(), new_members_.end(), self());
+      SGK_CHECK(pos != new_members_.end());
+      if (self() == new_controller_) {
+        // Last new member: broadcast the accumulated value unchanged.
+        accum_ = token;
+        order_ = std::move(chain_order);
+        order_.push_back(self());
+        Writer w;
+        w.u8(kAccum);
+        put_bigint(w, accum_);
+        host_.send_multicast(w.take());
+      } else {
+        // Add my contribution and forward along the chain.
+        r_ = crypto().random_exponent();
+        BigInt next_token = crypto().exp(token, r_);
+        chain_order.push_back(self());
+        Writer w;
+        w.u8(kToken);
+        put_bigint(w, next_token);
+        w.u32(static_cast<std::uint32_t>(chain_order.size()));
+        for (ProcessId p : chain_order) w.u32(p);
+        host_.send_ordered(*(pos + 1), w.take());
+      }
+      return;
+    }
+    case kAccum: {
+      if (sender == self()) return;  // own broadcast
+      accum_ = get_bigint(r);
+      // Factor out my contribution and return it to the new controller.
+      BigInt factored = crypto().exp(accum_, crypto().inverse_q(r_));
+      Writer w;
+      w.u8(kFactorOut);
+      put_bigint(w, factored);
+      host_.send_ordered(new_controller_, w.take());
+      return;
+    }
+    case kFactorOut: {
+      if (self() != new_controller_) return;
+      factors_[sender] = get_bigint(r);
+      if (factors_.size() + 1 < view_.members.size()) return;
+      // All factor-out tokens collected: become the controller.
+      r_ = crypto().random_exponent();
+      partials_.clear();
+      for (const auto& [member, factored] : factors_) {
+        partials_[member] = crypto().exp(factored, r_);
+      }
+      partials_[self()] = accum_;
+      broadcast_partials();
+      host_.deliver_key(crypto().exp(accum_, r_));
+      // From now on I am an established member.
+      i_am_new_ = false;
+      return;
+    }
+    case kPartials: {
+      if (sender == self()) return;  // I built this list
+      adopt_partials(r, sender);
+      i_am_new_ = false;
+      return;
+    }
+    default:
+      return;  // unknown message: ignore
+  }
+}
+
+}  // namespace sgk

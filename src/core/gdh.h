@@ -1,0 +1,62 @@
+// GDH (Cliques IKA.3) contributory group key agreement.
+//
+// The shared key is K = g^(r_1 r_2 ... r_n). The group controller (the most
+// recently added remaining member) maintains the list of partial keys
+// P_i = g^(R / r_i); each member derives K = P_i ^ r_i.
+//
+// Merge (Figure 1 of the paper): the current controller refreshes its
+// exponent and unicasts the accumulated token through the chain of new
+// members; the last new member broadcasts the accumulated value; everyone
+// factors out its contribution and sends it back (in agreed order) to the
+// last new member, who becomes the new controller, exponentiates each
+// factor-out token with a fresh exponent and broadcasts the partial key
+// list.
+//
+// Leave/partition (Figure 2): the controller refreshes its own exponent by a
+// factor f, drops the departed members' partial keys, raises every remaining
+// partial key to f, and broadcasts the new list.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/key_agreement.h"
+
+namespace sgk {
+
+class GdhProtocol final : public KeyAgreement {
+ public:
+  explicit GdhProtocol(ProtocolHost& host) : KeyAgreement(host) {}
+
+  void on_view(const View& view, const ViewDelta& delta) override;
+  void on_message(ProcessId sender, const Bytes& body) override;
+  ProtocolKind kind() const override { return ProtocolKind::kGdh; }
+
+  /// Exposed for white-box tests: the current controller and join order.
+  ProcessId controller() const { return order_.empty() ? kNoProcess : order_.back(); }
+  const std::vector<ProcessId>& join_order() const { return order_; }
+
+ private:
+  enum MsgType : std::uint8_t { kToken = 1, kAccum = 2, kFactorOut = 3, kPartials = 4 };
+
+  void start_merge();
+  void handle_leave(const ViewDelta& delta);
+  void broadcast_partials();
+  Bytes encode_partials() const;
+  void adopt_partials(Reader& r, ProcessId sender);
+
+  View view_;
+  // Join order, oldest first; controller == order_.back().
+  std::vector<ProcessId> order_;
+  std::map<ProcessId, BigInt> partials_;
+  BigInt r_;  // my current contribution
+
+  // Transient merge state.
+  std::vector<ProcessId> new_members_;  // token chain order
+  ProcessId new_controller_ = kNoProcess;
+  bool i_am_new_ = false;
+  BigInt accum_;
+  std::map<ProcessId, BigInt> factors_;  // at the new controller
+};
+
+}  // namespace sgk

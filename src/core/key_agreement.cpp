@@ -1,0 +1,72 @@
+#include "core/key_agreement.h"
+
+#include <algorithm>
+
+#include "core/bd.h"
+#include "core/ckd.h"
+#include "core/gdh.h"
+#include "core/str.h"
+#include "core/tgdh.h"
+#include "util/check.h"
+
+namespace sgk {
+
+const char* to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kGdh: return "GDH";
+    case ProtocolKind::kCkd: return "CKD";
+    case ProtocolKind::kTgdh: return "TGDH";
+    case ProtocolKind::kTgdhBalanced: return "TGDH-bal";
+    case ProtocolKind::kStr: return "STR";
+    case ProtocolKind::kBd: return "BD";
+    case ProtocolKind::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+/// The null protocol: completes instantly with a fixed key. Measures the
+/// bare membership service (the baseline series in the paper's figures).
+class NullProtocol final : public KeyAgreement {
+ public:
+  explicit NullProtocol(ProtocolHost& host) : KeyAgreement(host) {}
+  void on_view(const View& view, const ViewDelta&) override {
+    host_.deliver_key(BigInt(view.view_id + 1));
+  }
+  void on_message(ProcessId, const Bytes&) override {}
+  ProtocolKind kind() const override { return ProtocolKind::kNone; }
+};
+}  // namespace
+
+std::unique_ptr<KeyAgreement> make_protocol(ProtocolKind kind, ProtocolHost& host) {
+  switch (kind) {
+    case ProtocolKind::kGdh: return std::make_unique<GdhProtocol>(host);
+    case ProtocolKind::kCkd: return std::make_unique<CkdProtocol>(host);
+    case ProtocolKind::kTgdh: return std::make_unique<TgdhProtocol>(host);
+    case ProtocolKind::kTgdhBalanced:
+      return std::make_unique<TgdhProtocol>(host, /*eager_balance=*/true);
+    case ProtocolKind::kStr: return std::make_unique<StrProtocol>(host);
+    case ProtocolKind::kBd: return std::make_unique<BdProtocol>(host);
+    case ProtocolKind::kNone: return std::make_unique<NullProtocol>(host);
+  }
+  SGK_CHECK(false);
+  return nullptr;
+}
+
+const std::vector<ProcessId>* core_side(const ViewDelta& delta) {
+  const std::vector<ProcessId>* best = nullptr;
+  for (const auto& side : delta.sides) {
+    if (side.empty()) continue;
+    if (best == nullptr || side.size() > best->size() ||
+        (side.size() == best->size() && side.front() < best->front())) {
+      best = &side;
+    }
+  }
+  return best;
+}
+
+void put_bigint(Writer& w, const BigInt& v) { w.bytes(v.to_bytes()); }
+
+BigInt get_bigint(Reader& r) { return BigInt::from_bytes(r.bytes()); }
+
+}  // namespace sgk

@@ -1,0 +1,100 @@
+// Key agreement protocol framework.
+//
+// A KeyAgreement instance lives inside one SecureGroupMember and reacts to
+// two stimuli: view installs (membership changes) and protocol messages.
+// All cryptography goes through the host's CryptoContext; all communication
+// goes through the host, which signs, frames and (virtually) prices it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bignum/bigint.h"
+#include "core/crypto_context.h"
+#include "gcs/view.h"
+#include "util/bytes.h"
+#include "util/serde.h"
+
+namespace sgk {
+
+/// The five protocols the paper evaluates, plus a null protocol used to
+/// measure the bare membership service (the "Membership service" series in
+/// Figures 11, 12 and 14).
+enum class ProtocolKind {
+  kGdh,
+  kCkd,
+  kTgdh,
+  kStr,
+  kBd,
+  /// TGDH variant that eagerly rebuilds a height-minimal tree when a
+  /// subtractive event unbalances it — the trade-off the paper's footnote 7
+  /// attributes to AVL-style tree management: cheaper future operations,
+  /// higher leave communication.
+  kTgdhBalanced,
+  kNone
+};
+
+const char* to_string(ProtocolKind kind);
+
+/// Services a protocol uses, implemented by SecureGroupMember.
+class ProtocolHost {
+ public:
+  virtual ~ProtocolHost() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual CryptoContext& crypto() = 0;
+
+  /// Agreed multicast of a protocol message to the whole group.
+  virtual void send_multicast(Bytes body) = 0;
+  /// Agreed-ordered message to one member (GDH factor-out; the paper
+  /// explains these must be ordered with respect to group messages).
+  virtual void send_ordered(ProcessId dest, Bytes body) = 0;
+  /// Direct FIFO unicast (GDH token forwarding, CKD responses).
+  virtual void send_unicast(ProcessId dest, Bytes body) = 0;
+
+  /// The protocol completed: every call installs `group_secret` as the new
+  /// group key for the current epoch.
+  virtual void deliver_key(const BigInt& group_secret) = 0;
+
+  /// When true (the default, matching the implementation the paper
+  /// measured), the tree protocols re-compute received blinded keys as a
+  /// key-confirmation check, paying the extra exponentiations the paper
+  /// describes in section 5. Table 1's counts assume this is off.
+  virtual bool key_confirmation() const = 0;
+};
+
+class KeyAgreement {
+ public:
+  explicit KeyAgreement(ProtocolHost& host) : host_(host) {}
+  virtual ~KeyAgreement() = default;
+
+  /// A new view was installed; begin re-keying for it. Transient state from
+  /// a previous (interrupted) instance must be discarded.
+  virtual void on_view(const View& view, const ViewDelta& delta) = 0;
+
+  /// A protocol message (already verified, current epoch) arrived.
+  virtual void on_message(ProcessId sender, const Bytes& body) = 0;
+
+  virtual ProtocolKind kind() const = 0;
+
+ protected:
+  ProtocolHost& host_;
+  CryptoContext& crypto() { return host_.crypto(); }
+  ProcessId self() const { return host_.self(); }
+};
+
+/// Factory for the protocol implementations.
+std::unique_ptr<KeyAgreement> make_protocol(ProtocolKind kind, ProtocolHost& host);
+
+/// Helpers shared by the protocol implementations -------------------------
+
+/// Picks the "core" (existing-group) side out of a view change's sides:
+/// the largest side, ties broken by smallest member id. Deterministic and
+/// identical at every member.
+const std::vector<ProcessId>* core_side(const ViewDelta& delta);
+
+/// Serialization of big integers inside protocol messages.
+void put_bigint(Writer& w, const BigInt& v);
+BigInt get_bigint(Reader& r);
+
+}  // namespace sgk

@@ -1,0 +1,380 @@
+#include "core/key_tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "core/key_agreement.h"
+#include "util/check.h"
+
+namespace sgk {
+
+KeyTree KeyTree::leaf(ProcessId member) {
+  KeyTree t;
+  TreeNode n;
+  n.member = member;
+  t.nodes_.push_back(std::move(n));
+  t.root_ = 0;
+  return t;
+}
+
+int KeyTree::find_leaf(ProcessId member) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].parent != -2 && nodes_[i].is_leaf() && nodes_[i].member == member)
+      return static_cast<int>(i);
+  return -1;
+}
+
+void KeyTree::collect_members(int node, std::vector<ProcessId>& out) const {
+  if (node == -1) return;
+  const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.is_leaf()) {
+    out.push_back(n.member);
+    return;
+  }
+  collect_members(n.left, out);
+  collect_members(n.right, out);
+}
+
+std::vector<ProcessId> KeyTree::members() const {
+  std::vector<ProcessId> out;
+  collect_members(root_, out);
+  return out;
+}
+
+ProcessId KeyTree::rightmost_member(int subtree) const {
+  SGK_CHECK(subtree != -1);
+  int cur = subtree;
+  while (!nodes_[static_cast<std::size_t>(cur)].is_leaf())
+    cur = nodes_[static_cast<std::size_t>(cur)].right;
+  return nodes_[static_cast<std::size_t>(cur)].member;
+}
+
+int KeyTree::height(int subtree) const {
+  if (subtree == -1) return -1;
+  const TreeNode& n = nodes_[static_cast<std::size_t>(subtree)];
+  if (n.is_leaf()) return 0;
+  return 1 + std::max(height(n.left), height(n.right));
+}
+
+int KeyTree::depth(int node) const {
+  int d = 0;
+  for (int cur = node; nodes_[static_cast<std::size_t>(cur)].parent >= 0;
+       cur = nodes_[static_cast<std::size_t>(cur)].parent)
+    ++d;
+  return d;
+}
+
+int KeyTree::sibling(int node) const {
+  const int p = nodes_[static_cast<std::size_t>(node)].parent;
+  if (p < 0) return -1;
+  const TreeNode& parent = nodes_[static_cast<std::size_t>(p)];
+  return parent.left == node ? parent.right : parent.left;
+}
+
+std::vector<int> KeyTree::path_to_root(int node) const {
+  std::vector<int> out;
+  for (int cur = nodes_[static_cast<std::size_t>(node)].parent; cur != -1;
+       cur = nodes_[static_cast<std::size_t>(cur)].parent)
+    out.push_back(cur);
+  return out;
+}
+
+void KeyTree::invalidate_up(int node) {
+  for (int cur = node; cur != -1; cur = nodes_[static_cast<std::size_t>(cur)].parent) {
+    TreeNode& n = nodes_[static_cast<std::size_t>(cur)];
+    n.has_key = false;
+    n.key = BigInt();
+    n.has_bkey = false;
+    n.bkey = BigInt();
+    n.bkey_published = false;
+  }
+}
+
+int KeyTree::clone_from(const KeyTree& other, int other_node) {
+  const TreeNode& src = other.nodes_[static_cast<std::size_t>(other_node)];
+  TreeNode copy = src;
+  copy.parent = -1;
+  copy.left = -1;
+  copy.right = -1;
+  nodes_.push_back(std::move(copy));
+  const int idx = static_cast<int>(nodes_.size() - 1);
+  if (!src.is_leaf()) {
+    const int l = clone_from(other, src.left);
+    const int r = clone_from(other, src.right);
+    nodes_[static_cast<std::size_t>(idx)].left = l;
+    nodes_[static_cast<std::size_t>(idx)].right = r;
+    nodes_[static_cast<std::size_t>(l)].parent = idx;
+    nodes_[static_cast<std::size_t>(r)].parent = idx;
+  }
+  return idx;
+}
+
+int KeyTree::find_graft_position(int h) const {
+  const int total = height(root_);
+  // Breadth-first, right child first: the first acceptable node is the
+  // shallowest-rightmost one.
+  std::deque<std::pair<int, int>> queue;  // (node, depth)
+  queue.emplace_back(root_, 0);
+  while (!queue.empty()) {
+    auto [node, d] = queue.front();
+    queue.pop_front();
+    if (d + 1 + std::max(height(node), h) <= total) return node;
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    if (!n.is_leaf()) {
+      queue.emplace_back(n.right, d + 1);
+      queue.emplace_back(n.left, d + 1);
+    }
+  }
+  return -1;
+}
+
+int KeyTree::merge(const KeyTree& other) {
+  SGK_CHECK(!other.empty());
+  if (empty()) {
+    root_ = clone_from(other, other.root_);
+    return root_;
+  }
+  int pos = find_graft_position(other.height(other.root_));
+  if (pos == -1) pos = root_;
+
+  const int guest = clone_from(other, other.root_);
+  TreeNode merge_node;
+  merge_node.left = pos;
+  merge_node.right = guest;
+  merge_node.parent = nodes_[static_cast<std::size_t>(pos)].parent;
+  nodes_.push_back(std::move(merge_node));
+  const int m = static_cast<int>(nodes_.size() - 1);
+  const int gp = nodes_[static_cast<std::size_t>(m)].parent;
+  if (gp == -1) {
+    root_ = m;
+  } else {
+    TreeNode& grand = nodes_[static_cast<std::size_t>(gp)];
+    (grand.left == pos ? grand.left : grand.right) = m;
+  }
+  nodes_[static_cast<std::size_t>(pos)].parent = m;
+  nodes_[static_cast<std::size_t>(guest)].parent = m;
+  invalidate_up(m);
+  return m;
+}
+
+std::vector<int> KeyTree::remove_members(const std::vector<ProcessId>& departed) {
+  std::vector<int> sponsor_roots;
+  for (ProcessId member : departed) {
+    const int l = find_leaf(member);
+    if (l == -1) continue;
+    TreeNode& leaf_node = nodes_[static_cast<std::size_t>(l)];
+    const int p = leaf_node.parent;
+    if (p == -1) {
+      // Sole member left: the tree becomes empty.
+      leaf_node.parent = -2;
+      root_ = -1;
+      continue;
+    }
+    const int s = sibling(l);
+    const int gp = nodes_[static_cast<std::size_t>(p)].parent;
+    nodes_[static_cast<std::size_t>(s)].parent = gp;
+    if (gp == -1) {
+      root_ = s;
+    } else {
+      TreeNode& grand = nodes_[static_cast<std::size_t>(gp)];
+      (grand.left == p ? grand.left : grand.right) = s;
+    }
+    // Mark removed nodes unusable.
+    leaf_node.parent = -2;
+    nodes_[static_cast<std::size_t>(p)].parent = -2;
+    nodes_[static_cast<std::size_t>(p)].left = -1;
+    nodes_[static_cast<std::size_t>(p)].right = -1;
+    invalidate_up(gp);
+    sponsor_roots.push_back(s);
+  }
+  // Keep only surviving candidate roots (a later removal may have deleted
+  // an earlier sibling subtree or changed its extent), deduplicated.
+  std::vector<int> out;
+  for (int s : sponsor_roots) {
+    if (nodes_[static_cast<std::size_t>(s)].parent == -2) continue;
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  return out;
+}
+
+int KeyTree::serialize_node(Writer& w, int node) const {
+  const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.is_leaf()) {
+    w.u8(0);
+    w.u32(n.member);
+  } else {
+    w.u8(1);
+    serialize_node(w, n.left);
+    serialize_node(w, n.right);
+  }
+  if (n.has_bkey) {
+    w.u8(1);
+    put_bigint(w, n.bkey);
+  } else {
+    w.u8(0);
+  }
+  return node;
+}
+
+void KeyTree::serialize(Writer& w) const {
+  SGK_CHECK(root_ != -1);
+  serialize_node(w, root_);
+}
+
+int KeyTree::deserialize_node(Reader& r, KeyTree& tree) {
+  const std::uint8_t tag = r.u8();
+  TreeNode n;
+  int left = -1, right = -1;
+  if (tag == 0) {
+    n.member = r.u32();
+  } else {
+    left = deserialize_node(r, tree);
+    right = deserialize_node(r, tree);
+  }
+  if (r.u8() == 1) {
+    n.bkey = get_bigint(r);
+    n.has_bkey = true;
+    n.bkey_published = true;
+  }
+  n.left = left;
+  n.right = right;
+  tree.nodes_.push_back(std::move(n));
+  const int idx = static_cast<int>(tree.nodes_.size() - 1);
+  if (left != -1) {
+    tree.nodes_[static_cast<std::size_t>(left)].parent = idx;
+    tree.nodes_[static_cast<std::size_t>(right)].parent = idx;
+  }
+  return idx;
+}
+
+KeyTree KeyTree::deserialize(Reader& r) {
+  KeyTree t;
+  t.root_ = deserialize_node(r, t);
+  return t;
+}
+
+bool KeyTree::same_structure(const KeyTree& other) const {
+  // Compare canonical structural serialization (shape + member placement).
+  auto shape = [](const KeyTree& t) {
+    std::string out;
+    std::vector<int> stack{t.root_};
+    while (!stack.empty()) {
+      int node = stack.back();
+      stack.pop_back();
+      if (node == -1) {
+        out += "#";
+        continue;
+      }
+      const TreeNode& n = t.nodes_[static_cast<std::size_t>(node)];
+      if (n.is_leaf()) {
+        out += "L" + std::to_string(n.member);
+      } else {
+        out += "(";
+        stack.push_back(n.right);
+        stack.push_back(n.left);
+      }
+    }
+    return out;
+  };
+  if (empty() || other.empty()) return empty() == other.empty();
+  return shape(*this) == shape(other);
+}
+
+namespace {
+void absorb_rec(KeyTree& mine, int my_node, const KeyTree& theirs, int their_node) {
+  TreeNode& m = mine.node(my_node);
+  const TreeNode& t = theirs.node(their_node);
+  SGK_CHECK(m.is_leaf() == t.is_leaf());
+  if (t.has_bkey) {
+    if (!m.has_bkey) {
+      m.bkey = t.bkey;
+      m.has_bkey = true;
+    }
+    m.bkey_published = true;
+  }
+  if (!m.is_leaf()) {
+    absorb_rec(mine, m.left, theirs, t.left);
+    absorb_rec(mine, m.right, theirs, t.right);
+  }
+}
+}  // namespace
+
+void KeyTree::absorb_bkeys(const KeyTree& other) {
+  SGK_CHECK(same_structure(other));
+  if (empty()) return;
+  absorb_rec(*this, root_, other, other.root());
+}
+
+void KeyTree::mark_bkeys_published() {
+  for (TreeNode& n : nodes_) {
+    if (n.parent == -2) continue;
+    if (n.has_bkey) n.bkey_published = true;
+  }
+}
+
+namespace {
+int build_balanced_rec(std::vector<TreeNode>& nodes,
+                       const std::vector<TreeNode>& leaves, std::size_t lo,
+                       std::size_t hi) {
+  if (hi - lo == 1) {
+    nodes.push_back(leaves[lo]);
+    return static_cast<int>(nodes.size() - 1);
+  }
+  const std::size_t mid = lo + (hi - lo + 1) / 2;  // left gets the extra leaf
+  const int l = build_balanced_rec(nodes, leaves, lo, mid);
+  const int r = build_balanced_rec(nodes, leaves, mid, hi);
+  TreeNode internal;
+  internal.left = l;
+  internal.right = r;
+  nodes.push_back(std::move(internal));
+  const int idx = static_cast<int>(nodes.size() - 1);
+  nodes[static_cast<std::size_t>(l)].parent = idx;
+  nodes[static_cast<std::size_t>(r)].parent = idx;
+  return idx;
+}
+}  // namespace
+
+void KeyTree::rebuild_balanced() {
+  if (empty()) return;
+  // Collect leaves in tree order, keeping their key material.
+  std::vector<TreeNode> leaves;
+  for (ProcessId m : members()) {
+    TreeNode leaf = nodes_[static_cast<std::size_t>(find_leaf(m))];
+    leaf.parent = -1;
+    leaf.left = -1;
+    leaf.right = -1;
+    leaves.push_back(std::move(leaf));
+  }
+  std::vector<TreeNode> rebuilt;
+  rebuilt.reserve(2 * leaves.size());
+  const int new_root = build_balanced_rec(rebuilt, leaves, 0, leaves.size());
+  nodes_ = std::move(rebuilt);
+  root_ = new_root;
+}
+
+std::string KeyTree::to_string() const {
+  std::ostringstream os;
+  std::vector<std::pair<int, int>> stack;
+  if (root_ != -1) stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    auto [node, indent] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ');
+    if (n.is_leaf()) {
+      os << "leaf M" << n.member;
+    } else {
+      os << "node";
+    }
+    os << (n.has_key ? " [k]" : "") << (n.has_bkey ? " [bk]" : "")
+       << (n.bkey_published ? "*" : "") << "\n";
+    if (!n.is_leaf()) {
+      stack.emplace_back(n.right, indent + 1);
+      stack.emplace_back(n.left, indent + 1);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sgk

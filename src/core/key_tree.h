@@ -1,0 +1,122 @@
+// Binary key tree for TGDH.
+//
+// Every node carries an optional secret key and an optional blinded key
+// bk = g^(key mod q). A leaf's key is its member's session random; an
+// internal node's key is the two-party DH value of its children:
+// key(v) = g^(key(left) * key(right)) computed as exp(bkey(sibling),
+// key(child)). The tree structure itself is deterministic and identical at
+// every member; key knowledge differs per member (a member knows exactly the
+// keys on the path from its leaf to the root).
+//
+// Structure maintenance implements the paper's policies: joins insert at the
+// rightmost shallowest position that does not increase the tree height
+// (footnote 5/7), leaves collapse the departed leaf's parent, merges graft
+// the smaller tree at such a position of the larger.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "gcs/view.h"
+#include "util/serde.h"
+
+namespace sgk {
+
+struct TreeNode {
+  int parent = -1;
+  int left = -1;
+  int right = -1;
+  ProcessId member = kNoProcess;  // valid for leaves only
+
+  bool has_key = false;
+  BigInt key;
+  bool has_bkey = false;
+  BigInt bkey;
+  // True when the blinded key has been broadcast (or arrived in one): it is
+  // known to the whole group, not just to this member.
+  bool bkey_published = false;
+
+  bool is_leaf() const { return left == -1; }
+};
+
+class KeyTree {
+ public:
+  KeyTree() = default;
+
+  /// Single-leaf tree for `member`.
+  static KeyTree leaf(ProcessId member);
+
+  bool empty() const { return root_ == -1; }
+  int root() const { return root_; }
+  const TreeNode& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+  TreeNode& node(int i) { return nodes_.at(static_cast<std::size_t>(i)); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Leaf index of `member`, or -1.
+  int find_leaf(ProcessId member) const;
+  /// All member ids, left to right.
+  std::vector<ProcessId> members() const;
+  /// The member at the rightmost leaf of `subtree`.
+  ProcessId rightmost_member(int subtree) const;
+  /// Height of `subtree` (leaf == 0).
+  int height(int subtree) const;
+  int depth(int node) const;
+  /// Sibling node index, or -1 at the root.
+  int sibling(int node) const;
+  /// Indices from `node`'s parent up to the root (the key path above a leaf).
+  std::vector<int> path_to_root(int node) const;
+
+  /// Grafts `other` into this tree at the rightmost shallowest position that
+  /// keeps the height minimal (at the root otherwise). All keys/bkeys on the
+  /// path from the graft point to the root are invalidated. Returns the
+  /// index of the new internal node (the merge point).
+  int merge(const KeyTree& other);
+
+  /// Removes the leaves of all `departed` members. Each removal promotes the
+  /// sibling subtree into the parent's place and invalidates keys/bkeys of
+  /// all ancestors. Returns the leaf indices' former sibling subtree roots
+  /// (deduplicated, in tree order) — the candidate sponsor subtrees.
+  std::vector<int> remove_members(const std::vector<ProcessId>& departed);
+
+  /// Serializes structure plus all *published* blinded keys.
+  void serialize(Writer& w) const;
+  static KeyTree deserialize(Reader& r);
+
+  /// Structural equality including member placement (ignores keys).
+  bool same_structure(const KeyTree& other) const;
+
+  /// Copies blinded keys present in `other` (same structure required) into
+  /// this tree, marking them published. Never overwrites an existing bkey.
+  void absorb_bkeys(const KeyTree& other);
+
+  /// Marks every present blinded key as published (after broadcasting).
+  void mark_bkeys_published();
+
+  /// Rebuilds this tree as a complete (height-minimal) binary tree over the
+  /// same members in the same left-to-right order. Leaf state (keys, blinded
+  /// keys, published flags) is preserved; every internal node is fresh and
+  /// invalid. Used by the eagerly-balancing TGDH variant (the paper's
+  /// footnote on AVL-style tree management).
+  void rebuild_balanced();
+
+  /// Multi-line diagnostic rendering.
+  std::string to_string() const;
+
+ private:
+  int clone_from(const KeyTree& other, int other_node);
+  void invalidate_up(int node);
+  int serialize_node(Writer& w, int node) const;
+  static int deserialize_node(Reader& r, KeyTree& tree);
+  void collect_members(int node, std::vector<ProcessId>& out) const;
+  /// Finds the graft position for a subtree of height `h`: the rightmost
+  /// shallowest node where insertion does not increase the tree height; -1
+  /// if none exists.
+  int find_graft_position(int h) const;
+
+  std::vector<TreeNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace sgk

@@ -1,0 +1,269 @@
+#include "core/secure_group.h"
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "util/check.h"
+
+namespace sgk {
+
+namespace {
+const RsaPrivateKey& default_rsa(ProcessId self) {
+  return RsaPrivateKey::test_key(static_cast<int>(self % 4));
+}
+}  // namespace
+
+SecureGroupMember::SecureGroupMember(SpreadNetwork& net, ProcessId self,
+                                     std::shared_ptr<Pki> pki, MemberConfig config)
+    : net_(net),
+      self_(self),
+      pki_(std::move(pki)),
+      config_(std::move(config)),
+      crypto_(dh_group(config_.dh_bits),
+              config_.rsa ? *config_.rsa : default_rsa(self),
+              config_.cost,
+              Drbg(config_.seed * 0x9e3779b97f4a7c15ULL + self, "member"),
+              config_.signature) {
+  pki_->enroll(self_, crypto_.verify_key());
+  net_.attach(self_, this);
+  protocol_ = make_protocol(config_.protocol, *this);
+}
+
+SecureGroupMember::~SecureGroupMember() {
+  *alive_ = false;
+  net_.attach(self_, nullptr);
+}
+
+void SecureGroupMember::join() { net_.join_group(config_.group, self_); }
+
+void SecureGroupMember::leave() { net_.leave_group(config_.group, self_); }
+
+void SecureGroupMember::request_rekey() {
+  net_.refresh_group(config_.group, self_);
+}
+
+// ---------------------------------------------------------------------------
+// framing
+
+Bytes SecureGroupMember::frame_and_sign(WireKind kind, const Bytes& body) {
+  Writer signed_part;
+  signed_part.u8(static_cast<std::uint8_t>(kind));
+  signed_part.u64(epoch_);
+  signed_part.u32(self_);
+  signed_part.bytes(body);
+  Bytes to_sign = signed_part.take();
+  Bytes sig = crypto_.sign(to_sign);
+  Writer w;
+  w.raw(to_sign);
+  w.bytes(sig);
+  return w.take();
+}
+
+void SecureGroupMember::queue(SendKind kind, ProcessId dest, Bytes wire) {
+  outbound_.push_back(Outbound{kind, dest, std::move(wire)});
+}
+
+void SecureGroupMember::send_multicast(Bytes body) {
+  queue(SendKind::kMulticast, kNoProcess, frame_and_sign(WireKind::kProtocol, body));
+}
+
+void SecureGroupMember::send_ordered(ProcessId dest, Bytes body) {
+  queue(SendKind::kOrdered, dest, frame_and_sign(WireKind::kProtocol, body));
+}
+
+void SecureGroupMember::send_unicast(ProcessId dest, Bytes body) {
+  queue(SendKind::kUnicast, dest, frame_and_sign(WireKind::kProtocol, body));
+}
+
+void SecureGroupMember::deliver_key(const BigInt& group_secret) {
+  // Derive a 64-byte key block (16B AES key, 16B IV seed, 32B HMAC key).
+  Bytes material = group_secret.to_bytes();
+  Writer info;
+  info.str(config_.group);
+  info.u64(epoch_);
+  pending_key_ = hkdf_sha256(material, str_bytes("sgk-group-key"), info.take(), 64);
+  crypto_.charge_symmetric(material.size() + 64);
+}
+
+void SecureGroupMember::end_handler() {
+  const double cost = crypto_.take_charge();
+  std::vector<Outbound> out = std::move(outbound_);
+  outbound_.clear();
+  std::optional<Bytes> key = std::move(pending_key_);
+  pending_key_.reset();
+  const std::uint64_t epoch = epoch_;
+
+  if (cost == 0 && out.empty() && !key) return;
+
+  net_.cpu_of(self_).submit(
+      self_, cost,
+      [this, alive = alive_, out = std::move(out), key = std::move(key),
+       epoch]() mutable {
+        if (!*alive) return;
+        for (Outbound& o : out) {
+          // Account for traffic at release time.
+          crypto_.counters().bytes_sent += o.wire.size();
+          switch (o.kind) {
+            case SendKind::kMulticast:
+              ++crypto_.counters().multicasts;
+              net_.multicast(config_.group, self_, std::move(o.wire));
+              break;
+            case SendKind::kOrdered:
+              ++crypto_.counters().ordered_sends;
+              net_.ordered_send(config_.group, self_, o.dest, std::move(o.wire));
+              break;
+            case SendKind::kUnicast:
+              ++crypto_.counters().unicasts;
+              net_.unicast(config_.group, self_, o.dest, std::move(o.wire));
+              break;
+          }
+        }
+        if (key) {
+          key_ = std::move(*key);
+          key_epoch_ = epoch;
+          key_time_ = net_.simulator().now();
+          if (key_listener_) key_listener_(key_time_, key_epoch_);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// GCS callbacks
+
+void SecureGroupMember::on_view(const std::string& group, const View& view,
+                                const ViewDelta& delta) {
+  if (group != config_.group) return;
+  view_ = view;
+  view_time_ = net_.simulator().now();
+  epoch_ = view.view_id;
+  protocol_->on_view(view, delta);
+  end_handler();
+}
+
+void SecureGroupMember::on_message(const std::string& group, ProcessId sender,
+                                   const Bytes& payload) {
+  if (group != config_.group) return;
+  try {
+    Reader outer(payload);
+    const auto kind = static_cast<WireKind>(outer.u8());
+    const std::uint64_t msg_epoch = outer.u64();
+    const ProcessId claimed_sender = outer.u32();
+    Bytes body = outer.bytes();
+
+    if (kind == WireKind::kProtocol) {
+      if (msg_epoch != epoch_) {
+        end_handler();
+        return;  // stale instance
+      }
+      if (claimed_sender != sender) {
+        end_handler();
+        return;
+      }
+      if (sender != self_) {
+        // Reconstruct the signed prefix and verify.
+        Bytes sig = outer.bytes();
+        Writer signed_part;
+        signed_part.u8(static_cast<std::uint8_t>(kind));
+        signed_part.u64(msg_epoch);
+        signed_part.u32(claimed_sender);
+        signed_part.bytes(body);
+        const VerifyKey* pub = pki_->find(sender);
+        if (pub == nullptr || !crypto_.verify(*pub, signed_part.data(), sig)) {
+          end_handler();
+          return;
+        }
+      }
+      protocol_->on_message(sender, body);
+      end_handler();
+      return;
+    }
+
+    if (kind == WireKind::kData) {
+      if (sender == self_) return;
+      if (msg_epoch != epoch_ || msg_epoch != key_epoch_ || !has_key()) {
+        end_handler();
+        return;
+      }
+      // Replay protection: data frames carry a strictly increasing per-sender
+      // sequence number (the "sequence numbers which identify the particular
+      // protocol run" of section 3.2, applied to the data plane). The agreed
+      // stream already delivers in order, so any non-increasing number is a
+      // replay or an injection.
+      Reader body_reader(body);
+      const std::uint64_t seq = body_reader.u64();
+      Bytes sealed = body_reader.bytes();
+      // Senders number frames from 1, so a fresh filter entry (0) admits
+      // the first frame and rejects a forged sequence number of 0.
+      std::uint64_t& last = data_seq_seen_[sender];
+      if (seq <= last) {
+        end_handler();
+        return;
+      }
+      std::optional<Bytes> plain = open(sealed);
+      end_handler();
+      if (plain) {
+        last = seq;
+        if (data_listener_) data_listener_(sender, *plain);
+      }
+      return;
+    }
+  } catch (const DecodeError&) {
+    end_handler();  // malformed message: drop, keep charges
+  }
+}
+
+// ---------------------------------------------------------------------------
+// data plane
+
+Bytes SecureGroupMember::seal(const Bytes& plaintext) {
+  SGK_CHECK(has_key());
+  const Bytes enc_key(key_.begin(), key_.begin() + 16);
+  const Bytes mac_key(key_.begin() + 32, key_.end());
+  Bytes iv = crypto_.random_bytes(16);
+  Bytes ct = aes128_cbc_encrypt(enc_key, iv, plaintext);
+  Writer mac_input;
+  mac_input.bytes(iv);
+  mac_input.bytes(ct);
+  Bytes mac = hmac_sha256(mac_key, mac_input.data());
+  crypto_.charge_symmetric(plaintext.size() + 48);
+  Writer w;
+  w.bytes(iv);
+  w.bytes(ct);
+  w.bytes(mac);
+  return w.take();
+}
+
+std::optional<Bytes> SecureGroupMember::open(const Bytes& sealed) {
+  if (!has_key()) return std::nullopt;
+  try {
+    Reader r(sealed);
+    Bytes iv = r.bytes();
+    Bytes ct = r.bytes();
+    Bytes mac = r.bytes();
+    const Bytes enc_key(key_.begin(), key_.begin() + 16);
+    const Bytes mac_key(key_.begin() + 32, key_.end());
+    Writer mac_input;
+    mac_input.bytes(iv);
+    mac_input.bytes(ct);
+    crypto_.charge_symmetric(ct.size() + 48);
+    if (!ct_equal(hmac_sha256(mac_key, mac_input.data()), mac)) return std::nullopt;
+    return aes128_cbc_decrypt(enc_key, iv, ct);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void SecureGroupMember::send_data(const Bytes& plaintext) {
+  SGK_CHECK(has_key());
+  Writer body;
+  body.u64(++data_seq_sent_);
+  body.bytes(seal(plaintext));
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireKind::kData));
+  w.u64(key_epoch_);
+  w.u32(self_);
+  w.bytes(body.take());
+  queue(SendKind::kMulticast, kNoProcess, w.take());
+  end_handler();
+}
+
+}  // namespace sgk

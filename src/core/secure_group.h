@@ -1,0 +1,175 @@
+// Secure Spread client: a group member with an attached key agreement
+// protocol and a secured data plane.
+//
+// A SecureGroupMember owns one protocol instance for one group. On every
+// installed view it starts the protocol for the new epoch; protocol messages
+// are RSA-signed by the sender and verified by every receiver (the paper's
+// source-authentication requirement); all cryptographic work is charged to
+// the member's machine CPU in virtual time, and outbound messages leave only
+// when that work completes. Once a key is established, application data sent
+// through the member is AES-CBC encrypted and HMAC-authenticated under keys
+// derived from the group secret.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/crypto_context.h"
+#include "core/key_agreement.h"
+#include "gcs/spread.h"
+#include "sim/cost_model.h"
+
+namespace sgk {
+
+/// Public-key directory shared by all members (the paper assumes long-term
+/// keys are certified out of band).
+class Pki {
+ public:
+  void enroll(ProcessId p, VerifyKey key) {
+    // Owned copies: verification must keep working for messages from members
+    // that have since been destroyed. (DsaPublicKey holds a reference and is
+    // not assignable, hence erase + emplace.)
+    keys_.erase(p);
+    keys_.emplace(p, std::move(key));
+  }
+  const VerifyKey* find(ProcessId p) const {
+    auto it = keys_.find(p);
+    return it == keys_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<ProcessId, VerifyKey> keys_;
+};
+
+struct MemberConfig {
+  std::string group = "secure-group";
+  ProtocolKind protocol = ProtocolKind::kTgdh;
+  DhBits dh_bits = DhBits::k512;
+  CostModel cost = CostModel::paper2002();
+  const RsaPrivateKey* rsa = nullptr;  // defaults to a fixed test key
+  std::uint64_t seed = 1;
+  /// Blinded-key re-computation in TGDH/STR (see ProtocolHost).
+  bool key_confirmation = true;
+  /// Signature scheme for protocol messages (RSA e=3 in the paper; DSA for
+  /// the verification-cost comparison).
+  SigScheme signature = SigScheme::kRsa;
+};
+
+class SecureGroupMember final : public GroupClient, private ProtocolHost {
+ public:
+  SecureGroupMember(SpreadNetwork& net, ProcessId self, std::shared_ptr<Pki> pki,
+                    MemberConfig config);
+  ~SecureGroupMember() override;
+
+  SecureGroupMember(const SecureGroupMember&) = delete;
+  SecureGroupMember& operator=(const SecureGroupMember&) = delete;
+
+  /// Joins the configured group (membership + key agreement are driven by
+  /// the GCS from here on).
+  void join();
+  /// Leaves the group.
+  void leave();
+  /// Requests an explicit re-key: a fresh group key with unchanged
+  /// membership (a "session rekeying" policy event). Every member ends up
+  /// with a new key at a new epoch.
+  void request_rekey();
+
+  // ---- key state ------------------------------------------------------------
+  bool has_key() const { return !key_.empty(); }
+  /// Derived 16-byte encryption key material identifier for tests: the full
+  /// derived secret block.
+  const Bytes& key() const { return key_; }
+  std::uint64_t key_epoch() const { return key_epoch_; }
+  /// Virtual time at which the current key was established.
+  SimTime key_time() const { return key_time_; }
+  /// Virtual time at which the latest view was installed.
+  SimTime view_time() const { return view_time_; }
+  /// Called at (virtual) key establishment: (time, epoch).
+  void set_key_listener(std::function<void(SimTime, std::uint64_t)> fn) {
+    key_listener_ = std::move(fn);
+  }
+
+  // ---- data plane -----------------------------------------------------------
+  /// Encrypts and multicasts application data to the group.
+  void send_data(const Bytes& plaintext);
+  /// Called for every decrypted application message: (sender, plaintext).
+  void set_data_listener(std::function<void(ProcessId, const Bytes&)> fn) {
+    data_listener_ = std::move(fn);
+  }
+  /// Seal/open primitives (encrypt-then-MAC under the group key). Exposed
+  /// for tests; send_data/delivery use them internally.
+  Bytes seal(const Bytes& plaintext);
+  std::optional<Bytes> open(const Bytes& sealed);
+
+  // ---- introspection --------------------------------------------------------
+  const OpCounters& counters() const { return crypto_.counters(); }
+  CryptoContext& crypto_context() { return crypto_; }
+  KeyAgreement& protocol() { return *protocol_; }
+  const View* view() const { return view_ ? &*view_ : nullptr; }
+  ProcessId id() const { return self_; }
+  const std::string& group_name() const { return config_.group; }
+
+  // GroupClient:
+  void on_view(const std::string& group, const View& view,
+               const ViewDelta& delta) override;
+  void on_message(const std::string& group, ProcessId sender,
+                  const Bytes& payload) override;
+
+ private:
+  enum class WireKind : std::uint8_t { kProtocol = 1, kData = 2 };
+  enum class SendKind : std::uint8_t { kMulticast, kOrdered, kUnicast };
+
+  struct Outbound {
+    SendKind kind;
+    ProcessId dest;
+    Bytes wire;
+  };
+
+  // ProtocolHost:
+  ProcessId self() const override { return self_; }
+  CryptoContext& crypto() override { return crypto_; }
+  void send_multicast(Bytes body) override;
+  void send_ordered(ProcessId dest, Bytes body) override;
+  void send_unicast(ProcessId dest, Bytes body) override;
+  void deliver_key(const BigInt& group_secret) override;
+  bool key_confirmation() const override { return config_.key_confirmation; }
+
+  Bytes frame_and_sign(WireKind kind, const Bytes& body);
+  void queue(SendKind kind, ProcessId dest, Bytes body);
+  /// Flushes accumulated compute cost to the CPU model and releases buffered
+  /// sends / key notifications at completion time.
+  void end_handler();
+
+  SpreadNetwork& net_;
+  ProcessId self_;
+  std::shared_ptr<Pki> pki_;
+  MemberConfig config_;
+  CryptoContext crypto_;
+  std::unique_ptr<KeyAgreement> protocol_;
+
+  std::optional<View> view_;
+  std::uint64_t epoch_ = 0;
+
+  // Handler-scoped buffers.
+  std::vector<Outbound> outbound_;
+  std::optional<Bytes> pending_key_;
+
+  Bytes key_;        // derived key block (enc key || mac key)
+  std::uint64_t data_seq_sent_ = 0;              // my data-plane sequence
+  std::map<ProcessId, std::uint64_t> data_seq_seen_;  // replay filter
+  std::uint64_t key_epoch_ = 0;
+  SimTime key_time_ = -1;
+  SimTime view_time_ = -1;
+
+  std::function<void(SimTime, std::uint64_t)> key_listener_;
+  std::function<void(ProcessId, const Bytes&)> data_listener_;
+
+  // Deferred CPU-completion callbacks capture this flag; destroying the
+  // member (e.g. right after it leaves) flips it so stragglers are no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sgk

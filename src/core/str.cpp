@@ -1,0 +1,334 @@
+#include "core/str.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sgk {
+
+namespace {
+std::vector<ProcessId> sorted_copy(std::vector<ProcessId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+void StrProtocol::reset_to_singleton() {
+  members_ = {self()};
+  br_.clear();
+  bk_.clear();
+  keys_.clear();
+  refresh_random();
+}
+
+std::size_t StrProtocol::index_of(ProcessId p) const {
+  auto it = std::find(members_.begin(), members_.end(), p);
+  SGK_CHECK(it != members_.end());
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+void StrProtocol::refresh_random() {
+  r_ = crypto().random_exponent();
+  br_[self()] = crypto().exp_g(r_);
+  keys_.erase(self());
+  if (!members_.empty() && members_.front() == self()) {
+    bk_[self()] = br_[self()];
+    keys_[self()] = r_;
+  } else {
+    bk_.erase(self());
+  }
+}
+
+void StrProtocol::compute_chain(bool as_sponsor) {
+  if (members_.empty()) return;
+  const std::size_t idx = index_of(self());
+  for (std::size_t j = idx; j < members_.size(); ++j) {
+    const ProcessId m = members_[j];
+    bool computed_here = false;
+    if (keys_.count(m) == 0) {
+      computed_here = true;
+      if (j == 0) {
+        keys_[m] = r_;  // bottom node: k_1 = r_1
+      } else if (j == idx) {
+        // My own node: k_j = bk_{j-1} ^ r_j.
+        auto below = bk_.find(members_[j - 1]);
+        if (below == bk_.end()) return;  // blocked
+        keys_[m] = crypto().exp(below->second, r_);
+      } else {
+        // Chain node above me: k_j = br_j ^ k_{j-1}.
+        auto prev = keys_.find(members_[j - 1]);
+        auto brj = br_.find(m);
+        if (prev == keys_.end() || brj == br_.end()) return;  // blocked
+        keys_[m] = crypto().exp(brj->second, crypto().to_exponent(prev->second));
+      }
+    }
+    if (as_sponsor && j + 1 < members_.size() && bk_.count(m) == 0) {
+      bk_[m] = j == 0 ? br_.at(m)
+                      : crypto().exp_g(crypto().to_exponent(keys_.at(m)));
+    } else if (!as_sponsor && j > 0 && j + 1 < members_.size() &&
+               bk_.count(m) != 0 && computed_here && host_.key_confirmation()) {
+      // Key confirmation: re-derive the sponsor's blinded key.
+      BigInt check = crypto().exp_g(crypto().to_exponent(keys_.at(m)));
+      SGK_CHECK(check == bk_.at(m));
+    }
+  }
+}
+
+void StrProtocol::deliver_if_complete() {
+  if (delivered_ || members_.empty()) return;
+  auto it = keys_.find(members_.back());
+  if (it == keys_.end()) return;
+  host_.deliver_key(it->second);
+  delivered_ = true;
+}
+
+void StrProtocol::broadcast(MsgType type) {
+  Writer w;
+  w.u8(type);
+  w.u32(static_cast<std::uint32_t>(members_.size()));
+  for (ProcessId m : members_) {
+    w.u32(m);
+    auto br = br_.find(m);
+    SGK_CHECK(br != br_.end());
+    put_bigint(w, br->second);
+    auto bk = bk_.find(m);
+    if (bk != bk_.end()) {
+      w.u8(1);
+      put_bigint(w, bk->second);
+    } else {
+      w.u8(0);
+    }
+  }
+  host_.send_multicast(w.take());
+}
+
+void StrProtocol::on_view(const View& view, const ViewDelta& delta) {
+  view_ = view;
+  delivered_ = false;
+  collecting_ = false;
+  announced_.clear();
+  covered_.clear();
+
+  if (view.members.size() == 1) {
+    reset_to_singleton();
+    deliver_if_complete();
+    return;
+  }
+
+  const bool subtractive =
+      delta.sides.size() == 1 && !delta.left.empty() && !delta.first_view;
+  if (subtractive) {
+    start_subtractive(delta);
+  } else {
+    start_merge(delta);
+  }
+}
+
+void StrProtocol::start_subtractive(const ViewDelta& delta) {
+  std::vector<ProcessId> departed = delta.left;
+  std::sort(departed.begin(), departed.end());
+
+  // Position (in the old chain) of the lowest departed member.
+  bool found_departed = false;
+  std::size_t lowest = 0;
+  for (std::size_t j = 0; j < members_.size(); ++j)
+    if (std::binary_search(departed.begin(), departed.end(), members_[j])) {
+      lowest = j;
+      found_departed = true;
+      break;
+    }
+
+  // Prune.
+  std::erase_if(members_, [&](ProcessId p) {
+    return std::binary_search(departed.begin(), departed.end(), p);
+  });
+  for (ProcessId p : departed) {
+    br_.erase(p);
+    bk_.erase(p);
+    keys_.erase(p);
+  }
+
+  if (sorted_copy(members_) != view_.members || !found_departed) {
+    // Cascade fallback: no consistent chain state; rebuild from singletons.
+    reset_to_singleton();
+    start_merge(ViewDelta{});
+    return;
+  }
+
+  // Sponsor: the member immediately below the lowest departed position, or
+  // the new bottom member when the bottom itself departed.
+  const std::size_t sponsor_pos = lowest == 0 ? 0 : lowest - 1;
+  const ProcessId sponsor = members_.at(sponsor_pos);
+
+  // Everything from the sponsor's node upward will be refreshed; stale
+  // values must not be used by anyone.
+  for (std::size_t j = sponsor_pos; j < members_.size(); ++j) {
+    keys_.erase(members_[j]);
+    bk_.erase(members_[j]);
+  }
+  br_.erase(sponsor);
+
+  if (sponsor == self()) {
+    refresh_random();
+    compute_chain(/*as_sponsor=*/true);
+    broadcast(kUpdate);
+  } else {
+    compute_chain(false);
+  }
+  deliver_if_complete();
+}
+
+void StrProtocol::start_merge(const ViewDelta& delta) {
+  // Prune members that disappeared (mixed events).
+  if (!members_.empty()) {
+    std::vector<ProcessId> departed;
+    for (ProcessId p : members_)
+      if (!view_.contains(p)) departed.push_back(p);
+    std::erase_if(members_, [&](ProcessId p) {
+      return std::find(departed.begin(), departed.end(), p) != departed.end();
+    });
+    for (ProcessId p : departed) {
+      br_.erase(p);
+      bk_.erase(p);
+      keys_.erase(p);
+    }
+  }
+
+  const std::vector<ProcessId>* my_side = delta.side_of(self());
+  if (members_.empty() || my_side == nullptr ||
+      sorted_copy(members_) != *my_side) {
+    reset_to_singleton();
+  }
+
+  collecting_ = true;
+  covered_ = sorted_copy(members_);
+
+  const ProcessId sponsor1 = members_.back();
+  if (sponsor1 == self()) {
+    refresh_random();
+    compute_chain(/*as_sponsor=*/true);
+    broadcast(kAnnounce);
+  } else {
+    // The side sponsor is about to refresh: its values are stale until its
+    // announcement arrives.
+    br_.erase(sponsor1);
+    bk_.erase(sponsor1);
+    keys_.erase(sponsor1);
+  }
+  try_fold();
+}
+
+void StrProtocol::try_fold() {
+  if (!collecting_ || covered_ != view_.members) return;
+
+  // Deterministic stacking: the largest side (ties: smallest min id) stays
+  // at the bottom; the rest stack on top in the same order.
+  std::vector<SideInfo> sides;
+  sides.push_back(SideInfo{members_, br_, bk_});
+  for (SideInfo& s : announced_) sides.push_back(std::move(s));
+  std::sort(sides.begin(), sides.end(), [](const SideInfo& a, const SideInfo& b) {
+    if (a.members.size() != b.members.size())
+      return a.members.size() > b.members.size();
+    return *std::min_element(a.members.begin(), a.members.end()) <
+           *std::min_element(b.members.begin(), b.members.end());
+  });
+
+  const bool in_bottom =
+      std::find(sides[0].members.begin(), sides[0].members.end(), self()) !=
+      sides[0].members.end();
+
+  std::vector<ProcessId> merged;
+  std::map<ProcessId, BigInt> br;
+  for (const SideInfo& s : sides) {
+    merged.insert(merged.end(), s.members.begin(), s.members.end());
+    for (const auto& [m, v] : s.br) br.emplace(m, v);
+  }
+  // Only the bottom side's internal node keys survive the restack.
+  std::map<ProcessId, BigInt> bk = sides[0].bk;
+
+  const ProcessId sponsor2 = sides[0].members.back();
+  std::map<ProcessId, BigInt> keys;
+  if (in_bottom) {
+    // My chain keys below the bottom side's top remain valid.
+    for (const auto& [m, v] : keys_)
+      if (m != sponsor2 &&
+          std::find(sides[0].members.begin(), sides[0].members.end(), m) !=
+              sides[0].members.end())
+        keys.emplace(m, v);
+    if (self() == sponsor2) {
+      auto it = keys_.find(self());
+      if (it != keys_.end()) keys.emplace(self(), it->second);
+    }
+  }
+
+  members_ = std::move(merged);
+  br_ = std::move(br);
+  bk_ = std::move(bk);
+  keys_ = std::move(keys);
+  if (!members_.empty() && br_.count(members_.front()))
+    bk_[members_.front()] = br_.at(members_.front());
+  collecting_ = false;
+  announced_.clear();
+
+  const bool sponsor = self() == sponsor2;
+  compute_chain(sponsor);
+  if (sponsor) broadcast(kUpdate);
+  deliver_if_complete();
+}
+
+void StrProtocol::on_message(ProcessId sender, const Bytes& body) {
+  Reader r(body);
+  const std::uint8_t type = r.u8();
+  const std::uint32_t count = r.u32();
+  SideInfo info;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ProcessId m = r.u32();
+    info.members.push_back(m);
+    info.br[m] = get_bigint(r);
+    if (r.u8() == 1) info.bk[m] = get_bigint(r);
+  }
+
+  if (type == kAnnounce) {
+    if (sender == self()) return;
+    if (collecting_ && info.members == members_) {
+      // My own side's sponsor announcement: adopt its fresh values.
+      for (const auto& [m, v] : info.br) br_[m] = v;
+      for (const auto& [m, v] : info.bk) bk_[m] = v;
+      try_fold();
+      return;
+    }
+    if (collecting_) {
+      for (ProcessId p : info.members) {
+        auto it = std::lower_bound(covered_.begin(), covered_.end(), p);
+        if (it == covered_.end() || *it != p) covered_.insert(it, p);
+      }
+      announced_.push_back(std::move(info));
+      try_fold();
+      return;
+    }
+    // Post-fold stragglers: a side announcement that is a prefix of the
+    // merged chain still carries authoritative blinded values.
+    bool is_prefix = info.members.size() <= members_.size() &&
+                     std::equal(info.members.begin(), info.members.end(),
+                                members_.begin());
+    for (const auto& [m, v] : info.br) br_.emplace(m, v);
+    if (is_prefix)
+      for (const auto& [m, v] : info.bk) bk_.emplace(m, v);
+    compute_chain(false);
+    deliver_if_complete();
+    return;
+  }
+
+  if (type == kUpdate) {
+    if (sender == self()) return;
+    if (sorted_copy(info.members) != view_.members) return;  // stale epoch
+    members_ = info.members;
+    for (const auto& [m, v] : info.br) br_[m] = v;
+    for (const auto& [m, v] : info.bk) bk_[m] = v;
+    compute_chain(false);
+    deliver_if_complete();
+    return;
+  }
+}
+
+}  // namespace sgk

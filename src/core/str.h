@@ -1,0 +1,74 @@
+// STR: "skinny tree" group key agreement (Steer et al. / Kim-Perrig-Tsudik).
+//
+// The key tree is a maximally imbalanced chain. With members M_1..M_n
+// (bottom to top), node keys are k_1 = r_1 and k_j = g^(r_j * k_{j-1}),
+// computed either as br_j ^ k_{j-1} (knowing the chain key below) or as
+// bk_{j-1} ^ r_j (knowing one's own session random). The group key is k_n.
+//
+// Merge (2 rounds for any number of merging sides): each side's sponsor
+// (topmost member) refreshes its session random and broadcasts its side's
+// blinded values; the merged chain keeps the largest side at the bottom and
+// stacks the others on top; the bottom side's topmost member computes the
+// new chain up to the root and broadcasts the blinded values.
+//
+// Leave/partition (1 round): the member immediately below the lowest
+// departed position (or the new bottom member) becomes the sponsor,
+// refreshes its random, recomputes the chain up to the root and broadcasts.
+// Costs are linear in n with the constant depending on the leaver's
+// position — which is why the paper evaluates the average (middle) case.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/key_agreement.h"
+
+namespace sgk {
+
+class StrProtocol final : public KeyAgreement {
+ public:
+  explicit StrProtocol(ProtocolHost& host) : KeyAgreement(host) {}
+
+  void on_view(const View& view, const ViewDelta& delta) override;
+  void on_message(ProcessId sender, const Bytes& body) override;
+  ProtocolKind kind() const override { return ProtocolKind::kStr; }
+
+  /// Chain order, bottom first (tests).
+  const std::vector<ProcessId>& chain() const { return members_; }
+
+ private:
+  enum MsgType : std::uint8_t { kAnnounce = 1, kUpdate = 2 };
+
+  struct SideInfo {
+    std::vector<ProcessId> members;  // bottom first
+    std::map<ProcessId, BigInt> br;
+    std::map<ProcessId, BigInt> bk;
+  };
+
+  void reset_to_singleton();
+  std::size_t index_of(ProcessId p) const;
+  void refresh_random();
+  /// Computes every chain key from my position to the top that is missing,
+  /// plus unpublished blinded keys if `as_sponsor`.
+  void compute_chain(bool as_sponsor);
+  void broadcast(MsgType type);
+  void start_merge(const ViewDelta& delta);
+  void start_subtractive(const ViewDelta& delta);
+  void try_fold();
+  void deliver_if_complete();
+
+  View view_;
+  std::vector<ProcessId> members_;       // chain order, bottom first
+  BigInt r_;                             // my session random
+  std::map<ProcessId, BigInt> br_;       // blinded session randoms
+  std::map<ProcessId, BigInt> bk_;       // blinded node keys (by node member)
+  std::map<ProcessId, BigInt> keys_;     // node keys I know (my path upward)
+  bool delivered_ = false;
+
+  // Merge collection state.
+  bool collecting_ = false;
+  std::vector<SideInfo> announced_;
+  std::vector<ProcessId> covered_;
+};
+
+}  // namespace sgk

@@ -1,0 +1,67 @@
+// TGDH: tree-based group Diffie-Hellman.
+//
+// Group key = the key of the root of a binary key tree (see key_tree.h).
+// Membership events modify the tree structure; "sponsors" (rightmost members
+// of affected subtrees) recompute what they can and broadcast the tree's
+// blinded keys until every member can derive the root key:
+//
+//  * join/merge (2 rounds): each merging side's sponsor refreshes its leaf
+//    secret and broadcasts its side's tree; everyone grafts the trees
+//    together identically; the sponsor of the merge point computes up to the
+//    root and broadcasts the updated blinded keys.
+//  * leave/partition (up to h rounds): everyone prunes the departed leaves;
+//    the shallowest-rightmost sponsor refreshes its secret; sponsors
+//    iteratively compute as far up as possible and broadcast new blinded
+//    keys until the root key is known everywhere.
+#pragma once
+
+#include <vector>
+
+#include "core/key_agreement.h"
+#include "core/key_tree.h"
+
+namespace sgk {
+
+class TgdhProtocol final : public KeyAgreement {
+ public:
+  explicit TgdhProtocol(ProtocolHost& host, bool eager_balance = false)
+      : KeyAgreement(host), eager_balance_(eager_balance) {}
+
+  void on_view(const View& view, const ViewDelta& delta) override;
+  void on_message(ProcessId sender, const Bytes& body) override;
+  ProtocolKind kind() const override {
+    return eager_balance_ ? ProtocolKind::kTgdhBalanced : ProtocolKind::kTgdh;
+  }
+
+  const KeyTree& tree() const { return tree_; }
+
+ private:
+  enum MsgType : std::uint8_t { kAnnounce = 1, kUpdate = 2 };
+
+  void reset_to_singleton();
+  void refresh_my_leaf();
+  void start_merge(const ViewDelta& delta);
+  void start_subtractive(const ViewDelta& delta);
+  void broadcast_tree(MsgType type);
+  void try_fold();
+  /// Compute what I can, broadcast if I am a responsible sponsor, deliver
+  /// the root key when known.
+  void iterate();
+  void compute_up();
+  /// Invalidates the blinded keys on `sponsor`'s leaf-to-root path (the
+  /// sponsor is about to refresh its secret; stale values must not be used).
+  void invalidate_sponsor_path(ProcessId sponsor);
+
+  View view_;
+  KeyTree tree_;
+  bool eager_balance_ = false;
+  bool delivered_ = false;
+
+  // Merge collection state.
+  bool collecting_ = false;
+  bool own_side_announced_ = false;
+  std::vector<KeyTree> announced_;
+  std::vector<ProcessId> covered_;
+};
+
+}  // namespace sgk

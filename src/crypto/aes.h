@@ -1,0 +1,35 @@
+// AES-128 block cipher (FIPS 197) and CBC mode with PKCS#7 padding.
+//
+// Used by the Secure Spread layer to encrypt application data under the
+// group key (confidentiality) together with HMAC-SHA256 (integrity).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace sgk {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  /// Throws std::invalid_argument on wrong key size.
+  explicit Aes128(const Bytes& key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+ private:
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_;
+};
+
+/// CBC encrypt with PKCS#7 padding. `iv` must be 16 bytes.
+Bytes aes128_cbc_encrypt(const Bytes& key, const Bytes& iv, const Bytes& plaintext);
+
+/// CBC decrypt; throws std::runtime_error on bad padding or length.
+Bytes aes128_cbc_decrypt(const Bytes& key, const Bytes& iv, const Bytes& ciphertext);
+
+}  // namespace sgk

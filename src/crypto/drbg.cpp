@@ -1,0 +1,57 @@
+#include "crypto/drbg.h"
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace sgk {
+
+namespace {
+ChaCha20 make_stream(std::uint64_t seed, std::string_view label) {
+  Bytes material;
+  for (int i = 0; i < 8; ++i)
+    material.push_back(static_cast<std::uint8_t>(seed >> (56 - 8 * i)));
+  material.insert(material.end(), label.begin(), label.end());
+  Bytes key = Sha256::digest(material);
+  Bytes nonce(ChaCha20::kNonceSize, 0);
+  return ChaCha20(key, nonce);
+}
+}  // namespace
+
+Drbg::Drbg(std::uint64_t seed, std::string_view label)
+    : stream_(make_stream(seed, label)) {}
+
+void Drbg::fill(std::uint8_t* out, std::size_t len) {
+  Bytes ks = stream_.keystream(len);
+  std::copy(ks.begin(), ks.end(), out);
+}
+
+std::uint64_t Drbg::next_u64(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound) - 1;
+  for (;;) {
+    std::uint8_t buf[8];
+    fill(buf, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = v << 8 | buf[i];
+    if (v <= limit) return v % bound;
+  }
+}
+
+double Drbg::next_double() {
+  std::uint8_t buf[8];
+  fill(buf, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | buf[i];
+  return static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Drbg Drbg::fork(std::string_view label) {
+  std::uint8_t buf[8];
+  fill(buf, 8);
+  std::uint64_t child_seed = 0;
+  for (int i = 0; i < 8; ++i) child_seed = child_seed << 8 | buf[i];
+  return Drbg(child_seed, label);
+}
+
+}  // namespace sgk

@@ -1,0 +1,50 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace sgk {
+
+Bytes hmac_sha256(const Bytes& key, const Bytes& data) {
+  Bytes k = key;
+  if (k.size() > Sha256::kBlockSize) k = Sha256::digest(k);
+  k.resize(Sha256::kBlockSize, 0);
+
+  Bytes ipad(Sha256::kBlockSize), opad(Sha256::kBlockSize);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes hkdf_sha256(const Bytes& ikm, const Bytes& salt, const Bytes& info,
+                  std::size_t out_len) {
+  if (out_len > 255 * Sha256::kDigestSize)
+    throw std::invalid_argument("hkdf_sha256: output too long");
+  Bytes prk = hmac_sha256(salt.empty() ? Bytes(Sha256::kDigestSize, 0) : salt, ikm);
+
+  Bytes out;
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  out.resize(out_len);
+  return out;
+}
+
+}  // namespace sgk

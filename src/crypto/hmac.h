@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+#pragma once
+
+#include "util/bytes.h"
+
+namespace sgk {
+
+/// HMAC-SHA256 of `data` under `key`.
+Bytes hmac_sha256(const Bytes& key, const Bytes& data);
+
+/// HKDF-SHA256 extract-then-expand producing `out_len` bytes (<= 8160).
+Bytes hkdf_sha256(const Bytes& ikm, const Bytes& salt, const Bytes& info,
+                  std::size_t out_len);
+
+}  // namespace sgk

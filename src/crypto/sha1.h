@@ -1,0 +1,39 @@
+// SHA-1 (FIPS 180-1) — the hash the 2002-era DSS actually specified.
+//
+// Kept alongside SHA-256 for period-accurate experiments; the library's own
+// signatures and KDF use SHA-256. SHA-1 is cryptographically broken for
+// collision resistance and exists here for measurement fidelity only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace sgk {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+
+  /// Finalizes and returns the 20-byte digest (single use).
+  Bytes finish();
+
+  static Bytes digest(const Bytes& data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace sgk

@@ -1,0 +1,481 @@
+#include "gcs/spread.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sgk {
+
+namespace {
+/// Intersection of two sorted process lists.
+std::vector<ProcessId> intersect(const std::vector<ProcessId>& a,
+                                 const std::vector<ProcessId>& b) {
+  std::vector<ProcessId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+}  // namespace
+
+SpreadNetwork::SpreadNetwork(Simulator& sim, Topology topology, SpreadParams params)
+    : sim_(sim), topo_(std::move(topology)), params_(params) {
+  SGK_CHECK(topo_.machine_count() > 0);
+  daemons_.resize(topo_.machine_count());
+  Component comp;
+  comp.epoch = 1;
+  for (std::size_t m = 0; m < topo_.machine_count(); ++m) {
+    daemons_[m].machine = static_cast<MachineId>(m);
+    daemons_[m].component = 0;
+    daemons_[m].epoch = comp.epoch;
+    comp.ring.push_back(static_cast<MachineId>(m));
+    const MachineSpec& spec = topo_.machine(static_cast<MachineId>(m));
+    cpus_.push_back(std::make_unique<CpuScheduler>(sim_, spec.cores, spec.speed));
+  }
+  components_.push_back(std::move(comp));
+}
+
+SpreadNetwork::~SpreadNetwork() = default;
+
+// ---------------------------------------------------------------------------
+// processes
+
+ProcessId SpreadNetwork::create_process(MachineId machine) {
+  SGK_CHECK(machine >= 0 &&
+            static_cast<std::size_t>(machine) < topo_.machine_count());
+  processes_.push_back(ProcessInfo{machine, nullptr, true, {}});
+  return static_cast<ProcessId>(processes_.size() - 1);
+}
+
+void SpreadNetwork::attach(ProcessId process, GroupClient* client) {
+  processes_.at(process).client = client;
+}
+
+MachineId SpreadNetwork::machine_of(ProcessId process) const {
+  return processes_.at(process).machine;
+}
+
+CpuScheduler& SpreadNetwork::cpu_of(ProcessId process) {
+  return *cpus_.at(static_cast<std::size_t>(machine_of(process)));
+}
+
+// ---------------------------------------------------------------------------
+// membership
+
+void SpreadNetwork::join_group(const std::string& group, ProcessId process) {
+  auto& members = group_registry_[group];
+  auto it = std::lower_bound(members.begin(), members.end(), process);
+  SGK_CHECK(it == members.end() || *it != process);
+  members.insert(it, process);
+  request_view_update(group, component_of(machine_of(process)));
+}
+
+void SpreadNetwork::leave_group(const std::string& group, ProcessId process) {
+  auto& members = group_registry_[group];
+  auto it = std::lower_bound(members.begin(), members.end(), process);
+  SGK_CHECK(it != members.end() && *it == process);
+  members.erase(it);
+  processes_.at(process).last_view.erase(group);
+  request_view_update(group, component_of(machine_of(process)));
+}
+
+void SpreadNetwork::disconnect(ProcessId process) {
+  processes_.at(process).connected = false;
+  for (auto& [group, members] : group_registry_) {
+    auto it = std::lower_bound(members.begin(), members.end(), process);
+    if (it != members.end() && *it == process) {
+      members.erase(it);
+      request_view_update(group, component_of(machine_of(process)));
+    }
+  }
+}
+
+int SpreadNetwork::component_of(MachineId m) const {
+  return daemons_.at(static_cast<std::size_t>(m)).component;
+}
+
+MachineId SpreadNetwork::coordinator(int component_index) const {
+  return components_.at(static_cast<std::size_t>(component_index)).ring.front();
+}
+
+std::vector<ProcessId> SpreadNetwork::component_members(const std::string& group,
+                                                        int component_index) const {
+  std::vector<ProcessId> out;
+  auto it = group_registry_.find(group);
+  if (it == group_registry_.end()) return out;
+  for (ProcessId p : it->second)
+    if (component_of(machine_of(p)) == component_index) out.push_back(p);
+  return out;
+}
+
+double SpreadNetwork::cycle_ms(const Component& comp) const {
+  double total = 0;
+  const std::size_t n = comp.ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    MachineId a = comp.ring[i];
+    MachineId b = comp.ring[(i + 1) % n];
+    total += params_.hop_process_ms + topo_.latency(a, b);
+  }
+  return total;
+}
+
+double SpreadNetwork::token_cycle_ms(MachineId machine) const {
+  return cycle_ms(components_.at(static_cast<std::size_t>(component_of(machine))));
+}
+
+void SpreadNetwork::refresh_group(const std::string& group, ProcessId requester) {
+  const auto& members = group_registry_[group];
+  SGK_CHECK(std::binary_search(members.begin(), members.end(), requester));
+  request_view_update(group, component_of(machine_of(requester)), /*force=*/true);
+}
+
+void SpreadNetwork::request_view_update(const std::string& group,
+                                        int component_index, bool force) {
+  // Model of the membership protocol: after a preparation phase (gather +
+  // consensus rounds among daemons) the coordinator injects a view-install
+  // message into the agreed stream; stamping adds the remaining ~half cycle.
+  Component& comp = components_.at(static_cast<std::size_t>(component_index));
+  const double prep = params_.membership_base_ms +
+                      std::max(0.0, params_.membership_rounds - 0.5) * cycle_ms(comp);
+  const MachineId coord = coordinator(component_index);
+  Payload payload;
+  payload.kind = Payload::kView;
+  payload.group = group;
+  payload.force = force;
+  sim_.after(prep, [this, coord, payload]() { enqueue(coord, payload); });
+}
+
+// ---------------------------------------------------------------------------
+// data plane
+
+void SpreadNetwork::multicast(const std::string& group, ProcessId sender,
+                              Bytes payload) {
+  Payload p;
+  p.kind = Payload::kData;
+  p.group = group;
+  p.sender = sender;
+  p.data = std::move(payload);
+  enqueue(machine_of(sender), std::move(p));
+}
+
+void SpreadNetwork::ordered_send(const std::string& group, ProcessId sender,
+                                 ProcessId dest, Bytes payload) {
+  Payload p;
+  p.kind = Payload::kData;
+  p.group = group;
+  p.sender = sender;
+  p.dest = dest;
+  p.data = std::move(payload);
+  enqueue(machine_of(sender), std::move(p));
+}
+
+void SpreadNetwork::unicast(const std::string& group, ProcessId sender,
+                            ProcessId dest, Bytes payload) {
+  const MachineId src_m = machine_of(sender);
+  const MachineId dst_m = machine_of(dest);
+  if (component_of(src_m) != component_of(dst_m)) return;  // partitioned away
+  if (processes_.at(dest).client == nullptr || !processes_.at(dest).connected)
+    return;
+  const double delay = topo_.latency(src_m, dst_m) + params_.deliver_ms;
+  std::string g = group;
+  Bytes data = std::move(payload);
+  // Resolve the client at delivery time: it may detach before the message
+  // lands (a member that left and was destroyed).
+  sim_.after(delay, [this, dest, g, sender, data]() {
+    GroupClient* client = processes_.at(dest).client;
+    if (client != nullptr && processes_.at(dest).connected)
+      client->on_message(g, sender, data);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// token ring
+
+void SpreadNetwork::enqueue(MachineId daemon, Payload payload) {
+  Daemon& d = daemons_.at(static_cast<std::size_t>(daemon));
+  d.outbox.push_back(std::move(payload));
+  wake_token(d.component);
+}
+
+void SpreadNetwork::wake_token(int component_index) {
+  Component& comp = components_.at(static_cast<std::size_t>(component_index));
+  if (!comp.token_parked) return;
+  comp.token_parked = false;
+  comp.idle_hops = 0;
+  // The parked daemon holds the token; it may stamp immediately.
+  schedule_token_arrival(component_index, comp.epoch, comp.token_pos, sim_.now());
+}
+
+void SpreadNetwork::schedule_token_arrival(int component_index, std::uint64_t epoch,
+                                           int pos, SimTime time) {
+  sim_.at(time, [this, component_index, epoch, pos]() {
+    token_arrive(component_index, epoch, pos);
+  });
+}
+
+void SpreadNetwork::token_arrive(int component_index, std::uint64_t epoch, int pos) {
+  Component& comp = components_.at(static_cast<std::size_t>(component_index));
+  if (comp.epoch != epoch) return;  // ring was rebuilt; this token is dead
+  comp.token_pos = pos;
+  const MachineId machine = comp.ring.at(static_cast<std::size_t>(pos));
+  Daemon& daemon = daemons_.at(static_cast<std::size_t>(machine));
+
+  // Stamp everything queued at this daemon.
+  std::vector<Payload> queue;
+  queue.swap(daemon.outbox);
+  std::size_t stamped_count = 0;
+  SimTime depart = sim_.now() + params_.hop_process_ms;
+  for (Payload& payload : queue) {
+    if (payload.kind == Payload::kView) {
+      const std::vector<ProcessId> members =
+          component_members(payload.group, component_index);
+      auto& seeds = comp.side_seeds[payload.group];
+      // Deduplicate: the membership already matches the last stamped view.
+      auto stamped_it = comp.last_stamped.find(payload.group);
+      if (!payload.force && stamped_it != comp.last_stamped.end() &&
+          stamped_it->second == members)
+        continue;
+      comp.last_stamped[payload.group] = members;
+      if (members.empty()) {
+        seeds.assign(1, {});
+        continue;  // nobody left to deliver to
+      }
+      payload.view.view_id = next_view_id_++;
+      payload.view.members = members;
+      // Sides: previous co-viewed sets, filtered to current members, plus a
+      // singleton side for every member not covered (fresh joiners).
+      payload.sides.clear();
+      std::vector<ProcessId> covered;
+      for (const auto& seed : seeds) {
+        std::vector<ProcessId> side = intersect(seed, members);
+        if (!side.empty()) {
+          covered.insert(covered.end(), side.begin(), side.end());
+          payload.sides.push_back(std::move(side));
+        }
+      }
+      std::sort(covered.begin(), covered.end());
+      for (ProcessId p : members)
+        if (!std::binary_search(covered.begin(), covered.end(), p))
+          payload.sides.push_back({p});
+      seeds.assign(1, members);
+    }
+    if (payload.kind == Payload::kData && wire_tap_)
+      wire_tap_(payload.group, payload.sender, payload.data);
+    Stamped stamped{comp.next_seq++, machine, std::move(payload)};
+    ++messages_stamped_;
+    ++stamped_count;
+    depart += params_.stamp_ms;
+    transmit(comp, machine, std::move(stamped), depart);
+  }
+
+  // The token circulates continuously while the component is active (this
+  // is what makes every protocol round pay an average of half a token cycle,
+  // as in the real system); it parks only after two fully idle cycles so
+  // the simulation quiesces.
+  if (stamped_count == 0) {
+    ++comp.idle_hops;
+  } else {
+    comp.idle_hops = 0;
+  }
+  bool queued_somewhere = false;
+  for (MachineId m : comp.ring)
+    if (!daemons_.at(static_cast<std::size_t>(m)).outbox.empty()) {
+      queued_somewhere = true;
+      break;
+    }
+  if (!queued_somewhere &&
+      comp.idle_hops >= 2 * static_cast<int>(comp.ring.size())) {
+    comp.token_parked = true;
+    return;
+  }
+  const int next_pos = (pos + 1) % static_cast<int>(comp.ring.size());
+  const MachineId next_machine = comp.ring.at(static_cast<std::size_t>(next_pos));
+  schedule_token_arrival(component_index, epoch,
+                         next_pos, depart + topo_.latency(machine, next_machine));
+}
+
+void SpreadNetwork::transmit(const Component& comp, MachineId origin,
+                             Stamped stamped, SimTime depart) {
+  const std::uint64_t epoch = comp.epoch;
+  for (MachineId dest : comp.ring) {
+    SimTime arrive = depart + topo_.latency(origin, dest);
+    Stamped copy = stamped;
+    sim_.at(arrive, [this, dest, epoch, copy = std::move(copy)]() {
+      daemon_receive(dest, epoch, copy);
+    });
+  }
+}
+
+void SpreadNetwork::daemon_receive(MachineId machine, std::uint64_t epoch,
+                                   Stamped stamped) {
+  Daemon& daemon = daemons_.at(static_cast<std::size_t>(machine));
+  if (daemon.epoch != epoch) return;  // stale component
+  daemon.pending.emplace(stamped.seq, std::move(stamped));
+  // Deliver in sequence order.
+  while (!daemon.pending.empty() &&
+         daemon.pending.begin()->first == daemon.expected_seq) {
+    Stamped next = std::move(daemon.pending.begin()->second);
+    daemon.pending.erase(daemon.pending.begin());
+    ++daemon.expected_seq;
+    daemon_deliver(daemon, next);
+  }
+}
+
+void SpreadNetwork::daemon_deliver(Daemon& daemon, const Stamped& stamped) {
+  if (stamped.payload.kind == Payload::kView) {
+    deliver_view(daemon, stamped.payload);
+  } else {
+    deliver_data(daemon, stamped.payload);
+  }
+}
+
+void SpreadNetwork::deliver_view(Daemon& daemon, const Payload& payload) {
+  const View& view = payload.view;
+  daemon.delivered_view[payload.group] = view;
+  for (ProcessId p : view.members) {
+    if (machine_of(p) != daemon.machine) continue;
+    ProcessInfo& info = processes_.at(p);
+    if (info.client == nullptr || !info.connected) continue;
+    View prev;
+    bool first = true;
+    auto it = info.last_view.find(payload.group);
+    if (it != info.last_view.end()) {
+      prev = it->second;
+      first = false;
+    }
+    ViewDelta delta = view_delta(prev, view, first);
+    delta.sides = payload.sides;
+    info.last_view[payload.group] = view;
+    std::string group = payload.group;
+    View v = view;
+    sim_.after(params_.deliver_ms, [this, p, group, v, delta]() {
+      GroupClient* client = processes_.at(p).client;
+      if (client != nullptr && processes_.at(p).connected)
+        client->on_view(group, v, delta);
+    });
+  }
+}
+
+void SpreadNetwork::deliver_data(Daemon& daemon, const Payload& payload) {
+  auto vit = daemon.delivered_view.find(payload.group);
+  if (vit == daemon.delivered_view.end()) return;  // no members here yet
+  const View& view = vit->second;
+  for (ProcessId p : view.members) {
+    if (machine_of(p) != daemon.machine) continue;
+    if (payload.dest != kNoProcess && payload.dest != p) continue;
+    ProcessInfo& info = processes_.at(p);
+    if (info.client == nullptr || !info.connected) continue;
+    std::string group = payload.group;
+    ProcessId sender = payload.sender;
+    Bytes data = payload.data;
+    sim_.after(params_.deliver_ms, [this, p, group, sender, data]() {
+      GroupClient* client = processes_.at(p).client;
+      if (client != nullptr && processes_.at(p).connected)
+        client->on_message(group, sender, data);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// partitions
+
+void SpreadNetwork::partition(const std::vector<std::vector<MachineId>>& components) {
+  // Validate: every machine in exactly one component.
+  std::vector<int> assignment(topo_.machine_count(), -1);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    SGK_CHECK(!components[c].empty());
+    for (MachineId m : components[c]) {
+      SGK_CHECK(m >= 0 && static_cast<std::size_t>(m) < topo_.machine_count());
+      SGK_CHECK(assignment[static_cast<std::size_t>(m)] == -1);
+      assignment[static_cast<std::size_t>(m)] = static_cast<int>(c);
+    }
+  }
+  for (int a : assignment) SGK_CHECK(a != -1);
+
+  std::vector<Component> old_components = std::move(components_);
+  components_.clear();
+  std::uint64_t epoch_base = 0;
+  for (const Component& oc : old_components)
+    epoch_base = std::max(epoch_base, oc.epoch);
+
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    Component comp;
+    comp.epoch = epoch_base + 1 + c;
+    comp.ring = components[c];
+    std::sort(comp.ring.begin(), comp.ring.end());
+    // Seed the sides for upcoming merge views: one side per old component
+    // that contributed machines, preserving each side's last stamped view.
+    std::vector<int> old_indices;
+    for (MachineId m : comp.ring) {
+      int old_idx = daemons_.at(static_cast<std::size_t>(m)).component;
+      if (std::find(old_indices.begin(), old_indices.end(), old_idx) ==
+          old_indices.end())
+        old_indices.push_back(old_idx);
+    }
+    // Inherit the duplicate-suppression state from the coordinator's old
+    // component: its last stamped views are what this component's surviving
+    // members have installed.
+    {
+      int coord_old = daemons_.at(static_cast<std::size_t>(comp.ring.front())).component;
+      comp.last_stamped =
+          old_components.at(static_cast<std::size_t>(coord_old)).last_stamped;
+    }
+    for (int old_idx : old_indices) {
+      const Component& oc = old_components.at(static_cast<std::size_t>(old_idx));
+      for (const auto& [group, seeds] : oc.side_seeds) {
+        for (const auto& seed : seeds) {
+          // Keep only processes now living in this new component.
+          std::vector<ProcessId> side;
+          for (ProcessId p : seed)
+            if (assignment[static_cast<std::size_t>(machine_of(p))] ==
+                static_cast<int>(c))
+              side.push_back(p);
+          if (!side.empty()) comp.side_seeds[group].push_back(std::move(side));
+        }
+      }
+    }
+    components_.push_back(std::move(comp));
+  }
+
+  for (std::size_t m = 0; m < daemons_.size(); ++m) {
+    Daemon& d = daemons_[m];
+    d.component = assignment[m];
+    d.epoch = components_.at(static_cast<std::size_t>(d.component)).epoch;
+    d.expected_seq = 0;
+    d.pending.clear();
+    // Unstamped data survives into the new component; stale view requests
+    // do not (each new component installs its own views below).
+    std::erase_if(d.outbox, [](const Payload& p) { return p.kind == Payload::kView; });
+  }
+
+  // Install new views for every group in every component.
+  for (std::size_t c = 0; c < components_.size(); ++c)
+    for (const auto& [group, members] : group_registry_) {
+      (void)members;
+      request_view_update(group, static_cast<int>(c));
+    }
+
+  // Wake tokens for components with queued data.
+  for (std::size_t c = 0; c < components_.size(); ++c)
+    for (MachineId m : components_[c].ring)
+      if (!daemons_.at(static_cast<std::size_t>(m)).outbox.empty()) {
+        wake_token(static_cast<int>(c));
+        break;
+      }
+}
+
+void SpreadNetwork::heal() {
+  std::vector<MachineId> all;
+  for (std::size_t m = 0; m < topo_.machine_count(); ++m)
+    all.push_back(static_cast<MachineId>(m));
+  partition({all});
+}
+
+std::optional<View> SpreadNetwork::current_view(const std::string& group,
+                                                ProcessId process) const {
+  const auto& info = processes_.at(process);
+  auto it = info.last_view.find(group);
+  if (it == info.last_view.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace sgk

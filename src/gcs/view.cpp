@@ -1,0 +1,30 @@
+#include "gcs/view.h"
+
+namespace sgk {
+
+const char* to_string(GroupEvent e) {
+  switch (e) {
+    case GroupEvent::kInitial: return "initial";
+    case GroupEvent::kJoin: return "join";
+    case GroupEvent::kLeave: return "leave";
+    case GroupEvent::kMerge: return "merge";
+    case GroupEvent::kPartition: return "partition";
+    case GroupEvent::kMixed: return "mixed";
+    case GroupEvent::kRefresh: return "refresh";
+  }
+  return "?";
+}
+
+ViewDelta view_delta(const View& prev, const View& next, bool first_view) {
+  ViewDelta d;
+  d.first_view = first_view;
+  std::set_difference(next.members.begin(), next.members.end(),
+                      prev.members.begin(), prev.members.end(),
+                      std::back_inserter(d.joined));
+  std::set_difference(prev.members.begin(), prev.members.end(),
+                      next.members.begin(), next.members.end(),
+                      std::back_inserter(d.left));
+  return d;
+}
+
+}  // namespace sgk

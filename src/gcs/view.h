@@ -1,0 +1,74 @@
+// Group membership views and view-change deltas.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgk {
+
+using ProcessId = std::uint32_t;
+constexpr ProcessId kNoProcess = 0xffffffff;
+
+/// An installed membership view: a unique monotonically increasing id and
+/// the sorted member list.
+struct View {
+  std::uint64_t view_id = 0;
+  std::vector<ProcessId> members;  // ascending
+
+  bool contains(ProcessId p) const {
+    return std::binary_search(members.begin(), members.end(), p);
+  }
+  std::size_t size() const { return members.size(); }
+};
+
+/// The membership events the paper's protocols distinguish.
+enum class GroupEvent {
+  kInitial,    // first view a member sees
+  kJoin,       // exactly one member added
+  kLeave,      // exactly one member removed
+  kMerge,      // several members added (network merge)
+  kPartition,  // several members removed (network partition)
+  kMixed,      // additions and removals in one view change (cascade)
+  kRefresh     // same membership, new epoch (explicit re-key request)
+};
+
+const char* to_string(GroupEvent e);
+
+/// Difference between the previously installed view and the new one, from
+/// one member's perspective.
+struct ViewDelta {
+  std::vector<ProcessId> joined;
+  std::vector<ProcessId> left;
+  bool first_view = false;
+
+  /// Transitional sides: the partition of the new view's members into sets
+  /// that shared a view immediately before this change (fresh joiners are
+  /// singleton sides). All members receive the same sides, which gives the
+  /// key agreement protocols a consistent notion of "which previous groups
+  /// are merging" even after a network merge.
+  std::vector<std::vector<ProcessId>> sides;
+
+  /// The side containing `p`, or an empty list.
+  const std::vector<ProcessId>* side_of(ProcessId p) const {
+    for (const auto& s : sides)
+      if (std::find(s.begin(), s.end(), p) != s.end()) return &s;
+    return nullptr;
+  }
+
+  GroupEvent classify() const {
+    if (first_view) return GroupEvent::kInitial;
+    if (!joined.empty() && !left.empty()) return GroupEvent::kMixed;
+    if (joined.size() == 1) return GroupEvent::kJoin;
+    if (joined.size() > 1) return GroupEvent::kMerge;
+    if (left.size() == 1) return GroupEvent::kLeave;
+    if (left.size() > 1) return GroupEvent::kPartition;
+    return GroupEvent::kRefresh;
+  }
+};
+
+/// Computes the delta from `prev` to `next` (both sorted).
+ViewDelta view_delta(const View& prev, const View& next, bool first_view);
+
+}  // namespace sgk

@@ -1,0 +1,180 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sgk {
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      net_(sim_, config_.topology),
+      pki_(std::make_shared<Pki>()),
+      rng_(config_.seed, "experiment") {}
+
+Experiment::~Experiment() = default;
+
+SecureGroupMember& Experiment::spawn() {
+  const MachineId machine = static_cast<MachineId>(
+      spawned_ % config_.topology.machine_count());
+  ++spawned_;
+  const ProcessId pid = net_.create_process(machine);
+  MemberConfig cfg;
+  cfg.protocol = config_.protocol;
+  cfg.dh_bits = config_.dh_bits;
+  cfg.cost = config_.cost;
+  cfg.seed = config_.seed;
+  cfg.key_confirmation = config_.key_confirmation;
+  cfg.signature = config_.signature;
+  members_.push_back(std::make_unique<SecureGroupMember>(net_, pid, pki_, cfg));
+  return *members_.back();
+}
+
+void Experiment::grow_to(std::size_t n) {
+  while (group_size() < n) {
+    spawn().join();
+    sim_.run();
+  }
+}
+
+std::size_t Experiment::group_size() const {
+  std::size_t n = 0;
+  for (const auto& m : members_)
+    if (m) ++n;
+  return n;
+}
+
+const std::vector<SecureGroupMember*> Experiment::members() const {
+  std::vector<SecureGroupMember*> out;
+  for (const auto& m : members_)
+    if (m) out.push_back(m.get());
+  return out;
+}
+
+OpCounters Experiment::sum_counters() const {
+  OpCounters total;
+  for (const auto& m : members_)
+    if (m) total += m->counters();
+  return total;
+}
+
+EventResult Experiment::finish_event(double t0, OpCounters before_total) {
+  sim_.run();
+  EventResult r;
+  r.group_size = group_size();
+  double membership = t0;
+  double keyed = t0;
+  std::vector<std::uint64_t> epochs;
+  for (SecureGroupMember* m : members()) {
+    SGK_CHECK(m->has_key());
+    SGK_CHECK(m->key_time() >= t0);
+    keyed = std::max(keyed, m->key_time());
+    OpCounters delta =
+        m->counters() - last_counters_.at(static_cast<std::size_t>(m->id()));
+    if (delta.exp_total() + delta.sign_ops + delta.verify_ops >
+        r.max_member.exp_total() + r.max_member.sign_ops + r.max_member.verify_ops)
+      r.max_member = delta;
+    membership = std::max(membership, m->view_time());
+  }
+  r.elapsed_ms = keyed - t0;
+  r.membership_ms = membership - t0;
+  r.total = sum_counters() - before_total;
+  return r;
+}
+
+EventResult Experiment::measure_join() {
+  // Snapshot per-member counters.
+  last_counters_.assign(members_.size() + 1, OpCounters{});
+  for (const auto& m : members_)
+    if (m) last_counters_.at(m->id()) = m->counters();
+  const OpCounters before = sum_counters();
+  const double t0 = sim_.now();
+  spawn().join();
+  last_counters_.resize(members_.size());
+  return finish_event(t0, before);
+}
+
+EventResult Experiment::measure_leave(LeavePolicy policy) {
+  auto live = members();
+  SGK_CHECK(live.size() >= 2);
+  std::size_t pick = 0;
+  switch (policy) {
+    case LeavePolicy::kRandom:
+      pick = static_cast<std::size_t>(rng_.next_u64(live.size()));
+      break;
+    case LeavePolicy::kMiddle:
+      pick = live.size() / 2;
+      break;
+    case LeavePolicy::kOldest:
+      pick = 0;
+      break;
+    case LeavePolicy::kNewest:
+      pick = live.size() - 1;
+      break;
+  }
+  SecureGroupMember* leaver = live.at(pick);
+
+  last_counters_.assign(members_.size(), OpCounters{});
+  for (const auto& m : members_)
+    if (m) last_counters_.at(m->id()) = m->counters();
+  OpCounters before = sum_counters();
+  before = before - leaver->counters();  // leaver's past ops drop out of the sum
+
+  const double t0 = sim_.now();
+  leaver->leave();
+  members_.at(leaver->id()).reset();
+  return finish_event(t0, before);
+}
+
+EventResult Experiment::measure_multi_leave(std::size_t count) {
+  auto live = members();
+  SGK_CHECK(live.size() > count);
+  last_counters_.assign(members_.size(), OpCounters{});
+  for (const auto& m : members_)
+    if (m) last_counters_.at(m->id()) = m->counters();
+  OpCounters before = sum_counters();
+
+  const double t0 = sim_.now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pick = static_cast<std::size_t>(rng_.next_u64(live.size()));
+    SecureGroupMember* leaver = live.at(pick);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    before = before - leaver->counters();
+    leaver->leave();
+    members_.at(leaver->id()).reset();
+  }
+  return finish_event(t0, before);
+}
+
+EventResult Experiment::measure_partition(
+    const std::vector<std::vector<MachineId>>& parts) {
+  last_counters_.assign(members_.size(), OpCounters{});
+  for (const auto& m : members_)
+    if (m) last_counters_.at(m->id()) = m->counters();
+  const OpCounters before = sum_counters();
+  const double t0 = sim_.now();
+  net_.partition(parts);
+  sim_.run();
+  EventResult r;
+  r.group_size = group_size();
+  double keyed = t0;
+  for (SecureGroupMember* m : members()) {
+    SGK_CHECK(m->has_key());
+    keyed = std::max(keyed, m->key_time());
+  }
+  r.elapsed_ms = keyed - t0;
+  r.total = sum_counters() - before;
+  return r;
+}
+
+EventResult Experiment::measure_merge() {
+  last_counters_.assign(members_.size(), OpCounters{});
+  for (const auto& m : members_)
+    if (m) last_counters_.at(m->id()) = m->counters();
+  const OpCounters before = sum_counters();
+  const double t0 = sim_.now();
+  net_.heal();
+  return finish_event(t0, before);
+}
+
+}  // namespace sgk

@@ -1,0 +1,76 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+
+namespace sgk {
+
+void print_sweep_table(std::ostream& os, const std::string& title,
+                       const SweepResult& result, int row_stride) {
+  os << "== " << title << " ==\n";
+  os << std::setw(6) << "n";
+  for (const Series& s : result.series) os << std::setw(14) << s.label;
+  os << "\n";
+  const auto sizes = result.sizes();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (row_stride > 1 && sizes[i] % static_cast<std::size_t>(row_stride) != 0 &&
+        i != 0 && i + 1 != sizes.size())
+      continue;
+    os << std::setw(6) << sizes[i];
+    for (const Series& s : result.series)
+      os << std::setw(14) << std::fixed << std::setprecision(2) << s.values[i];
+    os << "\n";
+  }
+}
+
+void print_sweep_csv(std::ostream& os, const SweepResult& result) {
+  os << "size";
+  for (const Series& s : result.series) os << "," << s.label;
+  os << "\n";
+  const auto sizes = result.sizes();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    os << sizes[i];
+    for (const Series& s : result.series)
+      os << "," << std::fixed << std::setprecision(3) << s.values[i];
+    os << "\n";
+  }
+}
+
+bool write_sweep_csv(const std::string& path, const SweepResult& result) {
+  std::ofstream out(path);
+  if (!out) return false;
+  print_sweep_csv(out, result);
+  return static_cast<bool>(out);
+}
+
+void print_sweep_summary(std::ostream& os, const SweepResult& result) {
+  const auto sizes = result.sizes();
+  if (sizes.empty()) return;
+  // Winner (fastest protocol, ignoring the membership baseline) at the
+  // smallest and largest measured sizes.
+  auto winner_at = [&](std::size_t idx) -> const Series* {
+    const Series* best = nullptr;
+    for (const Series& s : result.series) {
+      if (s.label == "Membership service") continue;
+      if (best == nullptr || s.values[idx] < best->values[idx]) best = &s;
+    }
+    return best;
+  };
+  const Series* small = winner_at(0);
+  const Series* large = winner_at(sizes.size() - 1);
+  if (small)
+    os << "fastest at n=" << sizes.front() << ": " << small->label << " ("
+       << std::fixed << std::setprecision(2) << small->values.front() << " ms)\n";
+  if (large)
+    os << "fastest at n=" << sizes.back() << ": " << large->label << " ("
+       << std::fixed << std::setprecision(2) << large->values.back() << " ms)\n";
+  for (const Series& s : result.series) {
+    const double lo = *std::min_element(s.values.begin(), s.values.end());
+    const double hi = *std::max_element(s.values.begin(), s.values.end());
+    os << "  " << s.label << ": " << std::fixed << std::setprecision(2) << lo
+       << " .. " << hi << " ms\n";
+  }
+}
+
+}  // namespace sgk

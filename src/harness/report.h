@@ -1,0 +1,26 @@
+// Plain-text and CSV rendering of experiment results.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "harness/sweep.h"
+
+namespace sgk {
+
+/// Renders a sweep as a fixed-width table: one row per group size, one
+/// column per series (protocol). Values in milliseconds.
+void print_sweep_table(std::ostream& os, const std::string& title,
+                       const SweepResult& result, int row_stride = 1);
+
+/// Renders the sweep as CSV ("size,BD,CKD,...").
+void print_sweep_csv(std::ostream& os, const SweepResult& result);
+
+/// Writes the CSV to a file; returns false on I/O failure.
+bool write_sweep_csv(const std::string& path, const SweepResult& result);
+
+/// Short textual summary (min/max per series and who wins at small / large
+/// sizes) to make bench output self-explanatory.
+void print_sweep_summary(std::ostream& os, const SweepResult& result);
+
+}  // namespace sgk

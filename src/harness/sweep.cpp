@@ -1,0 +1,82 @@
+#include "harness/sweep.h"
+
+#include "util/check.h"
+
+namespace sgk {
+
+std::vector<std::size_t> SweepResult::sizes() const {
+  std::vector<std::size_t> out;
+  for (std::size_t n = min_size; n <= max_size; ++n) out.push_back(n);
+  return out;
+}
+
+namespace {
+const char* series_label(ProtocolKind kind) {
+  return kind == ProtocolKind::kNone ? "Membership service" : to_string(kind);
+}
+
+LeavePolicy leave_policy_for(ProtocolKind kind) {
+  // Section 6.1.2: STR is evaluated with the middle member leaving; the
+  // other protocols with a random member (CKD's 1/n controller factor
+  // arises naturally).
+  return kind == ProtocolKind::kStr ? LeavePolicy::kMiddle : LeavePolicy::kRandom;
+}
+}  // namespace
+
+SweepResult sweep_join(const SweepConfig& config) {
+  SweepResult result;
+  result.min_size = config.min_size;
+  result.max_size = config.max_size;
+  for (ProtocolKind kind : config.protocols) {
+    Series series;
+    series.label = series_label(kind);
+    series.values.assign(config.max_size - config.min_size + 1, 0.0);
+    for (int seed = 0; seed < config.seeds; ++seed) {
+      ExperimentConfig ec;
+      ec.topology = config.topology;
+      ec.protocol = kind;
+      ec.dh_bits = config.dh_bits;
+      ec.cost = config.cost;
+      ec.seed = static_cast<std::uint64_t>(seed + 1);
+      Experiment exp(ec);
+      exp.grow_to(config.min_size - 1);
+      for (std::size_t n = config.min_size; n <= config.max_size; ++n) {
+        EventResult r = exp.measure_join();
+        SGK_CHECK(r.group_size == n);
+        series.values[n - config.min_size] += r.elapsed_ms / config.seeds;
+      }
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+SweepResult sweep_leave(const SweepConfig& config) {
+  SweepResult result;
+  result.min_size = config.min_size;
+  result.max_size = config.max_size;
+  for (ProtocolKind kind : config.protocols) {
+    Series series;
+    series.label = series_label(kind);
+    series.values.assign(config.max_size - config.min_size + 1, 0.0);
+    for (int seed = 0; seed < config.seeds; ++seed) {
+      ExperimentConfig ec;
+      ec.topology = config.topology;
+      ec.protocol = kind;
+      ec.dh_bits = config.dh_bits;
+      ec.cost = config.cost;
+      ec.seed = static_cast<std::uint64_t>(seed + 1);
+      Experiment exp(ec);
+      exp.grow_to(config.max_size);
+      for (std::size_t n = config.max_size; n >= config.min_size; --n) {
+        EventResult r = exp.measure_leave(leave_policy_for(kind));
+        SGK_CHECK(r.group_size == n - 1);
+        series.values[n - config.min_size] += r.elapsed_ms / config.seeds;
+      }
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+}  // namespace sgk

@@ -1,0 +1,49 @@
+// Parameter sweeps reproducing the paper's figures: average elapsed time per
+// membership event as a function of group size, for every protocol plus the
+// bare membership service.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace sgk {
+
+struct Series {
+  std::string label;
+  std::vector<double> values;  // indexed by group size - min_size
+};
+
+struct SweepResult {
+  std::size_t min_size = 2;
+  std::size_t max_size = 50;
+  std::vector<std::size_t> sizes() const;
+  std::vector<Series> series;
+};
+
+struct SweepConfig {
+  Topology topology = lan_testbed();
+  DhBits dh_bits = DhBits::k512;
+  CostModel cost = CostModel::paper2002();
+  std::size_t min_size = 2;
+  std::size_t max_size = 50;
+  int seeds = 1;  // number of independent runs averaged
+  std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kBd,  ProtocolKind::kCkd, ProtocolKind::kGdh,
+      ProtocolKind::kStr, ProtocolKind::kTgdh, ProtocolKind::kNone};
+};
+
+/// Join sweep (Figures 11 / 14-left): grows a group one member at a time and
+/// records each join's elapsed time; the value at size n is the time to join
+/// into a group of n-1 members (resulting size n).
+SweepResult sweep_join(const SweepConfig& config);
+
+/// Leave sweep (Figures 12 / 14-right): grows to max size, then removes one
+/// member at a time; the value at size n is the time to re-key after a leave
+/// from a group of n members. The departing member follows the paper's
+/// per-protocol test scenario: the middle member for STR, uniformly random
+/// otherwise (which also realizes CKD's 1/n controller-leave factor).
+SweepResult sweep_leave(const SweepConfig& config);
+
+}  // namespace sgk

@@ -1,0 +1,48 @@
+#include "sim/cost_model.h"
+
+namespace sgk {
+
+double CostModel::mult_ms(std::size_t mod_bits) const {
+  const double scale = static_cast<double>(mod_bits) / 512.0;
+  return mult_512_ms * scale * scale;
+}
+
+double CostModel::mod_exp_ms(std::size_t mod_bits, std::size_t exp_bits) const {
+  if (exp_bits == 0) return mult_ms(mod_bits);
+  // e squarings + ~e/5 multiplies with 4-bit sliding windows, plus window
+  // precomputation (~8 multiplies) and Montgomery conversions.
+  const double mults = 1.2 * static_cast<double>(exp_bits) + 10.0;
+  return mults * mult_ms(mod_bits);
+}
+
+double CostModel::rsa_sign_ms(std::size_t mod_bits) const {
+  // CRT: two exponentiations at half the modulus with half-size exponents.
+  return 2.0 * mod_exp_ms(mod_bits / 2, mod_bits / 2) + rsa_sign_overhead_ms;
+}
+
+double CostModel::rsa_verify_ms(std::size_t mod_bits, std::size_t e_bits) const {
+  const double mults = 1.5 * static_cast<double>(e_bits) + 1.0;
+  return mults * mult_ms(mod_bits) + rsa_verify_overhead_ms;
+}
+
+double CostModel::sha256_ms(std::size_t bytes) const {
+  return sign_hash_overhead_ms * 0.0 + sha256_per_byte_ms * static_cast<double>(bytes);
+}
+
+double CostModel::aes_ms(std::size_t bytes) const {
+  return aes_per_byte_ms * static_cast<double>(bytes);
+}
+
+CostModel CostModel::free() {
+  CostModel m;
+  m.mult_512_ms = 0;
+  m.rsa_sign_overhead_ms = 0;
+  m.rsa_verify_overhead_ms = 0;
+  m.sign_hash_overhead_ms = 0;
+  m.sha256_per_byte_ms = 0;
+  m.aes_per_byte_ms = 0;
+  m.modinv_ms = 0;
+  return m;
+}
+
+}  // namespace sgk

@@ -1,0 +1,31 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sgk {
+
+SimTime CpuScheduler::submit(std::uint64_t process, double cost_ms,
+                             std::function<void()> on_done) {
+  SGK_CHECK(cost_ms >= 0);
+  // Pick the earliest-free core; a process can only use one core at a time.
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < core_free_.size(); ++c)
+    if (core_free_[c] < core_free_[best]) best = c;
+
+  SimTime start = std::max({sim_.now(), core_free_[best], process_free_at(process)});
+  SimTime finish = start + cost_ms * speed_;
+  core_free_[best] = finish;
+  process_free_[process] = finish;
+  if (on_done) sim_.at(finish, std::move(on_done));
+  return finish;
+}
+
+SimTime CpuScheduler::process_free_at(std::uint64_t process) const {
+  auto it = process_free_.find(process);
+  SimTime t = it == process_free_.end() ? 0.0 : it->second;
+  return std::max(t, sim_.now());
+}
+
+}  // namespace sgk

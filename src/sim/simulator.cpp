@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace sgk {
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+  SGK_CHECK(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(SimTime dt, std::function<void()> fn) {
+  SGK_CHECK(dt >= 0);
+  at(now_ + dt, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; moving requires the const_cast idiom or a
+  // copy. The function object is cheap to move and never observed again.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace sgk

@@ -1,0 +1,59 @@
+// Discrete-event simulation core.
+//
+// Virtual time is in milliseconds (double). Events scheduled for the same
+// instant execute in FIFO scheduling order, which makes whole runs
+// deterministic regardless of host platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sgk {
+
+using SimTime = double;  // milliseconds of virtual time
+
+class Simulator {
+ public:
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` `dt` milliseconds from now (dt >= 0).
+  void after(SimTime dt, std::function<void()> fn);
+
+  SimTime now() const { return now_; }
+
+  /// Executes one event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs until the queue is empty or virtual time would exceed `t`.
+  /// Events after `t` remain queued.
+  void run_until(SimTime t);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace sgk

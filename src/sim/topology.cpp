@@ -1,0 +1,60 @@
+#include "sim/topology.h"
+
+#include "util/check.h"
+
+namespace sgk {
+
+SiteId Topology::add_site(std::string name) {
+  sites_.push_back(SiteSpec{std::move(name)});
+  for (auto& row : site_latency_) row.push_back(0.0);
+  site_latency_.emplace_back(sites_.size(), 0.0);
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+MachineId Topology::add_machine(SiteId site, int cores, double speed) {
+  SGK_CHECK(site >= 0 && static_cast<std::size_t>(site) < sites_.size());
+  SGK_CHECK(cores >= 1);
+  SGK_CHECK(speed > 0);
+  machines_.push_back(MachineSpec{site, cores, speed});
+  return static_cast<MachineId>(machines_.size() - 1);
+}
+
+void Topology::set_site_latency(SiteId a, SiteId b, double one_way_ms) {
+  SGK_CHECK(one_way_ms >= 0);
+  site_latency_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(b)) = one_way_ms;
+  site_latency_.at(static_cast<std::size_t>(b)).at(static_cast<std::size_t>(a)) = one_way_ms;
+}
+
+double Topology::site_latency(SiteId a, SiteId b) const {
+  if (a == b) return intra_site_ms;
+  return site_latency_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(b));
+}
+
+double Topology::latency(MachineId a, MachineId b) const {
+  if (a == b) return local_loopback_ms;
+  return site_latency(machine(a).site, machine(b).site);
+}
+
+Topology lan_testbed(int machines) {
+  Topology topo;
+  SiteId lan = topo.add_site("LAN");
+  for (int i = 0; i < machines; ++i) topo.add_machine(lan, /*cores=*/2, /*speed=*/1.0);
+  return topo;
+}
+
+Topology wan_testbed() {
+  Topology topo;
+  SiteId jhu = topo.add_site("JHU");
+  SiteId uci = topo.add_site("UCI");
+  SiteId icu = topo.add_site("ICU");
+  // Figure 13 / section 6.2.1 ping times, halved to one-way latencies.
+  topo.set_site_latency(jhu, uci, 17.5);
+  topo.set_site_latency(uci, icu, 150.0);
+  topo.set_site_latency(icu, jhu, 135.0);
+  for (int i = 0; i < 11; ++i) topo.add_machine(jhu, 2, 1.0);
+  topo.add_machine(uci, 1, 800.0 / 999.0);  // 999 MHz Athlon
+  topo.add_machine(icu, 1, 800.0 / 733.0);  // 733 MHz PIII
+  return topo;
+}
+
+}  // namespace sgk

@@ -1,0 +1,69 @@
+// Network/hardware topology descriptions for experiments.
+//
+// A Topology is a static description: sites connected by latency links, and
+// machines (each with a core count and a speed factor) placed at sites.
+// Factory functions reproduce the paper's two testbeds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sgk {
+
+using SiteId = int;
+using MachineId = int;
+
+struct SiteSpec {
+  std::string name;
+};
+
+struct MachineSpec {
+  SiteId site = 0;
+  int cores = 2;
+  // CPU time multiplier relative to the reference machine (800 MHz PIII in
+  // the paper): a 999 MHz machine gets ~0.8, a 733 MHz one ~1.09.
+  double speed = 1.0;
+};
+
+class Topology {
+ public:
+  SiteId add_site(std::string name);
+  MachineId add_machine(SiteId site, int cores = 2, double speed = 1.0);
+  /// Symmetric one-way latency between two sites, in milliseconds.
+  void set_site_latency(SiteId a, SiteId b, double one_way_ms);
+
+  std::size_t site_count() const { return sites_.size(); }
+  std::size_t machine_count() const { return machines_.size(); }
+  const MachineSpec& machine(MachineId m) const { return machines_.at(static_cast<std::size_t>(m)); }
+  const SiteSpec& site(SiteId s) const { return sites_.at(static_cast<std::size_t>(s)); }
+
+  /// One-way message latency between machines (same machine ~0, same site
+  /// = intra_site_ms, different sites = link latency).
+  double latency(MachineId a, MachineId b) const;
+
+  /// Latency between a site pair.
+  double site_latency(SiteId a, SiteId b) const;
+
+  // Tunables (defaults calibrated so a 13-daemon LAN token cycle is under a
+  // millisecond, matching the paper's 0.8-1.3 ms Agreed multicast).
+  double intra_site_ms = 0.03;   // one-way LAN hop
+  double local_loopback_ms = 0.005;  // daemon to local client and back
+
+ private:
+  std::vector<SiteSpec> sites_;
+  std::vector<MachineSpec> machines_;
+  std::vector<std::vector<double>> site_latency_;  // [a][b]
+};
+
+/// The paper's LAN testbed: one site, 13 dual-processor 800 MHz machines.
+Topology lan_testbed(int machines = 13);
+
+/// The paper's WAN testbed (Figure 13): 11 machines at JHU (10 dual 800 MHz
+/// PIII + 1 999 MHz Athlon at JHU per the paper's mix; we place the Athlon
+/// and the 733 MHz PIII at UCI and ICU respectively so each remote site has
+/// one machine), with one-way latencies JHU-UCI 17.5 ms, UCI-ICU 150 ms,
+/// ICU-JHU 135 ms.
+Topology wan_testbed();
+
+}  // namespace sgk

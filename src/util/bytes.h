@@ -1,0 +1,34 @@
+// Byte-buffer helpers shared across the library.
+//
+// `Bytes` is the canonical octet-string type for keys, hashes, wire messages
+// and ciphertexts. Helpers here keep hex conversion and constant-time
+// comparison in one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgk {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(const Bytes& data);
+
+/// Decodes a hex string (upper or lower case, no separators).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality for secret material. Returns false on length
+/// mismatch without inspecting contents.
+bool ct_equal(const Bytes& a, const Bytes& b);
+
+/// Converts an ASCII string to bytes (no terminator).
+Bytes str_bytes(std::string_view s);
+
+/// XOR of two equal-length buffers. Throws std::invalid_argument otherwise.
+Bytes xor_bytes(const Bytes& a, const Bytes& b);
+
+}  // namespace sgk

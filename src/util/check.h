@@ -1,0 +1,31 @@
+// Lightweight invariant checking.
+//
+// SGK_CHECK is an always-on assertion for invariants whose violation means a
+// programming error inside the library; it throws (rather than aborts) so
+// tests can exercise failure paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sgk {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  throw CheckFailure(std::string("check failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace sgk
+
+#define SGK_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::sgk::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

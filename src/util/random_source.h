@@ -1,0 +1,21 @@
+// Abstract randomness source.
+//
+// Lower layers (bignum) consume randomness through this interface; the
+// concrete deterministic DRBG lives in src/crypto. Keeping the interface here
+// avoids a bignum -> crypto dependency cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgk {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out[0..len)` with random bytes.
+  virtual void fill(std::uint8_t* out, std::size_t len) = 0;
+};
+
+}  // namespace sgk

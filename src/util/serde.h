@@ -1,0 +1,64 @@
+// Minimal binary serialization used for wire messages.
+//
+// All integers are big-endian. Variable-length fields are length-prefixed
+// with u32. Decoding is bounds-checked; malformed input throws DecodeError.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace sgk {
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends encoded fields to an internal buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Length-prefixed byte string.
+  void bytes(const Bytes& v);
+  /// Length-prefixed UTF-8/ASCII string.
+  void str(std::string_view v);
+  /// Raw bytes without a length prefix (caller knows the framing).
+  void raw(const Bytes& v);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads fields back in the order they were written.
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes bytes();
+  std::string str();
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sgk

@@ -1,0 +1,245 @@
+#include "bignum/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace sgk {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_TRUE(z.to_bytes().empty());
+}
+
+TEST(BigInt, FromU64) {
+  BigInt v(0xdeadbeefULL);
+  EXPECT_EQ(v.to_hex(), "deadbeef");
+  EXPECT_EQ(v.low_u64(), 0xdeadbeefULL);
+  EXPECT_EQ(v.bit_length(), 32u);
+}
+
+TEST(BigInt, HexRoundTrip) {
+  const std::string hex = "1fffffffffffffffffffffffffffffffffffffffff";
+  BigInt v = BigInt::from_hex(hex);
+  EXPECT_EQ(v.to_hex(), hex);
+}
+
+TEST(BigInt, HexUppercaseAccepted) {
+  EXPECT_EQ(BigInt::from_hex("ABCDEF"), BigInt::from_hex("abcdef"));
+}
+
+TEST(BigInt, HexInvalidThrows) {
+  EXPECT_THROW(BigInt::from_hex("12g4"), std::invalid_argument);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  Bytes b = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  BigInt v = BigInt::from_bytes(b);
+  EXPECT_EQ(v.to_bytes(), b);
+  EXPECT_EQ(v.to_hex(), "10203040506070809");  // minimal: no leading zero nibble
+}
+
+TEST(BigInt, BytesLeadingZerosStripped) {
+  Bytes b = {0x00, 0x00, 0x12, 0x34};
+  BigInt v = BigInt::from_bytes(b);
+  EXPECT_EQ(v.to_hex(), "1234");
+  Bytes out = v.to_bytes();
+  EXPECT_EQ(out, Bytes({0x12, 0x34}));
+}
+
+TEST(BigInt, PaddedBytes) {
+  BigInt v(0x1234);
+  Bytes padded = v.to_bytes_padded(4);
+  EXPECT_EQ(padded, Bytes({0x00, 0x00, 0x12, 0x34}));
+  EXPECT_THROW(v.to_bytes_padded(1), std::length_error);
+}
+
+TEST(BigInt, DecRoundTrip) {
+  BigInt v = BigInt::from_dec("123456789012345678901234567890");
+  EXPECT_EQ(v.to_dec(), "123456789012345678901234567890");
+}
+
+TEST(BigInt, CompareOrdering) {
+  BigInt a(5), b(7);
+  BigInt big = BigInt::from_hex("ffffffffffffffffff");
+  EXPECT_LT(a, b);
+  EXPECT_GT(big, b);
+  EXPECT_EQ(a.compare(a), 0);
+  EXPECT_LE(a, a);
+  EXPECT_GE(big, big);
+}
+
+TEST(BigInt, AddCarriesAcrossLimbs) {
+  BigInt a = BigInt::from_hex("ffffffffffffffff");
+  BigInt sum = a + BigInt(1);
+  EXPECT_EQ(sum.to_hex(), "10000000000000000");
+}
+
+TEST(BigInt, SubBorrowsAcrossLimbs) {
+  BigInt a = BigInt::from_hex("10000000000000000");
+  BigInt diff = a - BigInt(1);
+  EXPECT_EQ(diff.to_hex(), "ffffffffffffffff");
+}
+
+TEST(BigInt, SubUnderflowThrows) {
+  EXPECT_THROW(BigInt(3) - BigInt(4), std::domain_error);
+}
+
+TEST(BigInt, MulSmall) {
+  EXPECT_EQ(BigInt(6) * BigInt(7), BigInt(42));
+  EXPECT_EQ((BigInt(6) * BigInt()).to_hex(), "0");
+}
+
+TEST(BigInt, MulLarge) {
+  BigInt a = BigInt::from_hex("ffffffffffffffff");
+  BigInt sq = a * a;
+  EXPECT_EQ(sq.to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigInt, ShiftLeftRightInverse) {
+  BigInt v = BigInt::from_hex("123456789abcdef0123456789abcdef");
+  EXPECT_EQ((v << 67) >> 67, v);
+  EXPECT_EQ((v << 64).to_hex(), v.to_hex() + "0000000000000000");
+}
+
+TEST(BigInt, ShiftRightToZero) {
+  EXPECT_TRUE((BigInt(5) >> 3).is_zero());
+}
+
+TEST(BigInt, DivModSingleLimb) {
+  BigInt v = BigInt::from_dec("1000000000000000000000007");
+  auto dm = v.divmod(BigInt(97));
+  EXPECT_EQ(dm.quotient * BigInt(97) + dm.remainder, v);
+  EXPECT_LT(dm.remainder, BigInt(97));
+}
+
+TEST(BigInt, DivByZeroThrows) {
+  EXPECT_THROW(BigInt(4) / BigInt(), std::domain_error);
+  EXPECT_THROW(BigInt(4) % BigInt(), std::domain_error);
+}
+
+TEST(BigInt, DivSmallerThanDivisor) {
+  auto dm = BigInt(5).divmod(BigInt(9));
+  EXPECT_TRUE(dm.quotient.is_zero());
+  EXPECT_EQ(dm.remainder, BigInt(5));
+}
+
+TEST(BigInt, BitAccess) {
+  BigInt v = BigInt::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_TRUE(v.is_odd());
+}
+
+// Property sweep: (q * d + r == n) and (r < d) for random operands of many
+// widths, plus ring identities.
+class BigIntProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BigIntProperty, DivModReconstructs) {
+  Drbg rng(GetParam(), "bigint-divmod");
+  for (int iter = 0; iter < 25; ++iter) {
+    BigInt n = BigInt::random_bits(64 + GetParam() * 37, rng);
+    BigInt d = BigInt::random_bits(1 + GetParam() * 23, rng);
+    auto dm = n.divmod(d);
+    EXPECT_EQ(dm.quotient * d + dm.remainder, n);
+    EXPECT_LT(dm.remainder, d);
+  }
+}
+
+TEST_P(BigIntProperty, AddSubInverse) {
+  Drbg rng(GetParam(), "bigint-addsub");
+  for (int iter = 0; iter < 25; ++iter) {
+    BigInt a = BigInt::random_bits(32 + GetParam() * 41, rng);
+    BigInt b = BigInt::random_bits(16 + GetParam() * 19, rng);
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST_P(BigIntProperty, MulDistributesOverAdd) {
+  Drbg rng(GetParam(), "bigint-dist");
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt a = BigInt::random_bits(100 + GetParam() * 13, rng);
+    BigInt b = BigInt::random_bits(90 + GetParam() * 17, rng);
+    BigInt c = BigInt::random_bits(80 + GetParam() * 11, rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST_P(BigIntProperty, BytesRoundTripRandom) {
+  Drbg rng(GetParam(), "bigint-bytes");
+  BigInt v = BigInt::random_bits(7 + GetParam() * 29, rng);
+  EXPECT_EQ(BigInt::from_bytes(v.to_bytes()), v);
+  EXPECT_EQ(BigInt::from_hex(v.to_hex()), v);
+  EXPECT_EQ(BigInt::from_dec(v.to_dec()), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigIntProperty, ::testing::Range<std::size_t>(1, 9));
+
+// Karatsuba engages above ~12 limbs (768 bits); verify against schoolbook
+// via the distributive/commutative identities at sizes straddling the
+// threshold and far beyond it.
+class KaratsubaProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KaratsubaProperty, MatchesIdentities) {
+  Drbg rng(GetParam(), "karatsuba");
+  const std::size_t bits = GetParam();
+  for (int iter = 0; iter < 4; ++iter) {
+    BigInt a = BigInt::random_bits(bits, rng);
+    BigInt b = BigInt::random_bits(bits / 2 + 17, rng);
+    BigInt c = BigInt::random_bits(bits / 3 + 5, rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Division is schoolbook: (a*b)/b must reconstruct a exactly.
+    EXPECT_EQ(a * b / b, a);
+    EXPECT_EQ((a * b) % b, BigInt());
+  }
+}
+
+TEST_P(KaratsubaProperty, SquareMatchesRepeatedAdd) {
+  Drbg rng(GetParam() + 999, "karatsuba-sq");
+  BigInt a = BigInt::random_bits(GetParam(), rng);
+  EXPECT_EQ(a * BigInt(3), a + a + a);
+  EXPECT_EQ((a + BigInt(1)) * (a + BigInt(1)), a * a + a + a + BigInt(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KaratsubaProperty,
+                         ::testing::Values<std::size_t>(256, 768, 1024, 1536,
+                                                        2048, 4096, 8192));
+
+TEST(BigInt, KaratsubaAsymmetricOperands) {
+  Drbg rng(4242, "asym");
+  // Very lopsided operand sizes stress the split logic.
+  BigInt big = BigInt::random_bits(6000, rng);
+  BigInt small = BigInt::random_bits(70, rng);
+  EXPECT_EQ(big * small / small, big);
+  BigInt one(1);
+  EXPECT_EQ(big * one, big);
+}
+
+TEST(BigInt, RandomBitsExactWidth) {
+  Drbg rng(7, "rb");
+  for (std::size_t bits : {1u, 8u, 9u, 63u, 64u, 65u, 160u, 512u}) {
+    BigInt v = BigInt::random_bits(bits, rng);
+    EXPECT_EQ(v.bit_length(), bits);
+  }
+}
+
+TEST(BigInt, RandomBelowInRange) {
+  Drbg rng(8, "rbel");
+  BigInt bound = BigInt::from_hex("10000000000000000000001");
+  for (int i = 0; i < 50; ++i) {
+    BigInt v = BigInt::random_below(bound, rng);
+    EXPECT_LT(v, bound);
+  }
+}
+
+}  // namespace
+}  // namespace sgk

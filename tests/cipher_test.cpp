@@ -1,0 +1,115 @@
+// AES-128 and CBC mode tests against FIPS-197 / SP800-38A vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "util/bytes.h"
+
+namespace sgk {
+namespace {
+
+// FIPS-197 appendix B.
+TEST(Aes128, Fips197Vector) {
+  Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes pt = from_hex("3243f6a8885a308d313198a2e0370734");
+  Aes128 cipher(key);
+  std::uint8_t ct[16];
+  cipher.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(Bytes(ct, ct + 16)), "3925841d02dc09fbdc118597196a0b32");
+}
+
+// SP 800-38A F.1.1 (ECB-AES128) first block.
+TEST(Aes128, Sp80038aEcbBlock) {
+  Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 cipher(key);
+  std::uint8_t ct[16];
+  cipher.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(Bytes(ct, ct + 16)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  Drbg rng(11, "aes");
+  for (int i = 0; i < 20; ++i) {
+    Bytes key(16), block(16);
+    rng.fill(key.data(), 16);
+    rng.fill(block.data(), 16);
+    Aes128 cipher(key);
+    std::uint8_t ct[16], pt[16];
+    cipher.encrypt_block(block.data(), ct);
+    cipher.decrypt_block(ct, pt);
+    EXPECT_EQ(Bytes(pt, pt + 16), block);
+  }
+}
+
+TEST(Aes128, RejectsBadKeySize) {
+  EXPECT_THROW(Aes128(Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes128(Bytes(32, 0)), std::invalid_argument);
+}
+
+// SP 800-38A F.2.1 CBC-AES128 first two blocks.
+TEST(Cbc, Sp80038aVector) {
+  Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes iv = from_hex("000102030405060708090a0b0c0d0e0f");
+  Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  Bytes ct = aes128_cbc_encrypt(key, iv, pt);
+  // Our CBC adds a PKCS#7 padding block; the first two blocks must match.
+  ASSERT_GE(ct.size(), 48u);
+  EXPECT_EQ(to_hex(Bytes(ct.begin(), ct.begin() + 32)),
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2");
+}
+
+TEST(Cbc, RoundTripVariousLengths) {
+  Drbg rng(12, "cbc");
+  Bytes key(16), iv(16);
+  rng.fill(key.data(), 16);
+  rng.fill(iv.data(), 16);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 100u, 1000u}) {
+    Bytes pt(len);
+    rng.fill(pt.data(), pt.size());
+    Bytes ct = aes128_cbc_encrypt(key, iv, pt);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), pt.size());  // always at least one padding byte
+    EXPECT_EQ(aes128_cbc_decrypt(key, iv, ct), pt);
+  }
+}
+
+TEST(Cbc, TamperedCiphertextFailsPaddingOrDiffers) {
+  Drbg rng(13, "cbc-tamper");
+  Bytes key(16), iv(16);
+  rng.fill(key.data(), 16);
+  rng.fill(iv.data(), 16);
+  Bytes pt = str_bytes("attack at dawn, bring the group key");
+  Bytes ct = aes128_cbc_encrypt(key, iv, pt);
+  ct[3] ^= 0x80;
+  // Either the padding check throws or the plaintext is garbled; both are
+  // acceptable for CBC (integrity comes from the HMAC layer).
+  try {
+    Bytes out = aes128_cbc_decrypt(key, iv, ct);
+    EXPECT_NE(out, pt);
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(Cbc, RejectsBadLengths) {
+  Bytes key(16, 1), iv(16, 2);
+  EXPECT_THROW(aes128_cbc_decrypt(key, iv, Bytes(15, 0)), std::runtime_error);
+  EXPECT_THROW(aes128_cbc_decrypt(key, iv, Bytes{}), std::runtime_error);
+  EXPECT_THROW(aes128_cbc_encrypt(key, Bytes(8, 0), Bytes(16, 0)),
+               std::invalid_argument);
+}
+
+TEST(Cbc, DifferentIvDifferentCiphertext) {
+  Bytes key(16, 7);
+  Bytes pt = str_bytes("same plaintext");
+  Bytes ct1 = aes128_cbc_encrypt(key, Bytes(16, 1), pt);
+  Bytes ct2 = aes128_cbc_encrypt(key, Bytes(16, 2), pt);
+  EXPECT_NE(ct1, ct2);
+}
+
+}  // namespace
+}  // namespace sgk

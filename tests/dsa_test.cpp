@@ -1,0 +1,118 @@
+// DSA signature tests, including the end-to-end protocol path with DSA
+// instead of RSA.
+#include <gtest/gtest.h>
+
+#include "crypto/dsa.h"
+#include "crypto/drbg.h"
+#include "tests/protocol_harness.h"
+
+namespace sgk {
+namespace {
+
+TEST(Dsa, SignVerifyRoundTrip) {
+  Drbg rng(61, "dsa");
+  const DhGroup& grp = dh_group(DhBits::k512);
+  DsaPrivateKey key(grp, rng);
+  Bytes msg = str_bytes("group key agreement");
+  DsaSignature sig = key.sign(msg, rng);
+  EXPECT_TRUE(key.public_key().verify(msg, sig));
+}
+
+TEST(Dsa, RejectsWrongMessage) {
+  Drbg rng(62, "dsa");
+  const DhGroup& grp = dh_group(DhBits::k512);
+  DsaPrivateKey key(grp, rng);
+  DsaSignature sig = key.sign(str_bytes("A"), rng);
+  EXPECT_FALSE(key.public_key().verify(str_bytes("B"), sig));
+}
+
+TEST(Dsa, RejectsTamperedSignature) {
+  Drbg rng(63, "dsa");
+  const DhGroup& grp = dh_group(DhBits::k512);
+  DsaPrivateKey key(grp, rng);
+  Bytes msg = str_bytes("tamper");
+  DsaSignature sig = key.sign(msg, rng);
+  DsaSignature bad = sig;
+  bad.s = bad.s + BigInt(1) == grp.q() ? BigInt(1) : bad.s + BigInt(1);
+  EXPECT_FALSE(key.public_key().verify(msg, bad));
+}
+
+TEST(Dsa, RejectsWrongKey) {
+  Drbg rng(64, "dsa");
+  const DhGroup& grp = dh_group(DhBits::k512);
+  DsaPrivateKey key1(grp, rng);
+  DsaPrivateKey key2(grp, rng);
+  Bytes msg = str_bytes("cross");
+  DsaSignature sig = key1.sign(msg, rng);
+  EXPECT_FALSE(key2.public_key().verify(msg, sig));
+}
+
+TEST(Dsa, RejectsOutOfRangeComponents) {
+  Drbg rng(65, "dsa");
+  const DhGroup& grp = dh_group(DhBits::k512);
+  DsaPrivateKey key(grp, rng);
+  Bytes msg = str_bytes("range");
+  DsaSignature sig = key.sign(msg, rng);
+  DsaSignature zero_r = sig;
+  zero_r.r = BigInt();
+  EXPECT_FALSE(key.public_key().verify(msg, zero_r));
+  DsaSignature big_s = sig;
+  big_s.s = grp.q();
+  EXPECT_FALSE(key.public_key().verify(msg, big_s));
+}
+
+TEST(Dsa, SignatureBytesRoundTrip) {
+  Drbg rng(66, "dsa");
+  const DhGroup& grp = dh_group(DhBits::k1024);
+  DsaPrivateKey key(grp, rng);
+  Bytes msg = str_bytes("serialize");
+  DsaSignature sig = key.sign(msg, rng);
+  Bytes wire = dsa_signature_to_bytes(sig, 20);
+  DsaSignature back = dsa_signature_from_bytes(wire);
+  EXPECT_EQ(back.r, sig.r);
+  EXPECT_EQ(back.s, sig.s);
+  EXPECT_TRUE(key.public_key().verify(msg, back));
+}
+
+TEST(Dsa, FreshNoncePerSignature) {
+  Drbg rng(67, "dsa");
+  const DhGroup& grp = dh_group(DhBits::k512);
+  DsaPrivateKey key(grp, rng);
+  Bytes msg = str_bytes("same message");
+  DsaSignature a = key.sign(msg, rng);
+  DsaSignature b = key.sign(msg, rng);
+  EXPECT_NE(a.r, b.r);  // randomized signatures
+  EXPECT_TRUE(key.public_key().verify(msg, a));
+  EXPECT_TRUE(key.public_key().verify(msg, b));
+}
+
+// End to end: protocols agree when signed with DSA instead of RSA.
+class DsaProtocols : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(DsaProtocols, AgreementUnderDsaSignatures) {
+  sgk::testing::ProtocolFixture f(GetParam());
+  // Rebuild members with DSA configured.
+  for (int i = 0; i < 4; ++i) {
+    const MachineId machine = static_cast<MachineId>(f.members.size() % 13);
+    ProcessId pid = f.net.create_process(machine);
+    MemberConfig cfg;
+    cfg.protocol = f.protocol_kind;
+    cfg.seed = 42;
+    cfg.signature = SigScheme::kDsa;
+    f.members.push_back(std::make_unique<SecureGroupMember>(f.net, pid, f.pki, cfg));
+    f.members.back()->join();
+    f.sim.run();
+  }
+  f.expect_agreement();
+  f.remove_member(1);
+  f.expect_agreement();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, DsaProtocols, ::testing::ValuesIn(sgk::testing::all_protocols()),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return std::string(to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace sgk

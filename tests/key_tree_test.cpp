@@ -1,0 +1,236 @@
+// White-box tests of the TGDH key tree structure.
+#include "core/key_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/serde.h"
+
+namespace sgk {
+namespace {
+
+KeyTree tree_of(std::vector<ProcessId> members) {
+  KeyTree t = KeyTree::leaf(members.at(0));
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    KeyTree leaf = KeyTree::leaf(members[i]);
+    t.merge(leaf);
+  }
+  return t;
+}
+
+TEST(KeyTree, LeafBasics) {
+  KeyTree t = KeyTree::leaf(7);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.members(), std::vector<ProcessId>{7});
+  EXPECT_EQ(t.height(t.root()), 0);
+  EXPECT_EQ(t.rightmost_member(t.root()), 7u);
+  EXPECT_EQ(t.find_leaf(7), t.root());
+  EXPECT_EQ(t.find_leaf(8), -1);
+}
+
+TEST(KeyTree, MergeTwoLeaves) {
+  KeyTree t = KeyTree::leaf(1);
+  KeyTree other = KeyTree::leaf(2);
+  int m = t.merge(other);
+  EXPECT_EQ(m, t.root());
+  EXPECT_EQ(t.members(), (std::vector<ProcessId>{1, 2}));
+  EXPECT_EQ(t.height(t.root()), 1);
+  EXPECT_EQ(t.rightmost_member(t.root()), 2u);
+}
+
+TEST(KeyTree, SequentialJoinsStayBalanced) {
+  // Height-preserving insertion keeps the tree within log2 bounds plus one.
+  for (std::size_t n : {4u, 8u, 16u, 32u}) {
+    std::vector<ProcessId> members;
+    for (std::size_t i = 0; i < n; ++i) members.push_back(static_cast<ProcessId>(i));
+    KeyTree t = tree_of(members);
+    int h = t.height(t.root());
+    EXPECT_LE(h, static_cast<int>(std::ceil(std::log2(n))) + 1) << "n=" << n;
+    EXPECT_EQ(t.members().size(), n);
+  }
+}
+
+TEST(KeyTree, PerfectTreeJoinGoesToRoot) {
+  // 4 leaves make a perfect tree of height 2; the 5th join must increase the
+  // height by grafting at the root.
+  KeyTree t = tree_of({0, 1, 2, 3});
+  EXPECT_EQ(t.height(t.root()), 2);
+  KeyTree extra = KeyTree::leaf(4);
+  int m = t.merge(extra);
+  EXPECT_EQ(m, t.root());
+  EXPECT_EQ(t.height(t.root()), 3);
+}
+
+TEST(KeyTree, MergeInvalidatesPathToRoot) {
+  KeyTree t = tree_of({0, 1, 2, 3});
+  // Give every node a fake bkey.
+  for (std::size_t i = 0; i < t.node_count(); ++i) {
+    if (t.node(static_cast<int>(i)).parent == -2) continue;
+    t.node(static_cast<int>(i)).has_bkey = true;
+    t.node(static_cast<int>(i)).bkey = BigInt(static_cast<std::uint64_t>(i + 1));
+    t.node(static_cast<int>(i)).bkey_published = true;
+  }
+  KeyTree extra = KeyTree::leaf(9);
+  int m = t.merge(extra);
+  // Everything on the path from the merge node to the root lost its keys.
+  for (int cur = m; cur != -1; cur = t.node(cur).parent) {
+    EXPECT_FALSE(t.node(cur).has_bkey);
+    EXPECT_FALSE(t.node(cur).bkey_published);
+  }
+}
+
+TEST(KeyTree, RemoveLeafPromotesSibling) {
+  KeyTree t = tree_of({0, 1});
+  auto sponsors = t.remove_members({1});
+  EXPECT_EQ(t.members(), std::vector<ProcessId>{0});
+  EXPECT_EQ(t.height(t.root()), 0);
+  ASSERT_EQ(sponsors.size(), 1u);
+  EXPECT_EQ(t.rightmost_member(sponsors[0]), 0u);
+}
+
+TEST(KeyTree, RemoveMiddleOfEight) {
+  KeyTree t = tree_of({0, 1, 2, 3, 4, 5, 6, 7});
+  t.remove_members({3});
+  EXPECT_EQ(t.members(), (std::vector<ProcessId>{0, 1, 2, 4, 5, 6, 7}));
+  EXPECT_EQ(t.find_leaf(3), -1);
+}
+
+TEST(KeyTree, RemoveSeveralMembers) {
+  KeyTree t = tree_of({0, 1, 2, 3, 4, 5});
+  t.remove_members({1, 4, 5});
+  EXPECT_EQ(t.members(), (std::vector<ProcessId>{0, 2, 3}));
+}
+
+TEST(KeyTree, RemoveAllButOne) {
+  KeyTree t = tree_of({0, 1, 2, 3});
+  t.remove_members({0, 1, 3});
+  EXPECT_EQ(t.members(), std::vector<ProcessId>{2});
+  EXPECT_EQ(t.height(t.root()), 0);
+}
+
+TEST(KeyTree, RemoveInvalidatesAncestors) {
+  KeyTree t = tree_of({0, 1, 2, 3});
+  for (std::size_t i = 0; i < t.node_count(); ++i) {
+    t.node(static_cast<int>(i)).has_key = true;
+    t.node(static_cast<int>(i)).has_bkey = true;
+  }
+  t.remove_members({1});
+  // The surviving root must have lost its key (it was an ancestor of 1).
+  EXPECT_FALSE(t.node(t.root()).has_key);
+}
+
+TEST(KeyTree, SerializeRoundTripStructure) {
+  KeyTree t = tree_of({5, 9, 2, 11, 3});
+  Writer w;
+  t.serialize(w);
+  Reader r(w.data());
+  KeyTree copy = KeyTree::deserialize(r);
+  EXPECT_TRUE(t.same_structure(copy));
+  EXPECT_EQ(copy.members(), t.members());
+}
+
+TEST(KeyTree, SerializeCarriesBlindedKeys) {
+  KeyTree t = tree_of({1, 2});
+  t.node(t.find_leaf(1)).has_bkey = true;
+  t.node(t.find_leaf(1)).bkey = BigInt(12345);
+  Writer w;
+  t.serialize(w);
+  Reader r(w.data());
+  KeyTree copy = KeyTree::deserialize(r);
+  const TreeNode& leaf = copy.node(copy.find_leaf(1));
+  EXPECT_TRUE(leaf.has_bkey);
+  EXPECT_TRUE(leaf.bkey_published);  // received == published
+  EXPECT_EQ(leaf.bkey, BigInt(12345));
+  EXPECT_FALSE(copy.node(copy.find_leaf(2)).has_bkey);
+}
+
+TEST(KeyTree, SerializeNeverCarriesSecrets) {
+  KeyTree t = tree_of({1, 2});
+  t.node(t.find_leaf(1)).has_key = true;
+  t.node(t.find_leaf(1)).key = BigInt(777);
+  Writer w;
+  t.serialize(w);
+  Reader r(w.data());
+  KeyTree copy = KeyTree::deserialize(r);
+  // "The keys are never broadcasted" (paper footnote 4).
+  EXPECT_FALSE(copy.node(copy.find_leaf(1)).has_key);
+}
+
+TEST(KeyTree, SameStructureDetectsDifferences) {
+  KeyTree a = tree_of({1, 2, 3});
+  KeyTree b = tree_of({1, 2, 3});
+  KeyTree c = tree_of({1, 3, 2});
+  KeyTree d = tree_of({1, 2});
+  EXPECT_TRUE(a.same_structure(b));
+  EXPECT_FALSE(a.same_structure(c));
+  EXPECT_FALSE(a.same_structure(d));
+}
+
+TEST(KeyTree, AbsorbBkeysCopiesOnlyMissing) {
+  KeyTree mine = tree_of({1, 2});
+  KeyTree theirs = tree_of({1, 2});
+  int leaf1 = theirs.find_leaf(1);
+  theirs.node(leaf1).has_bkey = true;
+  theirs.node(leaf1).bkey = BigInt(42);
+  // Mine already has a value at leaf 2; theirs must not overwrite it.
+  int my_leaf2 = mine.find_leaf(2);
+  mine.node(my_leaf2).has_bkey = true;
+  mine.node(my_leaf2).bkey = BigInt(1000);
+  int their_leaf2 = theirs.find_leaf(2);
+  theirs.node(their_leaf2).has_bkey = true;
+  theirs.node(their_leaf2).bkey = BigInt(2000);
+
+  mine.absorb_bkeys(theirs);
+  EXPECT_EQ(mine.node(mine.find_leaf(1)).bkey, BigInt(42));
+  EXPECT_EQ(mine.node(my_leaf2).bkey, BigInt(1000));
+  EXPECT_TRUE(mine.node(my_leaf2).bkey_published);
+}
+
+TEST(KeyTree, MergeKeepsGuestKeys) {
+  // When my (small) tree is grafted into a larger one, my private key
+  // material must survive the clone.
+  KeyTree big = tree_of({0, 1, 2, 3});
+  KeyTree mine = KeyTree::leaf(9);
+  mine.node(mine.root()).has_key = true;
+  mine.node(mine.root()).key = BigInt(31337);
+  big.merge(mine);
+  int my_leaf = big.find_leaf(9);
+  ASSERT_NE(my_leaf, -1);
+  EXPECT_TRUE(big.node(my_leaf).has_key);
+  EXPECT_EQ(big.node(my_leaf).key, BigInt(31337));
+}
+
+TEST(KeyTree, MergeOfBigTreesIsDeterministic) {
+  KeyTree a1 = tree_of({0, 1, 2});
+  KeyTree b1 = tree_of({10, 11, 12, 13, 14});
+  KeyTree a2 = tree_of({0, 1, 2});
+  KeyTree b2 = tree_of({10, 11, 12, 13, 14});
+  b1.merge(a1);
+  b2.merge(a2);
+  EXPECT_TRUE(b1.same_structure(b2));
+}
+
+TEST(KeyTree, PathToRootAndSibling) {
+  KeyTree t = tree_of({0, 1, 2, 3});
+  int leaf0 = t.find_leaf(0);
+  auto path = t.path_to_root(leaf0);
+  EXPECT_EQ(static_cast<int>(path.size()), t.depth(leaf0));
+  EXPECT_EQ(path.back(), t.root());
+  int sib = t.sibling(leaf0);
+  ASSERT_NE(sib, -1);
+  EXPECT_EQ(t.node(t.node(leaf0).parent).left == leaf0 ? t.node(t.node(leaf0).parent).right
+                                                       : t.node(t.node(leaf0).parent).left,
+            sib);
+  EXPECT_EQ(t.sibling(t.root()), -1);
+}
+
+TEST(KeyTree, RightmostMemberOfSubtrees) {
+  KeyTree t = tree_of({0, 1, 2, 3});
+  EXPECT_EQ(t.rightmost_member(t.root()), 3u);
+  int left_child = t.node(t.root()).left;
+  EXPECT_EQ(t.rightmost_member(left_child), 1u);
+}
+
+}  // namespace
+}  // namespace sgk

@@ -1,0 +1,102 @@
+// Shared fixture for protocol tests: a simulated LAN/WAN with
+// SecureGroupMembers attached, plus helpers to drive membership events and
+// assert group-wide key agreement.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/secure_group.h"
+#include "gcs/spread.h"
+
+namespace sgk::testing {
+
+struct ProtocolFixture {
+  explicit ProtocolFixture(ProtocolKind protocol, Topology topo = lan_testbed(),
+                           DhBits bits = DhBits::k512)
+      : topology(std::move(topo)),
+        net(sim, topology),
+        pki(std::make_shared<Pki>()),
+        protocol_kind(protocol),
+        dh_bits(bits) {}
+
+  /// Creates a member on machine (index % machine_count) and joins it.
+  SecureGroupMember& add_member() {
+    const MachineId machine =
+        static_cast<MachineId>(members.size() % topology.machine_count());
+    const ProcessId pid = net.create_process(machine);
+    MemberConfig cfg;
+    cfg.protocol = protocol_kind;
+    cfg.dh_bits = dh_bits;
+    cfg.seed = 42;
+    members.push_back(std::make_unique<SecureGroupMember>(net, pid, pki, cfg));
+    members.back()->join();
+    sim.run();
+    return *members.back();
+  }
+
+  /// Grows the group to `n` members.
+  void grow_to(std::size_t n) {
+    while (alive_count() < n) add_member();
+  }
+
+  std::size_t alive_count() const {
+    std::size_t n = 0;
+    for (const auto& m : members)
+      if (m) ++n;
+    return n;
+  }
+
+  /// Members currently alive.
+  std::vector<SecureGroupMember*> alive() const {
+    std::vector<SecureGroupMember*> out;
+    for (const auto& m : members)
+      if (m) out.push_back(m.get());
+    return out;
+  }
+
+  /// Removes member at `index` from the group (leave event).
+  void remove_member(std::size_t index) {
+    ASSERT_TRUE(members.at(index));
+    members[index]->leave();
+    members[index].reset();
+    sim.run();
+  }
+
+  /// Asserts every alive member holds an identical, non-empty key for the
+  /// same epoch.
+  void expect_agreement() {
+    auto live = alive();
+    ASSERT_FALSE(live.empty());
+    ASSERT_TRUE(live[0]->has_key()) << "first member has no key";
+    for (SecureGroupMember* m : live) {
+      ASSERT_TRUE(m->has_key()) << "member " << m->id() << " has no key";
+      EXPECT_EQ(m->key_epoch(), live[0]->key_epoch())
+          << "member " << m->id() << " is at a different epoch";
+      EXPECT_EQ(to_hex(m->key()), to_hex(live[0]->key()))
+          << "member " << m->id() << " derived a different key";
+    }
+  }
+
+  Bytes current_key() const {
+    auto live = alive();
+    return live.empty() ? Bytes{} : live[0]->key();
+  }
+
+  Simulator sim;
+  Topology topology;
+  SpreadNetwork net;
+  std::shared_ptr<Pki> pki;
+  ProtocolKind protocol_kind;
+  DhBits dh_bits;
+  std::vector<std::unique_ptr<SecureGroupMember>> members;
+};
+
+inline std::vector<ProtocolKind> all_protocols() {
+  return {ProtocolKind::kGdh, ProtocolKind::kCkd, ProtocolKind::kTgdh,
+          ProtocolKind::kStr, ProtocolKind::kBd};
+}
+
+}  // namespace sgk::testing

@@ -1,0 +1,101 @@
+// Broad agreement sweeps: every protocol (including the balanced TGDH
+// variant) across a range of group sizes and a long mixed churn trace,
+// asserting key agreement and key freshness at every step.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/drbg.h"
+#include "tests/protocol_harness.h"
+
+namespace sgk {
+namespace {
+
+using testing::ProtocolFixture;
+
+std::vector<ProtocolKind> swept_protocols() {
+  auto v = sgk::testing::all_protocols();
+  v.push_back(ProtocolKind::kTgdhBalanced);
+  return v;
+}
+
+class Sweep : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(Sweep, GrowTo24ThenShrinkTo2) {
+  ProtocolFixture f(GetParam());
+  std::set<std::string> keys;
+  for (int n = 1; n <= 24; ++n) {
+    f.add_member();
+    f.expect_agreement();
+    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second) << "grow n=" << n;
+  }
+  Drbg rng(31337, "shrink");
+  while (f.alive_count() > 2) {
+    // Remove a pseudo-random live member.
+    auto live = f.alive();
+    SecureGroupMember* victim =
+        live[static_cast<std::size_t>(rng.next_u64(live.size()))];
+    for (std::size_t i = 0; i < f.members.size(); ++i) {
+      if (f.members[i] && f.members[i].get() == victim) {
+        f.remove_member(i);
+        break;
+      }
+    }
+    f.expect_agreement();
+    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second)
+        << "shrink at " << f.alive_count();
+  }
+}
+
+TEST_P(Sweep, LongMixedChurnTrace) {
+  ProtocolFixture f(GetParam());
+  Drbg rng(271828, "churn");
+  f.grow_to(6);
+  std::set<std::string> keys{to_hex(f.current_key())};
+  for (int step = 0; step < 30; ++step) {
+    const std::uint64_t dice = rng.next_u64(10);
+    if (dice < 4 || f.alive_count() <= 3) {
+      f.add_member();
+    } else if (dice < 8) {
+      auto live = f.alive();
+      SecureGroupMember* victim =
+          live[static_cast<std::size_t>(rng.next_u64(live.size()))];
+      for (std::size_t i = 0; i < f.members.size(); ++i)
+        if (f.members[i] && f.members[i].get() == victim) {
+          f.remove_member(i);
+          break;
+        }
+    } else {
+      f.alive()[0]->request_rekey();
+      f.sim.run();
+    }
+    f.expect_agreement();
+    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second)
+        << "step " << step << ": key reuse";
+  }
+}
+
+TEST_P(Sweep, RepeatedPartitionHealCycles) {
+  ProtocolFixture f(GetParam(), lan_testbed(6));
+  f.grow_to(6);
+  for (int round = 0; round < 3; ++round) {
+    f.net.partition({{0, 1, 2}, {3, 4, 5}});
+    f.sim.run();
+    for (SecureGroupMember* m : f.alive()) ASSERT_TRUE(m->has_key());
+    f.net.heal();
+    f.sim.run();
+    f.expect_agreement();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, Sweep, ::testing::ValuesIn(swept_protocols()),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      std::string name = to_string(info.param);
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace sgk

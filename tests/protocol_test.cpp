@@ -1,0 +1,233 @@
+// Cross-protocol property tests: all five key agreement protocols must
+// produce identical keys at every member across joins, leaves, partitions
+// and merges, with fresh keys after every membership event.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/protocol_harness.h"
+
+namespace sgk {
+namespace {
+
+using testing::ProtocolFixture;
+
+class AllProtocols : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(AllProtocols, SingleMemberEstablishesKey) {
+  ProtocolFixture f(GetParam());
+  f.add_member();
+  ASSERT_TRUE(f.members[0]->has_key());
+  EXPECT_FALSE(f.members[0]->key().empty());
+}
+
+TEST_P(AllProtocols, TwoMembersAgree) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(2);
+  f.expect_agreement();
+}
+
+TEST_P(AllProtocols, SequentialJoinsAgreeAtEverySize) {
+  ProtocolFixture f(GetParam());
+  for (std::size_t n = 1; n <= 8; ++n) {
+    f.add_member();
+    f.expect_agreement();
+  }
+}
+
+TEST_P(AllProtocols, KeyChangesOnJoin) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(3);
+  Bytes before = f.current_key();
+  f.add_member();
+  f.expect_agreement();
+  EXPECT_NE(to_hex(f.current_key()), to_hex(before))
+      << "join must produce a fresh key (backward secrecy)";
+}
+
+TEST_P(AllProtocols, KeyChangesOnLeave) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(4);
+  Bytes before = f.current_key();
+  f.remove_member(2);
+  f.expect_agreement();
+  EXPECT_NE(to_hex(f.current_key()), to_hex(before))
+      << "leave must produce a fresh key (forward secrecy)";
+}
+
+TEST_P(AllProtocols, DepartedMemberKeyIsStale) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(4);
+  // Keep the leaver's last key around.
+  MemberConfig cfg;
+  Bytes leaver_key = f.members[1]->key();
+  f.members[1]->leave();
+  auto leaver = std::move(f.members[1]);
+  f.members[1].reset();
+  f.sim.run();
+  f.expect_agreement();
+  EXPECT_NE(to_hex(f.current_key()), to_hex(leaver_key));
+  // The departed member never learns the new key.
+  EXPECT_EQ(to_hex(leaver->key()), to_hex(leaver_key));
+}
+
+TEST_P(AllProtocols, EveryMemberCanLeaveInTurn) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(6);
+  // Remove from the middle, front, and back; agreement must hold throughout.
+  for (std::size_t idx : {2u, 0u, 5u}) {
+    f.remove_member(idx);
+    f.expect_agreement();
+  }
+}
+
+TEST_P(AllProtocols, ShrinkToSingleton) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(4);
+  f.remove_member(0);
+  f.expect_agreement();
+  f.remove_member(1);
+  f.expect_agreement();
+  f.remove_member(2);
+  ASSERT_TRUE(f.members[3]->has_key());
+}
+
+TEST_P(AllProtocols, KeysAreFreshAcrossManyEvents) {
+  ProtocolFixture f(GetParam());
+  std::set<std::string> seen;
+  f.grow_to(3);
+  seen.insert(to_hex(f.current_key()));
+  for (int round = 0; round < 3; ++round) {
+    f.add_member();
+    EXPECT_TRUE(seen.insert(to_hex(f.current_key())).second)
+        << "key reused after a join";
+    f.remove_member(f.members.size() - 2);
+    EXPECT_TRUE(seen.insert(to_hex(f.current_key())).second)
+        << "key reused after a leave";
+  }
+}
+
+TEST_P(AllProtocols, PartitionBothSidesRekey) {
+  ProtocolFixture f(GetParam(), lan_testbed(4));
+  // Place two members per machine-pair so the partition splits 2/2.
+  f.grow_to(4);
+  Bytes before = f.current_key();
+  f.net.partition({{0, 1}, {2, 3}});
+  f.sim.run();
+  // Members 0,1 (machines 0,1) and 2,3 (machines 2,3).
+  auto key_of = [&](std::size_t i) { return to_hex(f.members[i]->key()); };
+  EXPECT_EQ(key_of(0), key_of(1));
+  EXPECT_EQ(key_of(2), key_of(3));
+  EXPECT_NE(key_of(0), key_of(2)) << "partitioned sides must diverge";
+  EXPECT_NE(key_of(0), to_hex(before));
+  EXPECT_NE(key_of(2), to_hex(before));
+}
+
+TEST_P(AllProtocols, MergeAfterPartitionReunifies) {
+  ProtocolFixture f(GetParam(), lan_testbed(4));
+  f.grow_to(4);
+  f.net.partition({{0, 1}, {2, 3}});
+  f.sim.run();
+  f.net.heal();
+  f.sim.run();
+  f.expect_agreement();
+  EXPECT_EQ(f.members[0]->view()->members.size(), 4u);
+}
+
+TEST_P(AllProtocols, UnevenPartitionAndMerge) {
+  ProtocolFixture f(GetParam(), lan_testbed(5));
+  f.grow_to(5);
+  f.net.partition({{0}, {1, 2, 3, 4}});
+  f.sim.run();
+  auto key_of = [&](std::size_t i) { return to_hex(f.members[i]->key()); };
+  EXPECT_EQ(key_of(1), key_of(4));
+  EXPECT_NE(key_of(0), key_of(1));
+  f.net.heal();
+  f.sim.run();
+  f.expect_agreement();
+}
+
+TEST_P(AllProtocols, ThreeWayPartitionAndMerge) {
+  ProtocolFixture f(GetParam(), lan_testbed(6));
+  f.grow_to(6);
+  f.net.partition({{0, 1}, {2, 3}, {4, 5}});
+  f.sim.run();
+  auto key_of = [&](std::size_t i) { return to_hex(f.members[i]->key()); };
+  EXPECT_EQ(key_of(0), key_of(1));
+  EXPECT_EQ(key_of(2), key_of(3));
+  EXPECT_EQ(key_of(4), key_of(5));
+  EXPECT_NE(key_of(0), key_of(2));
+  EXPECT_NE(key_of(2), key_of(4));
+  f.net.heal();
+  f.sim.run();
+  f.expect_agreement();
+}
+
+TEST_P(AllProtocols, DataFlowsEncryptedAfterAgreement) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(3);
+  std::vector<std::pair<ProcessId, Bytes>> received;
+  f.members[1]->set_data_listener([&](ProcessId sender, const Bytes& pt) {
+    received.emplace_back(sender, pt);
+  });
+  f.members[0]->send_data(str_bytes("attack at dawn"));
+  f.sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, f.members[0]->id());
+  EXPECT_EQ(received[0].second, str_bytes("attack at dawn"));
+}
+
+TEST_P(AllProtocols, SealOpenRoundTripAndTamperRejection) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(2);
+  Bytes sealed = f.members[0]->seal(str_bytes("secret payload"));
+  auto opened = f.members[1]->open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, str_bytes("secret payload"));
+  sealed[sealed.size() / 2] ^= 1;
+  EXPECT_FALSE(f.members[1]->open(sealed).has_value());
+}
+
+TEST_P(AllProtocols, WorksOn1024BitGroup) {
+  ProtocolFixture f(GetParam(), lan_testbed(), DhBits::k1024);
+  f.grow_to(3);
+  f.expect_agreement();
+  f.remove_member(1);
+  f.expect_agreement();
+}
+
+TEST_P(AllProtocols, WorksOnWanTopology) {
+  ProtocolFixture f(GetParam(), wan_testbed());
+  f.grow_to(4);
+  f.expect_agreement();
+  f.remove_member(2);
+  f.expect_agreement();
+}
+
+TEST_P(AllProtocols, KeyEstablishmentTakesNonzeroTime) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(2);
+  SimTime start = f.sim.now();
+  f.add_member();
+  for (SecureGroupMember* m : f.alive()) EXPECT_GT(m->key_time(), start);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, AllProtocols, ::testing::ValuesIn(sgk::testing::all_protocols()),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return std::string(to_string(info.param));
+    });
+
+TEST(NullProtocol, MeasuresMembershipOnly) {
+  ProtocolFixture f(ProtocolKind::kNone);
+  f.grow_to(3);
+  f.expect_agreement();
+  // No cryptographic operations at all.
+  for (SecureGroupMember* m : f.alive()) {
+    EXPECT_EQ(m->counters().exp_total(), 0u);
+    EXPECT_EQ(m->counters().sign_ops, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sgk

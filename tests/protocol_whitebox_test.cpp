@@ -1,0 +1,307 @@
+// White-box tests of protocol internals: controller/sponsor identities, key
+// structure relations, and the math underlying BD.
+#include <gtest/gtest.h>
+
+#include "bignum/modmath.h"
+#include "core/bd.h"
+#include "core/ckd.h"
+#include "core/gdh.h"
+#include "core/str.h"
+#include "core/tgdh.h"
+#include "crypto/drbg.h"
+#include "tests/protocol_harness.h"
+
+namespace sgk {
+namespace {
+
+using testing::ProtocolFixture;
+
+// ---------------------------------------------------------------------------
+// GDH
+
+TEST(GdhWhitebox, ControllerIsNewestMember) {
+  ProtocolFixture f(ProtocolKind::kGdh);
+  f.grow_to(4);
+  for (SecureGroupMember* m : f.alive()) {
+    auto& gdh = static_cast<GdhProtocol&>(m->protocol());
+    // The controller is the most recently added member.
+    EXPECT_EQ(gdh.controller(), f.members.back()->id());
+  }
+}
+
+TEST(GdhWhitebox, JoinOrderConsistentAcrossMembers) {
+  ProtocolFixture f(ProtocolKind::kGdh);
+  f.grow_to(5);
+  auto& first = static_cast<GdhProtocol&>(f.members[0]->protocol());
+  for (SecureGroupMember* m : f.alive()) {
+    auto& gdh = static_cast<GdhProtocol&>(m->protocol());
+    EXPECT_EQ(gdh.join_order(), first.join_order());
+  }
+  EXPECT_EQ(first.join_order().size(), 5u);
+}
+
+TEST(GdhWhitebox, ControllerLeaveElectsPreviousNewest) {
+  ProtocolFixture f(ProtocolKind::kGdh);
+  f.grow_to(4);
+  // The controller (last joiner) leaves; the next-most-recent survivor
+  // becomes controller.
+  ProcessId expected = f.members[2]->id();
+  f.remove_member(3);
+  f.expect_agreement();
+  for (SecureGroupMember* m : f.alive()) {
+    auto& gdh = static_cast<GdhProtocol&>(m->protocol());
+    EXPECT_EQ(gdh.controller(), expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CKD
+
+TEST(CkdWhitebox, ControllerIsOldestMember) {
+  ProtocolFixture f(ProtocolKind::kCkd);
+  f.grow_to(4);
+  for (SecureGroupMember* m : f.alive()) {
+    auto& ckd = static_cast<CkdProtocol&>(m->protocol());
+    EXPECT_EQ(ckd.controller(), f.members.front()->id());
+  }
+}
+
+TEST(CkdWhitebox, ControllerLeavePromotesNextOldest) {
+  ProtocolFixture f(ProtocolKind::kCkd);
+  f.grow_to(4);
+  ProcessId expected = f.members[1]->id();
+  f.remove_member(0);  // the controller
+  f.expect_agreement();
+  for (SecureGroupMember* m : f.alive()) {
+    auto& ckd = static_cast<CkdProtocol&>(m->protocol());
+    EXPECT_EQ(ckd.controller(), expected);
+  }
+}
+
+TEST(CkdWhitebox, ControllerLeaveCostsMoreThanMemberLeave) {
+  // The paper: "when the controller leaves the group, the new group
+  // controller must establish secure channels with all group members."
+  double controller_case, member_case;
+  {
+    ProtocolFixture f(ProtocolKind::kCkd);
+    f.grow_to(6);
+    SimTime t0 = f.sim.now();
+    f.remove_member(0);  // controller
+    controller_case = f.members[5]->key_time() - t0;
+  }
+  {
+    ProtocolFixture f(ProtocolKind::kCkd);
+    f.grow_to(6);
+    SimTime t0 = f.sim.now();
+    f.remove_member(3);  // ordinary member
+    member_case = f.members[5]->key_time() - t0;
+  }
+  EXPECT_GT(controller_case, 1.5 * member_case);
+}
+
+// ---------------------------------------------------------------------------
+// STR
+
+TEST(StrWhitebox, ChainFollowsJoinOrder) {
+  ProtocolFixture f(ProtocolKind::kStr);
+  f.grow_to(5);
+  for (SecureGroupMember* m : f.alive()) {
+    auto& str = static_cast<StrProtocol&>(m->protocol());
+    ASSERT_EQ(str.chain().size(), 5u);
+    // Incremental joins stack on top: chain order == join order.
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_EQ(str.chain()[i], f.members[i]->id());
+  }
+}
+
+TEST(StrWhitebox, ChainsIdenticalAcrossMembersAfterChurn) {
+  ProtocolFixture f(ProtocolKind::kStr);
+  f.grow_to(6);
+  f.remove_member(2);
+  f.add_member();
+  auto live = f.alive();
+  auto& first = static_cast<StrProtocol&>(live[0]->protocol());
+  for (SecureGroupMember* m : live) {
+    auto& str = static_cast<StrProtocol&>(m->protocol());
+    EXPECT_EQ(str.chain(), first.chain());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TGDH
+
+TEST(TgdhWhitebox, TreesStructurallyIdenticalAcrossMembers) {
+  ProtocolFixture f(ProtocolKind::kTgdh);
+  f.grow_to(7);
+  auto live = f.alive();
+  auto& first = static_cast<TgdhProtocol&>(live[0]->protocol());
+  for (SecureGroupMember* m : live) {
+    auto& tgdh = static_cast<TgdhProtocol&>(m->protocol());
+    EXPECT_TRUE(tgdh.tree().same_structure(first.tree()));
+  }
+}
+
+TEST(TgdhWhitebox, MemberKnowsOnlyItsPathKeys) {
+  ProtocolFixture f(ProtocolKind::kTgdh);
+  f.grow_to(6);
+  for (SecureGroupMember* m : f.alive()) {
+    auto& tgdh = static_cast<TgdhProtocol&>(m->protocol());
+    const KeyTree& tree = tgdh.tree();
+    int my_leaf = tree.find_leaf(m->id());
+    ASSERT_NE(my_leaf, -1);
+    // Keys on my path must be known; keys at other leaves must not be.
+    EXPECT_TRUE(tree.node(my_leaf).has_key);
+    for (ProcessId other : tree.members()) {
+      if (other == m->id()) continue;
+      EXPECT_FALSE(tree.node(tree.find_leaf(other)).has_key)
+          << "member " << m->id() << " knows the secret of " << other;
+    }
+    // And the root key (the group key) is known.
+    EXPECT_TRUE(tree.node(tree.root()).has_key);
+  }
+}
+
+TEST(TgdhWhitebox, TreeHeightStaysLogarithmic) {
+  ProtocolFixture f(ProtocolKind::kTgdh);
+  f.grow_to(16);
+  auto& tgdh = static_cast<TgdhProtocol&>(f.alive()[0]->protocol());
+  const KeyTree& tree = tgdh.tree();
+  EXPECT_LE(tree.height(tree.root()), 5);  // ceil(log2 16) + 1
+}
+
+// ---------------------------------------------------------------------------
+// BD math: the implemented combination yields g^(r1r2 + r2r3 + ... + rn r1).
+
+TEST(BdMath, KeyFormulaMatchesDefinition) {
+  const DhGroup& grp = dh_group(DhBits::k512);
+  Drbg rng(77, "bd-math");
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    std::vector<BigInt> r(n);
+    std::vector<BigInt> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] = grp.random_exponent(rng);
+      z[i] = grp.exp_g(r[i]);
+    }
+    auto mod = [&](std::ptrdiff_t i) {
+      return static_cast<std::size_t>(((i % static_cast<std::ptrdiff_t>(n)) +
+                                       static_cast<std::ptrdiff_t>(n)) %
+                                      static_cast<std::ptrdiff_t>(n));
+    };
+    std::vector<BigInt> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      BigInt ratio =
+          z[mod(static_cast<std::ptrdiff_t>(i) + 1)] *
+          mod_inverse(z[mod(static_cast<std::ptrdiff_t>(i) - 1)], grp.p()) %
+          grp.p();
+      x[i] = grp.exp(ratio, r[i]);
+    }
+    // Every member's combination...
+    std::vector<BigInt> keys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      BigInt k = grp.exp(z[mod(static_cast<std::ptrdiff_t>(i) - 1)],
+                         BigInt(n) * r[i] % grp.q());
+      for (std::size_t j = 0; j + 1 < n; ++j) {
+        const BigInt& xj = x[mod(static_cast<std::ptrdiff_t>(i + j))];
+        BigInt e(static_cast<std::uint64_t>(n - 1 - j));
+        k = k * grp.exp(xj, e) % grp.p();
+      }
+      keys[i] = k;
+    }
+    // ...equals the closed form g^(sum of adjacent products).
+    BigInt exponent;
+    for (std::size_t i = 0; i < n; ++i)
+      exponent = (exponent + r[i] * r[mod(static_cast<std::ptrdiff_t>(i) + 1)]) % grp.q();
+    BigInt expected = grp.exp_g(exponent);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(keys[i], expected) << "member " << i << " of " << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-protocol: counters sanity against Table 1 shapes.
+
+TEST(Counters, GdhLeaveIsOneBroadcastLinearExps) {
+  ProtocolFixture f(ProtocolKind::kGdh);
+  f.grow_to(8);
+  OpCounters before;
+  for (SecureGroupMember* m : f.alive()) before += m->counters();
+  before = before - f.members[4]->counters();
+  f.remove_member(4);
+  OpCounters after;
+  for (SecureGroupMember* m : f.alive()) after += m->counters();
+  OpCounters delta = after - before;
+  EXPECT_EQ(delta.multicasts, 1u);  // one controller broadcast
+  EXPECT_EQ(delta.sign_ops, 1u);
+  // Controller: n-l refresh exps + own key; members: one exp each.
+  EXPECT_EQ(delta.exp_full, 7u + 6u);
+}
+
+TEST(Counters, BdJoinIsTwoBroadcastRounds) {
+  ProtocolFixture f(ProtocolKind::kBd);
+  f.grow_to(3);
+  OpCounters before;
+  for (SecureGroupMember* m : f.alive()) before += m->counters();
+  f.add_member();
+  OpCounters after;
+  for (SecureGroupMember* m : f.alive()) after += m->counters();
+  OpCounters delta = after - before;
+  EXPECT_EQ(delta.multicasts, 8u);  // 2 rounds x 4 members
+  EXPECT_EQ(delta.sign_ops, 8u);
+  // Every member verifies everyone else's two broadcasts.
+  EXPECT_EQ(delta.verify_ops, 4u * 2u * 3u);
+}
+
+TEST(Counters, StrJoinIsThreeMessages) {
+  ProtocolFixture f(ProtocolKind::kStr);
+  f.grow_to(5);
+  OpCounters before;
+  for (SecureGroupMember* m : f.alive()) before += m->counters();
+  f.add_member();
+  OpCounters after;
+  for (SecureGroupMember* m : f.alive()) after += m->counters();
+  OpCounters delta = after - before;
+  EXPECT_EQ(delta.multicasts, 3u);  // two announcements + one update
+  EXPECT_EQ(delta.sign_ops, 3u);
+}
+
+TEST(Counters, TgdhJoinIsThreeMessages) {
+  ProtocolFixture f(ProtocolKind::kTgdh);
+  f.grow_to(5);
+  OpCounters before;
+  for (SecureGroupMember* m : f.alive()) before += m->counters();
+  f.add_member();
+  OpCounters after;
+  for (SecureGroupMember* m : f.alive()) after += m->counters();
+  OpCounters delta = after - before;
+  EXPECT_EQ(delta.multicasts, 3u);
+  EXPECT_EQ(delta.sign_ops, 3u);
+}
+
+TEST(Counters, CkdJoinUsesUnicastResponse) {
+  ProtocolFixture f(ProtocolKind::kCkd);
+  f.grow_to(4);
+  OpCounters before;
+  for (SecureGroupMember* m : f.alive()) before += m->counters();
+  f.add_member();
+  OpCounters after;
+  for (SecureGroupMember* m : f.alive()) after += m->counters();
+  OpCounters delta = after - before;
+  EXPECT_EQ(delta.multicasts, 2u);  // challenge + key broadcast
+  EXPECT_EQ(delta.unicasts, 1u);    // new member's response
+  EXPECT_EQ(delta.sign_ops, 3u);
+}
+
+TEST(Counters, NoneProtocolDoesNoCrypto) {
+  ProtocolFixture f(ProtocolKind::kNone);
+  f.grow_to(6);
+  f.remove_member(3);
+  for (SecureGroupMember* m : f.alive()) {
+    EXPECT_EQ(m->counters().exp_total(), 0u);
+    EXPECT_EQ(m->counters().sign_ops, 0u);
+    EXPECT_EQ(m->counters().verify_ops, 0u);
+    EXPECT_EQ(m->counters().messages(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sgk

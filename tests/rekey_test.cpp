@@ -1,0 +1,91 @@
+// Explicit re-key (refresh) tests: a fresh group key with unchanged
+// membership, for every protocol.
+#include <gtest/gtest.h>
+#include <set>
+
+#include "tests/protocol_harness.h"
+
+namespace sgk {
+namespace {
+
+using testing::ProtocolFixture;
+
+class Rekey : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(Rekey, RefreshProducesFreshKeySameMembership) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(5);
+  const Bytes before = f.current_key();
+  const auto members_before = f.alive()[0]->view()->members;
+  const std::uint64_t epoch_before = f.alive()[0]->key_epoch();
+
+  f.members[2]->request_rekey();
+  f.sim.run();
+
+  f.expect_agreement();
+  EXPECT_NE(to_hex(f.current_key()), to_hex(before));
+  EXPECT_GT(f.alive()[0]->key_epoch(), epoch_before);
+  EXPECT_EQ(f.alive()[0]->view()->members, members_before);
+}
+
+TEST_P(Rekey, RefreshEventClassifiedAsRefresh) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(3);
+  // Observed through the members themselves; verify via epoch advance:
+  std::uint64_t epoch = f.alive()[0]->key_epoch();
+  f.members[0]->request_rekey();
+  f.sim.run();
+  EXPECT_GT(f.alive()[0]->key_epoch(), epoch);
+}
+
+TEST_P(Rekey, RepeatedRefreshesAllDistinct) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(4);
+  std::set<std::string> keys;
+  keys.insert(to_hex(f.current_key()));
+  for (int i = 0; i < 4; ++i) {
+    f.members[static_cast<std::size_t>(i)]->request_rekey();
+    f.sim.run();
+    f.expect_agreement();
+    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second)
+        << "re-key " << i << " reused a key";
+  }
+}
+
+TEST_P(Rekey, RefreshThenChurnStillConverges) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(4);
+  f.members[1]->request_rekey();
+  f.sim.run();
+  f.expect_agreement();
+  f.add_member();
+  f.expect_agreement();
+  f.remove_member(2);
+  f.expect_agreement();
+}
+
+TEST_P(Rekey, SingletonRefreshWorks) {
+  ProtocolFixture f(GetParam());
+  f.grow_to(1);
+  Bytes before = f.members[0]->key();
+  f.members[0]->request_rekey();
+  f.sim.run();
+  EXPECT_NE(to_hex(f.members[0]->key()), to_hex(before));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, Rekey, ::testing::ValuesIn(sgk::testing::all_protocols()),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return std::string(to_string(info.param));
+    });
+
+TEST(ViewClassify, RefreshEvent) {
+  ViewDelta d;
+  d.first_view = false;
+  EXPECT_EQ(d.classify(), GroupEvent::kRefresh);
+  d.first_view = true;
+  EXPECT_EQ(d.classify(), GroupEvent::kInitial);
+}
+
+}  // namespace
+}  // namespace sgk

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace sgk {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(5.0, [&] { order.push_back(2); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(9.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 9.0);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, FifoTieBreakAtSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  double inner_time = -1;
+  sim.at(2.0, [&] { sim.after(3.0, [&] { inner_time = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(inner_time, 5.0);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(5.0, [&] {
+    EXPECT_THROW(sim.at(4.0, [] {}), CheckFailure);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Cpu, SingleTaskRunsImmediately) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1, 1.0);
+  double done_at = -1;
+  cpu.submit(0, 10.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done_at, 10.0);
+}
+
+TEST(Cpu, SpeedFactorScalesCost) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1, 2.0);  // half-speed machine
+  double done_at = -1;
+  cpu.submit(0, 10.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done_at, 20.0);
+}
+
+TEST(Cpu, TwoCoresRunTwoProcessesInParallel) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2, 1.0);
+  std::vector<double> done;
+  cpu.submit(0, 10.0, [&] { done.push_back(sim.now()); });
+  cpu.submit(1, 10.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 10.0);
+  EXPECT_EQ(done[1], 10.0);
+}
+
+TEST(Cpu, ThirdProcessQueuesBehindTwoCores) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2, 1.0);
+  std::vector<double> done;
+  for (std::uint64_t p = 0; p < 3; ++p)
+    cpu.submit(p, 10.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[2], 20.0);  // contention: the paper's BD doubling effect
+}
+
+TEST(Cpu, SameProcessTasksSerializeEvenWithFreeCores) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 4, 1.0);
+  std::vector<double> done;
+  cpu.submit(7, 10.0, [&] { done.push_back(sim.now()); });
+  cpu.submit(7, 10.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[1], 20.0);  // a member is single-threaded
+}
+
+TEST(Cpu, ZeroCostCompletesNow) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1, 1.0);
+  double done_at = -1;
+  sim.at(3.0, [&] { cpu.submit(0, 0.0, [&] { done_at = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(done_at, 3.0);
+}
+
+TEST(Topology, LanLatencies) {
+  Topology t = lan_testbed();
+  EXPECT_EQ(t.machine_count(), 13u);
+  EXPECT_EQ(t.site_count(), 1u);
+  EXPECT_EQ(t.latency(0, 1), t.intra_site_ms);
+  EXPECT_EQ(t.latency(3, 3), t.local_loopback_ms);
+  EXPECT_EQ(t.machine(0).cores, 2);
+}
+
+TEST(Topology, WanLatenciesMatchFigure13) {
+  Topology t = wan_testbed();
+  EXPECT_EQ(t.machine_count(), 13u);
+  EXPECT_EQ(t.site_count(), 3u);
+  // machines 0..10 at JHU, 11 at UCI, 12 at ICU.
+  EXPECT_DOUBLE_EQ(t.latency(0, 11), 17.5);
+  EXPECT_DOUBLE_EQ(t.latency(11, 12), 150.0);
+  EXPECT_DOUBLE_EQ(t.latency(12, 0), 135.0);
+  EXPECT_EQ(t.latency(0, 1), t.intra_site_ms);
+  // Remote machines are single-CPU with distinct speed factors.
+  EXPECT_EQ(t.machine(11).cores, 1);
+  EXPECT_LT(t.machine(11).speed, 1.0);
+  EXPECT_GT(t.machine(12).speed, 1.0);
+}
+
+TEST(CostModel, MatchesPaperPrimitives) {
+  CostModel m = CostModel::paper2002();
+  // 512-bit modexp with a 160-bit exponent: ~1.3 ms (paper section 6.1.1).
+  EXPECT_NEAR(m.mod_exp_ms(512, 160), 1.3, 0.25);
+  // 1024-bit: ~5.3 ms.
+  EXPECT_NEAR(m.mod_exp_ms(1024, 160), 5.3, 0.6);
+  // RSA-1024 sign ~8 ms, verify with e=3 well under a millisecond.
+  EXPECT_NEAR(m.rsa_sign_ms(1024), 8.0, 1.5);
+  EXPECT_LT(m.rsa_verify_ms(1024, 2), 1.0);
+  EXPECT_GT(m.rsa_verify_ms(1024, 2), 0.2);
+}
+
+TEST(CostModel, ScalesQuadraticallyWithModulus) {
+  CostModel m = CostModel::paper2002();
+  EXPECT_NEAR(m.mult_ms(1024) / m.mult_ms(512), 4.0, 1e-9);
+  EXPECT_GT(m.mod_exp_ms(512, 512), m.mod_exp_ms(512, 160));
+}
+
+TEST(CostModel, SmallExponentIsCheap) {
+  CostModel m = CostModel::paper2002();
+  // BD's hidden cost: exponent of ~6 bits is far cheaper than 160 bits but
+  // not free.
+  EXPECT_LT(m.mod_exp_ms(512, 6), 0.2);
+  EXPECT_GT(m.mod_exp_ms(512, 6), 0.0);
+}
+
+TEST(CostModel, FreeModelIsZero) {
+  CostModel m = CostModel::free();
+  EXPECT_EQ(m.mod_exp_ms(512, 160), 0.0);
+  EXPECT_EQ(m.rsa_sign_ms(1024), 0.0);
+}
+
+}  // namespace
+}  // namespace sgk

@@ -1,0 +1,124 @@
+// Tests of the eagerly-balancing TGDH variant (TGDH-bal) and of
+// KeyTree::rebuild_balanced.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/tgdh.h"
+#include "tests/protocol_harness.h"
+
+namespace sgk {
+namespace {
+
+using testing::ProtocolFixture;
+
+TEST(RebuildBalanced, ProducesMinimalHeight) {
+  KeyTree t = KeyTree::leaf(0);
+  for (ProcessId p = 1; p < 11; ++p) {
+    KeyTree leaf = KeyTree::leaf(p);
+    t.merge(leaf);
+  }
+  // Force an unbalanced shape by removing a cluster of leaves.
+  t.remove_members({1, 2, 3, 4, 5});
+  t.rebuild_balanced();
+  // 6 members -> minimal height 3.
+  EXPECT_EQ(t.members().size(), 6u);
+  EXPECT_LE(t.height(t.root()), 3);
+}
+
+TEST(RebuildBalanced, PreservesLeafStateOrderAndSecrets) {
+  KeyTree t = KeyTree::leaf(5);
+  KeyTree l7 = KeyTree::leaf(7);
+  KeyTree l9 = KeyTree::leaf(9);
+  t.merge(l7);
+  t.merge(l9);
+  int leaf7 = t.find_leaf(7);
+  t.node(leaf7).has_key = true;
+  t.node(leaf7).key = BigInt(12345);
+  t.node(leaf7).has_bkey = true;
+  t.node(leaf7).bkey = BigInt(777);
+  t.node(leaf7).bkey_published = true;
+  std::vector<ProcessId> before = t.members();
+
+  t.rebuild_balanced();
+  EXPECT_EQ(t.members(), before);  // order preserved
+  int new_leaf7 = t.find_leaf(7);
+  ASSERT_NE(new_leaf7, -1);
+  EXPECT_TRUE(t.node(new_leaf7).has_key);
+  EXPECT_EQ(t.node(new_leaf7).key, BigInt(12345));
+  EXPECT_TRUE(t.node(new_leaf7).bkey_published);
+  // Internal nodes are fresh and invalid.
+  EXPECT_FALSE(t.node(t.root()).has_key);
+  EXPECT_FALSE(t.node(t.root()).has_bkey);
+}
+
+TEST(RebuildBalanced, SingleLeafIsNoop) {
+  KeyTree t = KeyTree::leaf(3);
+  t.rebuild_balanced();
+  EXPECT_EQ(t.members(), std::vector<ProcessId>{3});
+  EXPECT_EQ(t.height(t.root()), 0);
+}
+
+TEST(TgdhBalanced, AgreementAcrossChurn) {
+  ProtocolFixture f(ProtocolKind::kTgdhBalanced);
+  for (int i = 0; i < 8; ++i) {
+    f.add_member();
+    f.expect_agreement();
+  }
+  for (std::size_t idx : {1u, 2u, 3u}) {
+    f.remove_member(idx);
+    f.expect_agreement();
+  }
+  f.add_member();
+  f.expect_agreement();
+}
+
+TEST(TgdhBalanced, TreeStaysMinimalAfterClusterLeave) {
+  ProtocolFixture f(ProtocolKind::kTgdhBalanced);
+  f.grow_to(12);
+  // Remove five members; the plain variant would leave a ragged tree.
+  for (std::size_t idx : {2u, 3u, 4u, 5u, 6u}) f.remove_member(idx);
+  f.expect_agreement();
+  auto& tgdh = static_cast<TgdhProtocol&>(f.alive()[0]->protocol());
+  const KeyTree& tree = tgdh.tree();
+  EXPECT_LE(tree.height(tree.root()), 3);  // 7 members -> minimal height 3
+}
+
+TEST(TgdhBalanced, LeaveUsesMoreMessagesThanPlainTgdh) {
+  // The documented trade-off: rebalancing costs extra broadcast rounds.
+  auto leave_messages = [](ProtocolKind kind) {
+    ProtocolFixture f(kind);
+    f.grow_to(12);
+    for (std::size_t idx : {2u, 3u, 4u}) f.remove_member(idx);
+    OpCounters total;
+    for (SecureGroupMember* m : f.alive()) total += m->counters();
+    return total.multicasts;
+  };
+  EXPECT_GE(leave_messages(ProtocolKind::kTgdhBalanced),
+            leave_messages(ProtocolKind::kTgdh));
+}
+
+TEST(TgdhBalanced, PartitionAndMergeConverge) {
+  ProtocolFixture f(ProtocolKind::kTgdhBalanced, lan_testbed(6));
+  f.grow_to(6);
+  f.net.partition({{0, 1, 2}, {3, 4, 5}});
+  f.sim.run();
+  f.net.heal();
+  f.sim.run();
+  f.expect_agreement();
+}
+
+TEST(TgdhBalanced, KeysFreshOnRebalancedLeave) {
+  ProtocolFixture f(ProtocolKind::kTgdhBalanced);
+  f.grow_to(10);
+  std::set<std::string> keys;
+  keys.insert(to_hex(f.current_key()));
+  for (std::size_t idx : {1u, 2u, 3u, 4u}) {
+    f.remove_member(idx);
+    f.expect_agreement();
+    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second);
+  }
+}
+
+}  // namespace
+}  // namespace sgk

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace sgk {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  Bytes b = {0x00, 0xff, 0x10, 0xab};
+  EXPECT_EQ(to_hex(b), "00ff10ab");
+  EXPECT_EQ(from_hex("00ff10ab"), b);
+  EXPECT_EQ(from_hex("00FF10AB"), b);
+}
+
+TEST(Hex, Malformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(CtEqual, Behaviour) {
+  EXPECT_TRUE(ct_equal({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ct_equal({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ct_equal({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(XorBytes, Works) {
+  EXPECT_EQ(xor_bytes({0x0f, 0xf0}, {0xff, 0xff}), Bytes({0xf0, 0x0f}));
+  EXPECT_THROW(xor_bytes({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Check, ThrowsWithLocation) {
+  try {
+    SGK_CHECK(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Serde, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, BytesAndStrings) {
+  Writer w;
+  w.bytes({1, 2, 3});
+  w.str("hello");
+  w.bytes({});
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), Bytes({1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, TruncatedThrows) {
+  Writer w;
+  w.u32(42);
+  Bytes data = w.data();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(Serde, TruncatedBytesLengthThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow, but none do
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Serde, BigEndianLayout) {
+  Writer w;
+  w.u32(1);
+  EXPECT_EQ(w.data(), Bytes({0, 0, 0, 1}));
+}
+
+TEST(Serde, RawHasNoPrefix) {
+  Writer w;
+  w.raw({9, 8, 7});
+  EXPECT_EQ(w.data(), Bytes({9, 8, 7}));
+}
+
+}  // namespace
+}  // namespace sgk
