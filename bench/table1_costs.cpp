@@ -37,8 +37,16 @@ struct Row {
 
 std::string fmt_counts(const OpCounters& c) {
   std::string out = std::to_string(c.multicasts) + "mc";
-  if (c.ordered_sends) out += "+" + std::to_string(c.ordered_sends) + "ord";
-  if (c.unicasts) out += "+" + std::to_string(c.unicasts) + "uni";
+  if (c.ordered_sends) {
+    out += "+";
+    out += std::to_string(c.ordered_sends);
+    out += "ord";
+  }
+  if (c.unicasts) {
+    out += "+";
+    out += std::to_string(c.unicasts);
+    out += "uni";
+  }
   return out;
 }
 

@@ -81,13 +81,13 @@ int main() {
 
   std::cout << "control group (BD): " << control.size() + 1 << " members, epoch "
             << bridge_control.key_epoch() << ", key "
-            << to_hex(bridge_control.key()).substr(0, 16) << "...\n";
+            << bridge_control.key_fingerprint() << "\n";
   std::cout << "bulk group (TGDH): " << bulk.size() + 1 << " members, epoch "
             << bridge_bulk.key_epoch() << ", key "
-            << to_hex(bridge_bulk.key()).substr(0, 16) << "...\n";
+            << bridge_bulk.key_fingerprint() << "\n";
 
-  if (to_hex(control[0]->key()) != to_hex(bridge_control.key()) ||
-      to_hex(bulk[0]->key()) != to_hex(bridge_bulk.key())) {
+  if (!ct_equal(control[0]->key(), bridge_control.key()) ||
+      !ct_equal(bulk[0]->key(), bridge_bulk.key())) {
     std::cerr << "bridge key mismatch!\n";
     return 1;
   }

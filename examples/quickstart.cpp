@@ -33,12 +33,12 @@ int main() {
     sim.run();
     std::cout << "t=" << sim.now() << "ms  member " << m->id()
               << " joined; group key epoch " << m->key_epoch() << ", key "
-              << to_hex(m->key()).substr(0, 16) << "...\n";
+              << m->key_fingerprint() << "\n";
   }
 
   // Every member now holds the same key.
   for (auto& m : members) {
-    if (to_hex(m->key()) != to_hex(members[0]->key())) {
+    if (!ct_equal(m->key(), members[0]->key())) {
       std::cerr << "key mismatch!\n";
       return 1;
     }
@@ -57,12 +57,12 @@ int main() {
   sim.run();
 
   // A member leaves; the group re-keys so the leaver is excluded.
-  Bytes old_key = members[0]->key();
+  const std::string old_fp = members[0]->key_fingerprint();
   std::cout << "\nmember " << members[2]->id() << " leaves...\n";
   members[2]->leave();
   sim.run();
   std::cout << "new key epoch " << members[0]->key_epoch() << ", key changed: "
-            << (to_hex(members[0]->key()) != to_hex(old_key) ? "yes" : "no")
+            << (members[0]->key_fingerprint() != old_fp ? "yes" : "no")
             << "\n";
   return 0;
 }

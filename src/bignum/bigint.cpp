@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/secure_bytes.h"
 
 namespace sgk {
 
@@ -18,6 +19,12 @@ BigInt::BigInt(std::uint64_t v) {
 
 void BigInt::normalize() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+void BigInt::wipe() noexcept {
+  secure_zero(limbs_.data(), limbs_.size() * sizeof(u64));
+  limbs_.clear();
+  limbs_.shrink_to_fit();
 }
 
 BigInt BigInt::from_limbs(std::vector<std::uint64_t> limbs) {

@@ -89,6 +89,11 @@ class BigInt {
   const std::vector<std::uint64_t>& limbs() const { return limbs_; }
   static BigInt from_limbs(std::vector<std::uint64_t> limbs);
 
+  /// Zeroizes the limb storage (optimizer-proof) and resets the value to
+  /// zero. Used by SecureBigInt for secret exponents; harmless on non-secret
+  /// values.
+  void wipe() noexcept;
+
  private:
   void normalize();
 

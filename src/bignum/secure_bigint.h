@@ -1,0 +1,62 @@
+// Zeroizing wrapper for secret big integers.
+//
+// `SecureBigInt` is the mandatory storage type for long-lived secret
+// exponents and node secrets: DH session randoms, CKD long-term exponents
+// and pairwise keys, and key-tree node keys. It wipes the wrapped BigInt's
+// limb storage on destruction, on move-from and on reassignment. The wrapped
+// value is read through an implicit `const BigInt&` conversion, so arithmetic
+// call sites (`crypto().exp(base, r_)`) stay unchanged; the value can only be
+// *replaced*, never mutated in place, which keeps every wipe site in this
+// header. gka_lint rule GKA004 enforces its use for secret-named fields.
+#pragma once
+
+#include <utility>
+
+#include "bignum/bigint.h"
+
+namespace sgk {
+
+class SecureBigInt {
+ public:
+  SecureBigInt() noexcept = default;
+  /// Implicit adoption: `r_ = crypto().random_exponent();` just works.
+  SecureBigInt(BigInt v) noexcept : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Secrets are copied where the design demands it (key-tree clones, map
+  /// inserts); each copy wipes independently.
+  SecureBigInt(const SecureBigInt&) = default;
+  SecureBigInt(SecureBigInt&& o) noexcept : v_(std::move(o.v_)) { o.wipe(); }
+  SecureBigInt& operator=(const SecureBigInt& o) {
+    if (this != &o) {
+      v_.wipe();
+      v_ = o.v_;
+    }
+    return *this;
+  }
+  SecureBigInt& operator=(SecureBigInt&& o) noexcept {
+    if (this != &o) {
+      v_.wipe();
+      v_ = std::move(o.v_);
+      o.wipe();
+    }
+    return *this;
+  }
+  SecureBigInt& operator=(BigInt v) {
+    v_.wipe();
+    v_ = std::move(v);
+    return *this;
+  }
+  ~SecureBigInt() { v_.wipe(); }
+
+  /// Read access for arithmetic; the referee must not outlive the wrapper.
+  operator const BigInt&() const noexcept { return v_; }  // NOLINT(google-explicit-constructor)
+  const BigInt& get() const noexcept { return v_; }
+
+  bool is_zero() const noexcept { return v_.is_zero(); }
+  void wipe() noexcept { v_.wipe(); }
+
+ private:
+  BigInt v_;
+};
+
+}  // namespace sgk

@@ -62,7 +62,8 @@ void BdProtocol::maybe_finish() {
   const std::size_t n = view_.members.size();
   const std::size_t i = index_of(self());
   // K = z_{i-1}^(n r_i) * prod_{j=0}^{n-2} X_{i+j}^(n-1-j)
-  BigInt key = crypto().exp(z_.at(at_offset(i, -1)), BigInt(n) * r_ % crypto().group().q());
+  SecureBigInt key =
+      crypto().exp(z_.at(at_offset(i, -1)), BigInt(n) * r_ % crypto().group().q());
   for (std::size_t j = 0; j + 1 < n; ++j) {
     const std::uint64_t e = static_cast<std::uint64_t>(n - 1 - j);
     const BigInt& xj = x_values_.at(at_offset(i, static_cast<std::ptrdiff_t>(j)));

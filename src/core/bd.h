@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "bignum/secure_bigint.h"
 #include "core/key_agreement.h"
 
 namespace sgk {
@@ -36,7 +37,8 @@ class BdProtocol final : public KeyAgreement {
   void maybe_finish();
 
   View view_;
-  BigInt r_;
+  SecureBigInt r_;  // my secret session random (zeroized on replace)
+  // z_i and X_i are broadcast round values, not secrets.
   std::map<ProcessId, BigInt> z_;
   std::map<ProcessId, BigInt> x_values_;
   bool sent_x_ = false;

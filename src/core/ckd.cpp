@@ -97,7 +97,7 @@ void CkdProtocol::begin_controller_round(const std::vector<ProcessId>& need_chan
 
 void CkdProtocol::rekey() {
   SGK_CHECK(have_pub_);
-  const BigInt s = crypto().random_exponent();
+  const SecureBigInt s = crypto().random_exponent();
   Writer w;
   w.u8(kKeyBcast);
   w.u32(static_cast<std::uint32_t>(order_.size()));

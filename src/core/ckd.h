@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "bignum/secure_bigint.h"
 #include "core/key_agreement.h"
 
 namespace sgk {
@@ -42,13 +43,13 @@ class CkdProtocol final : public KeyAgreement {
 
   View view_;
   std::vector<ProcessId> order_;  // oldest first; controller == order_.front()
-  BigInt x_;                      // my long-term DH exponent (per session)
+  SecureBigInt x_;                // my long-term DH exponent (per session)
   BigInt my_pub_;                 // g^x, computed lazily
   bool have_pub_ = false;
 
-  // Controller state.
-  std::map<ProcessId, BigInt> pairwise_;  // member -> K_ci
-  std::vector<ProcessId> awaiting_;       // responses still missing
+  // Controller state. Pairwise channel keys K_ci are long-lived secrets.
+  std::map<ProcessId, SecureBigInt> pairwise_;  // member -> K_ci
+  std::vector<ProcessId> awaiting_;             // responses still missing
 
   // Member state.
   ProcessId controller_seen_ = kNoProcess;  // sender of the last challenge

@@ -5,7 +5,9 @@
 
 namespace sgk {
 
-BigInt CryptoContext::random_exponent() { return group_.random_exponent(rng_); }
+SecureBigInt CryptoContext::random_exponent() {
+  return group_.random_exponent(rng_);
+}
 
 BigInt CryptoContext::exp(const BigInt& base, const BigInt& e) {
   const std::size_t ebits = e.bit_length();

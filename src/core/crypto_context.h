@@ -11,6 +11,7 @@
 #include <variant>
 
 #include "bignum/bigint.h"
+#include "bignum/secure_bigint.h"
 #include "core/counters.h"
 #include "crypto/dh.h"
 #include "crypto/drbg.h"
@@ -49,8 +50,8 @@ class CryptoContext {
     return rsa_.public_key();
   }
 
-  /// Fresh session exponent in [1, q).
-  BigInt random_exponent();
+  /// Fresh session exponent in [1, q), in zeroizing storage.
+  SecureBigInt random_exponent();
 
   /// (base ^ e) mod p; counted as a full or small exponentiation by the
   /// exponent's bit length.

@@ -113,8 +113,8 @@ void GdhProtocol::handle_leave(const ViewDelta& delta) {
   if (self() != order_.back()) return;  // wait for the controller broadcast
   // Refresh my exponent by a factor f; every other partial key gains f, my
   // own stays (it excludes my contribution by construction).
-  const BigInt f = crypto().random_exponent();
-  r_ = r_ * f % crypto().group().q();
+  const SecureBigInt f = crypto().random_exponent();
+  r_ = r_.get() * f % crypto().group().q();
   for (auto& [member, partial] : partials_) {
     if (member == self()) continue;
     partial = crypto().exp(partial, f);

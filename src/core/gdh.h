@@ -20,6 +20,7 @@
 #include <map>
 #include <vector>
 
+#include "bignum/secure_bigint.h"
 #include "core/key_agreement.h"
 
 namespace sgk {
@@ -48,8 +49,9 @@ class GdhProtocol final : public KeyAgreement {
   View view_;
   // Join order, oldest first; controller == order_.back().
   std::vector<ProcessId> order_;
+  // Partial keys P_i = g^(R / r_i) are broadcast values, not secrets.
   std::map<ProcessId, BigInt> partials_;
-  BigInt r_;  // my current contribution
+  SecureBigInt r_;  // my current secret contribution (zeroized on replace)
 
   // Transient merge state.
   std::vector<ProcessId> new_members_;  // token chain order

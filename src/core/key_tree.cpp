@@ -84,7 +84,7 @@ void KeyTree::invalidate_up(int node) {
   for (int cur = node; cur != -1; cur = nodes_[static_cast<std::size_t>(cur)].parent) {
     TreeNode& n = nodes_[static_cast<std::size_t>(cur)];
     n.has_key = false;
-    n.key = BigInt();
+    n.key.wipe();
     n.has_bkey = false;
     n.bkey = BigInt();
     n.bkey_published = false;
@@ -223,10 +223,10 @@ void KeyTree::serialize(Writer& w) const {
 }
 
 int KeyTree::deserialize_node(Reader& r, KeyTree& tree) {
-  const std::uint8_t tag = r.u8();
+  const std::uint8_t node_type = r.u8();
   TreeNode n;
   int left = -1, right = -1;
-  if (tag == 0) {
+  if (node_type == 0) {
     n.member = r.u32();
   } else {
     left = deserialize_node(r, tree);
@@ -268,7 +268,8 @@ bool KeyTree::same_structure(const KeyTree& other) const {
       }
       const TreeNode& n = t.nodes_[static_cast<std::size_t>(node)];
       if (n.is_leaf()) {
-        out += "L" + std::to_string(n.member);
+        out += "L";
+        out += std::to_string(n.member);
       } else {
         out += "(";
         stack.push_back(n.right);

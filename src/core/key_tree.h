@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bignum/bigint.h"
+#include "bignum/secure_bigint.h"
 #include "gcs/view.h"
 #include "util/serde.h"
 
@@ -31,9 +32,9 @@ struct TreeNode {
   ProcessId member = kNoProcess;  // valid for leaves only
 
   bool has_key = false;
-  BigInt key;
+  SecureBigInt key;  // node secret: zeroized whenever invalidated or dropped
   bool has_bkey = false;
-  BigInt bkey;
+  BigInt bkey;  // blinded key g^(key mod q): broadcast to the group, public
   // True when the blinded key has been broadcast (or arrived in one): it is
   // known to the whole group, not just to this member.
   bool bkey_published = false;

@@ -2,6 +2,7 @@
 
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
+#include "crypto/sha256.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -10,6 +11,14 @@ namespace {
 const RsaPrivateKey& default_rsa(ProcessId self) {
   return RsaPrivateKey::test_key(static_cast<int>(self % 4));
 }
+
+/// Plain sub-key copy whose storage is wiped when the enclosing scope ends
+/// (the cipher/MAC primitives take `Bytes`).
+struct ScopedSubkey {
+  Bytes b;
+  explicit ScopedSubkey(Bytes bytes) : b(std::move(bytes)) {}
+  ~ScopedSubkey() { secure_zero(b.data(), b.size()); }
+};
 }  // namespace
 
 SecureGroupMember::SecureGroupMember(SpreadNetwork& net, ProcessId self,
@@ -31,6 +40,18 @@ SecureGroupMember::SecureGroupMember(SpreadNetwork& net, ProcessId self,
 SecureGroupMember::~SecureGroupMember() {
   *alive_ = false;
   net_.attach(self_, nullptr);
+}
+
+std::string SecureGroupMember::key_fingerprint() const {
+  if (!has_key()) return {};
+  Sha256 h;
+  h.update(str_bytes("sgk-key-fingerprint"));
+  // gka-lint: allow(GKA002) -- one-way fingerprint, not the key itself
+  const ScopedSubkey block(key_.reveal());
+  h.update(block.b);
+  Bytes digest = h.finish();
+  digest.resize(8);
+  return to_hex(digest);
 }
 
 void SecureGroupMember::join() { net_.join_group(config_.group, self_); }
@@ -80,15 +101,18 @@ void SecureGroupMember::deliver_key(const BigInt& group_secret) {
   Writer info;
   info.str(config_.group);
   info.u64(epoch_);
-  pending_key_ = hkdf_sha256(material, str_bytes("sgk-group-key"), info.take(), 64);
-  crypto_.charge_symmetric(material.size() + 64);
+  const std::size_t material_size = material.size();
+  pending_key_ = SecureBytes(
+      hkdf_sha256(material, str_bytes("sgk-group-key"), info.take(), 64));
+  secure_zero(material.data(), material.size());
+  crypto_.charge_symmetric(material_size + 64);
 }
 
 void SecureGroupMember::end_handler() {
   const double cost = crypto_.take_charge();
   std::vector<Outbound> out = std::move(outbound_);
   outbound_.clear();
-  std::optional<Bytes> key = std::move(pending_key_);
+  std::optional<SecureBytes> key = std::move(pending_key_);
   pending_key_.reset();
   const std::uint64_t epoch = epoch_;
 
@@ -216,14 +240,14 @@ void SecureGroupMember::on_message(const std::string& group, ProcessId sender,
 
 Bytes SecureGroupMember::seal(const Bytes& plaintext) {
   SGK_CHECK(has_key());
-  const Bytes enc_key(key_.begin(), key_.begin() + 16);
-  const Bytes mac_key(key_.begin() + 32, key_.end());
+  const ScopedSubkey enc_key(key_.reveal(0, 16));
+  const ScopedSubkey mac_key(key_.reveal(32, 32));
   Bytes iv = crypto_.random_bytes(16);
-  Bytes ct = aes128_cbc_encrypt(enc_key, iv, plaintext);
+  Bytes ct = aes128_cbc_encrypt(enc_key.b, iv, plaintext);
   Writer mac_input;
   mac_input.bytes(iv);
   mac_input.bytes(ct);
-  Bytes mac = hmac_sha256(mac_key, mac_input.data());
+  Bytes mac = hmac_sha256(mac_key.b, mac_input.data());
   crypto_.charge_symmetric(plaintext.size() + 48);
   Writer w;
   w.bytes(iv);
@@ -239,14 +263,15 @@ std::optional<Bytes> SecureGroupMember::open(const Bytes& sealed) {
     Bytes iv = r.bytes();
     Bytes ct = r.bytes();
     Bytes mac = r.bytes();
-    const Bytes enc_key(key_.begin(), key_.begin() + 16);
-    const Bytes mac_key(key_.begin() + 32, key_.end());
+    const ScopedSubkey enc_key(key_.reveal(0, 16));
+    const ScopedSubkey mac_key(key_.reveal(32, 32));
     Writer mac_input;
     mac_input.bytes(iv);
     mac_input.bytes(ct);
     crypto_.charge_symmetric(ct.size() + 48);
-    if (!ct_equal(hmac_sha256(mac_key, mac_input.data()), mac)) return std::nullopt;
-    return aes128_cbc_decrypt(enc_key, iv, ct);
+    if (!ct_equal(hmac_sha256(mac_key.b, mac_input.data()), mac))
+      return std::nullopt;
+    return aes128_cbc_decrypt(enc_key.b, iv, ct);
   } catch (const std::exception&) {
     return std::nullopt;
   }

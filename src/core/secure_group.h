@@ -21,6 +21,7 @@
 #include "core/key_agreement.h"
 #include "gcs/spread.h"
 #include "sim/cost_model.h"
+#include "util/secure_bytes.h"
 
 namespace sgk {
 
@@ -79,9 +80,12 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
 
   // ---- key state ------------------------------------------------------------
   bool has_key() const { return !key_.empty(); }
-  /// Derived 16-byte encryption key material identifier for tests: the full
-  /// derived secret block.
-  const Bytes& key() const { return key_; }
+  /// The full derived secret block (zeroizing storage). Compare across
+  /// members with ct_equal; never with operator== or by hex dump.
+  const SecureBytes& key() const { return key_; }
+  /// Short hex fingerprint of the current key (SHA-256 of a domain-separated
+  /// hash of the key block). Safe to log or display; empty when no key.
+  std::string key_fingerprint() const;
   std::uint64_t key_epoch() const { return key_epoch_; }
   /// Virtual time at which the current key was established.
   SimTime key_time() const { return key_time_; }
@@ -155,9 +159,9 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
 
   // Handler-scoped buffers.
   std::vector<Outbound> outbound_;
-  std::optional<Bytes> pending_key_;
+  std::optional<SecureBytes> pending_key_;
 
-  Bytes key_;        // derived key block (enc key || mac key)
+  SecureBytes key_;  // derived key block (enc key || iv seed || mac key)
   std::uint64_t data_seq_sent_ = 0;              // my data-plane sequence
   std::map<ProcessId, std::uint64_t> data_seq_seen_;  // replay filter
   std::uint64_t key_epoch_ = 0;

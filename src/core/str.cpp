@@ -67,9 +67,10 @@ void StrProtocol::compute_chain(bool as_sponsor) {
                       : crypto().exp_g(crypto().to_exponent(keys_.at(m)));
     } else if (!as_sponsor && j > 0 && j + 1 < members_.size() &&
                bk_.count(m) != 0 && computed_here && host_.key_confirmation()) {
-      // Key confirmation: re-derive the sponsor's blinded key.
+      // Key confirmation: re-derive the sponsor's blinded key. Compared in
+      // constant time — the check value is derived from secret chain keys.
       BigInt check = crypto().exp_g(crypto().to_exponent(keys_.at(m)));
-      SGK_CHECK(check == bk_.at(m));
+      SGK_CHECK(ct_equal(check.to_bytes(), bk_.at(m).to_bytes()));
     }
   }
 }
@@ -247,7 +248,7 @@ void StrProtocol::try_fold() {
   std::map<ProcessId, BigInt> bk = sides[0].bk;
 
   const ProcessId sponsor2 = sides[0].members.back();
-  std::map<ProcessId, BigInt> keys;
+  std::map<ProcessId, SecureBigInt> keys;
   if (in_bottom) {
     // My chain keys below the bottom side's top remain valid.
     for (const auto& [m, v] : keys_)

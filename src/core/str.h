@@ -21,6 +21,7 @@
 #include <map>
 #include <vector>
 
+#include "bignum/secure_bigint.h"
 #include "core/key_agreement.h"
 
 namespace sgk {
@@ -59,10 +60,11 @@ class StrProtocol final : public KeyAgreement {
 
   View view_;
   std::vector<ProcessId> members_;       // chain order, bottom first
-  BigInt r_;                             // my session random
-  std::map<ProcessId, BigInt> br_;       // blinded session randoms
-  std::map<ProcessId, BigInt> bk_;       // blinded node keys (by node member)
-  std::map<ProcessId, BigInt> keys_;     // node keys I know (my path upward)
+  SecureBigInt r_;                       // my secret session random
+  std::map<ProcessId, BigInt> br_;       // blinded session randoms (public)
+  std::map<ProcessId, BigInt> bk_;       // blinded node keys (public)
+  // Chain node keys I know (my path upward): secrets, zeroized on erase.
+  std::map<ProcessId, SecureBigInt> keys_;
   bool delivered_ = false;
 
   // Merge collection state.

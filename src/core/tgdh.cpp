@@ -242,9 +242,10 @@ void TgdhProtocol::compute_up() {
         node.bkey_published = false;
       } else if (node.has_bkey && host_.key_confirmation()) {
         // Key confirmation (paper section 5): re-derive the published
-        // blinded key and check it against the broadcast value.
+        // blinded key and check it against the broadcast value. Compared in
+        // constant time — the check value is derived from the node secret.
         BigInt check = crypto().exp_g(crypto().to_exponent(node.key));
-        SGK_CHECK(check == node.bkey);
+        SGK_CHECK(ct_equal(check.to_bytes(), node.bkey.to_bytes()));
       }
     }
     child = cur;

@@ -18,11 +18,15 @@ class Aes128 {
 
   /// Throws std::invalid_argument on wrong key size.
   explicit Aes128(const Bytes& key);
+  /// Wipes the expanded key schedule.
+  ~Aes128();
 
   void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
   void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
  private:
+  // Fixed-size array so block operations stay allocation-free; zeroized by
+  // the destructor above. gka-lint: allow(GKA004)
   std::array<std::array<std::uint8_t, 16>, 11> round_keys_;
 };
 

@@ -42,10 +42,10 @@ BigInt DhGroup::exp(const BigInt& base, const BigInt& e) const {
 
 BigInt DhGroup::exp_g(const BigInt& e) const { return ctx_.exp(g_, e); }
 
-BigInt DhGroup::random_exponent(RandomSource& rng) const {
+SecureBigInt DhGroup::random_exponent(RandomSource& rng) const {
   for (;;) {
     BigInt e = BigInt::random_below(q_, rng);
-    if (!e.is_zero()) return e;
+    if (!e.is_zero()) return SecureBigInt(std::move(e));
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include "bignum/bigint.h"
 #include "bignum/montgomery.h"
+#include "bignum/secure_bigint.h"
 #include "util/random_source.h"
 
 namespace sgk {
@@ -31,8 +32,9 @@ class DhGroup {
   /// g ^ e mod p.
   BigInt exp_g(const BigInt& e) const;
 
-  /// Random exponent in [1, q).
-  BigInt random_exponent(RandomSource& rng) const;
+  /// Random secret exponent in [1, q). Returned in zeroizing storage; store
+  /// it in a SecureBigInt (or read it once and let the temporary wipe).
+  SecureBigInt random_exponent(RandomSource& rng) const;
 
   /// Reduces an arbitrary group element / integer into a usable exponent in
   /// [1, q). Used by the tree protocols where a node secret feeds the next

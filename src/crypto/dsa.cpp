@@ -23,11 +23,11 @@ DsaSignature DsaPrivateKey::sign(const Bytes& message, RandomSource& rng) const 
   const BigInt& q = group_.q();
   const BigInt h = hash_to_zq(message, q);
   for (;;) {
-    const BigInt k = group_.random_exponent(rng);
+    const SecureBigInt k = group_.random_exponent(rng);
     const BigInt r = group_.exp_g(k) % q;
     if (r.is_zero()) continue;
     // s = k^{-1} (h + x r) mod q
-    const BigInt s = mod_inverse(k, q) * ((h + x_ * r % q) % q) % q;
+    const BigInt s = mod_inverse(k, q) * ((h + x_.get() * r % q) % q) % q;
     if (s.is_zero()) continue;
     return DsaSignature{r, s};
   }

@@ -47,7 +47,7 @@ class DsaPrivateKey {
 
  private:
   const DhGroup& group_;
-  BigInt x_;
+  SecureBigInt x_;  // long-term signing secret; zeroized on destruction
   DsaPublicKey pub_;
 };
 

@@ -39,7 +39,8 @@ Bytes from_hex(std::string_view hex) {
 bool ct_equal(const Bytes& a, const Bytes& b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
   return acc == 0;
 }
 

@@ -1,0 +1,186 @@
+// Unit tests for the gka_lint rule engine (tools/gka_lint). Fixtures are
+// built from string literals; the real scanner strips literals before
+// matching, so this file stays clean when linted itself.
+#include "gka_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using gka_lint::Finding;
+using gka_lint::lint_source;
+using gka_lint::Severity;
+
+bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(GkaLintRules, TableIsComplete) {
+  const auto& rules = gka_lint::rules();
+  ASSERT_EQ(rules.size(), 5u);
+  EXPECT_STREQ(rules[0].id, "GKA001");
+  EXPECT_STREQ(rules[4].id, "GKA005");
+}
+
+TEST(GkaLintClassifier, SecretishNames) {
+  EXPECT_TRUE(gka_lint::is_secretish("session_key"));
+  EXPECT_TRUE(gka_lint::is_secretish("keys_"));
+  EXPECT_TRUE(gka_lint::is_secretish("shared_secret"));
+  EXPECT_TRUE(gka_lint::is_secretish("exponent"));
+  EXPECT_TRUE(gka_lint::is_secretish("my_share"));
+  EXPECT_TRUE(gka_lint::is_secretish("mac"));
+
+  // Public / derived / metadata names must not count.
+  EXPECT_FALSE(gka_lint::is_secretish("bkey"));
+  EXPECT_FALSE(gka_lint::is_secretish("key_epoch"));
+  EXPECT_FALSE(gka_lint::is_secretish("has_key"));
+  EXPECT_FALSE(gka_lint::is_secretish("key_fingerprint"));
+  EXPECT_FALSE(gka_lint::is_secretish("verify_key"));
+  EXPECT_FALSE(gka_lint::is_secretish("public_key"));
+  EXPECT_FALSE(gka_lint::is_secretish("counter"));
+}
+
+TEST(GkaLint, Gka001FiresOnRawEquality) {
+  const std::string src =
+      "void f(const Bytes& a, const Bytes& session_key) {\n"
+      "  if (a == session_key) abort();\n"
+      "}\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "GKA001"));
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[0].severity, Severity::kError);
+}
+
+TEST(GkaLint, Gka001FiresOnMemcmpAndGtestMacros) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp", "int r = memcmp(buf, group_secret, n);\n"),
+      "GKA001"));
+  EXPECT_TRUE(has_rule(
+      lint_source("tests/x.cpp", "EXPECT_EQ(derived_key, expected);\n"),
+      "GKA001"));
+}
+
+TEST(GkaLint, Gka001IgnoresIteratorAndPublicComparisons) {
+  // `it == keys_.end()` is a map-membership test, not a comparison of key
+  // material; blinded keys (bkey) are public by construction.
+  const std::string src =
+      "void f() {\n"
+      "  auto it = keys_.find(p);\n"
+      "  if (it == keys_.end()) return;\n"
+      "  if (bkey == other_bkey) return;\n"
+      "  if (epoch == key_epoch) return;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(GkaLint, Gka002FiresOnLoggingSinks) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp", "std::cout << to_hex(group_key);\n"),
+      "GKA002"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp", "printf(\"%s\", session_key.data());\n"),
+      "GKA002"));
+  // Fingerprints are the sanctioned way to display keys.
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "std::cout << key_fingerprint();\n")
+                  .empty());
+}
+
+TEST(GkaLint, Gka003FiresOutsideSanctionedFiles) {
+  const std::string src = "std::mt19937 gen(std::random_device{}());\n";
+  EXPECT_TRUE(has_rule(lint_source("src/core/x.cpp", src), "GKA003"));
+  EXPECT_TRUE(has_rule(lint_source("tests/x.cpp", "int x = rand();\n"),
+                       "GKA003"));
+  // The sanctioned randomness sources may use the primitives.
+  EXPECT_TRUE(lint_source("src/util/random_source.h", src).empty());
+  EXPECT_TRUE(lint_source("src/crypto/drbg.cpp", src).empty());
+}
+
+TEST(GkaLint, Gka004FiresOnPlainSecretFields) {
+  const std::string src =
+      "class C {\n"
+      "  Bytes session_key_;\n"
+      "};\n";
+  const auto fs = lint_source("src/core/x.h", src);
+  ASSERT_TRUE(has_rule(fs, "GKA004"));
+  EXPECT_EQ(fs[0].severity, Severity::kWarning);
+  // Secure wrappers and public-key types are fine.
+  EXPECT_TRUE(lint_source("src/core/x.h",
+                          "class C {\n  SecureBytes session_key_;\n};\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/x.h",
+                          "class C {\n  SecureBigInt exponent_;\n};\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/x.h",
+                          "class C {\n  std::map<ProcessId, VerifyKey> keys_;\n};\n")
+                  .empty());
+}
+
+TEST(GkaLint, Gka005FiresOnlyInCryptoPaths) {
+  const std::string src = "int x;  "
+                          "// TODO"
+                          ": harden\n";
+  EXPECT_TRUE(has_rule(lint_source("src/crypto/x.cpp", src), "GKA005"));
+  EXPECT_TRUE(has_rule(lint_source("src/bignum/x.cpp", src), "GKA005"));
+  EXPECT_TRUE(has_rule(lint_source("src/core/x.cpp", src), "GKA005"));
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tests/x.cpp", src).empty());
+}
+
+TEST(GkaLint, StringAndCommentContentsAreIgnored) {
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "const char* s = \"a == session_key\";\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "// if (a == session_key) explain\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "/* if (a == session_key) */ int x;\n")
+                  .empty());
+}
+
+TEST(GkaLint, SameLineSuppressionWorks) {
+  const std::string marker = std::string("gka-lint: ") + "allow(GKA001)";
+  const std::string src =
+      "if (a == session_key) abort();  // " + marker + " -- test\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(GkaLint, PreviousLineSuppressionWorks) {
+  const std::string marker = std::string("gka-lint: ") + "allow(GKA001,GKA002)";
+  const std::string src =
+      "// " + marker + "\n"
+      "if (a == session_key) std::cout << to_hex(session_key);\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(GkaLint, SuppressionIsRuleSpecific) {
+  const std::string marker = std::string("gka-lint: ") + "allow(GKA002)";
+  const std::string src =
+      "if (a == session_key) abort();  // " + marker + "\n";
+  EXPECT_TRUE(has_rule(lint_source("src/core/x.cpp", src), "GKA001"));
+}
+
+TEST(GkaLint, SkipFileMarkerSkipsEverything) {
+  const std::string marker = std::string("gka-lint: ") + "skip-file";
+  const std::string src =
+      "// " + marker + "\n"
+      "if (a == session_key) std::cout << to_hex(session_key);\n"
+      "int x = rand();\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(GkaLint, FormatIncludesLocationRuleAndSeverity) {
+  const auto fs =
+      lint_source("src/core/x.cpp", "if (a == session_key) abort();\n");
+  ASSERT_FALSE(fs.empty());
+  const std::string line = gka_lint::format(fs[0]);
+  EXPECT_NE(line.find("src/core/x.cpp:1:"), std::string::npos);
+  EXPECT_NE(line.find("[GKA001]"), std::string::npos);
+  EXPECT_NE(line.find("error"), std::string::npos);
+}
+
+}  // namespace

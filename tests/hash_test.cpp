@@ -83,6 +83,7 @@ TEST(Sha1, IncrementalMatchesOneShot) {
 // RFC 4231 test case 1.
 TEST(Hmac, Rfc4231Case1) {
   Bytes key(20, 0x0b);
+  // gka-lint: allow(GKA002) -- public RFC 4231 test vector, not a real key
   EXPECT_EQ(to_hex(hmac_sha256(key, str_bytes("Hi There"))),
             "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
 }
@@ -98,6 +99,7 @@ TEST(Hmac, Rfc4231Case2) {
 TEST(Hmac, Rfc4231Case3) {
   Bytes key(20, 0xaa);
   Bytes data(50, 0xdd);
+  // gka-lint: allow(GKA002) -- public RFC 4231 test vector, not a real key
   EXPECT_EQ(to_hex(hmac_sha256(key, data)),
             "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
 }

@@ -198,7 +198,7 @@ TEST(KeyTree, MergeKeepsGuestKeys) {
   int my_leaf = big.find_leaf(9);
   ASSERT_NE(my_leaf, -1);
   EXPECT_TRUE(big.node(my_leaf).has_key);
-  EXPECT_EQ(big.node(my_leaf).key, BigInt(31337));
+  EXPECT_EQ(big.node(my_leaf).key.get(), BigInt(31337));
 }
 
 TEST(KeyTree, MergeOfBigTreesIsDeterministic) {

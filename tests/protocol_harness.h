@@ -75,14 +75,26 @@ struct ProtocolFixture {
       ASSERT_TRUE(m->has_key()) << "member " << m->id() << " has no key";
       EXPECT_EQ(m->key_epoch(), live[0]->key_epoch())
           << "member " << m->id() << " is at a different epoch";
-      EXPECT_EQ(to_hex(m->key()), to_hex(live[0]->key()))
+      // Constant-time comparison; key material is never hex-dumped, even in
+      // failure messages (gka_lint GKA002).
+      EXPECT_TRUE(ct_equal(m->key(), live[0]->key()))
           << "member " << m->id() << " derived a different key";
     }
   }
 
+  /// Raw copy of the agreed key block. Only for tests that must inspect key
+  /// material (e.g. scanning wire traffic for leaks); prefer
+  /// current_fingerprint() everywhere else.
   Bytes current_key() const {
     auto live = alive();
-    return live.empty() ? Bytes{} : live[0]->key();
+    return live.empty() ? Bytes{} : live[0]->key().reveal();
+  }
+
+  /// Loggable fingerprint of the agreed key (see
+  /// SecureGroupMember::key_fingerprint).
+  std::string current_fingerprint() const {
+    auto live = alive();
+    return live.empty() ? std::string{} : live[0]->key_fingerprint();
   }
 
   Simulator sim;

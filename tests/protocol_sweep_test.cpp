@@ -27,7 +27,7 @@ TEST_P(Sweep, GrowTo24ThenShrinkTo2) {
   for (int n = 1; n <= 24; ++n) {
     f.add_member();
     f.expect_agreement();
-    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second) << "grow n=" << n;
+    EXPECT_TRUE(keys.insert(f.current_fingerprint()).second) << "grow n=" << n;
   }
   Drbg rng(31337, "shrink");
   while (f.alive_count() > 2) {
@@ -42,7 +42,7 @@ TEST_P(Sweep, GrowTo24ThenShrinkTo2) {
       }
     }
     f.expect_agreement();
-    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second)
+    EXPECT_TRUE(keys.insert(f.current_fingerprint()).second)
         << "shrink at " << f.alive_count();
   }
 }
@@ -51,7 +51,7 @@ TEST_P(Sweep, LongMixedChurnTrace) {
   ProtocolFixture f(GetParam());
   Drbg rng(271828, "churn");
   f.grow_to(6);
-  std::set<std::string> keys{to_hex(f.current_key())};
+  std::set<std::string> keys{f.current_fingerprint()};
   for (int step = 0; step < 30; ++step) {
     const std::uint64_t dice = rng.next_u64(10);
     if (dice < 4 || f.alive_count() <= 3) {
@@ -70,7 +70,7 @@ TEST_P(Sweep, LongMixedChurnTrace) {
       f.sim.run();
     }
     f.expect_agreement();
-    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second)
+    EXPECT_TRUE(keys.insert(f.current_fingerprint()).second)
         << "step " << step << ": key reuse";
   }
 }

@@ -38,20 +38,20 @@ TEST_P(AllProtocols, SequentialJoinsAgreeAtEverySize) {
 TEST_P(AllProtocols, KeyChangesOnJoin) {
   ProtocolFixture f(GetParam());
   f.grow_to(3);
-  Bytes before = f.current_key();
+  const std::string before = f.current_fingerprint();
   f.add_member();
   f.expect_agreement();
-  EXPECT_NE(to_hex(f.current_key()), to_hex(before))
+  EXPECT_NE(f.current_fingerprint(), before)
       << "join must produce a fresh key (backward secrecy)";
 }
 
 TEST_P(AllProtocols, KeyChangesOnLeave) {
   ProtocolFixture f(GetParam());
   f.grow_to(4);
-  Bytes before = f.current_key();
+  const std::string before = f.current_fingerprint();
   f.remove_member(2);
   f.expect_agreement();
-  EXPECT_NE(to_hex(f.current_key()), to_hex(before))
+  EXPECT_NE(f.current_fingerprint(), before)
       << "leave must produce a fresh key (forward secrecy)";
 }
 
@@ -60,15 +60,15 @@ TEST_P(AllProtocols, DepartedMemberKeyIsStale) {
   f.grow_to(4);
   // Keep the leaver's last key around.
   MemberConfig cfg;
-  Bytes leaver_key = f.members[1]->key();
+  const std::string leaver_fp = f.members[1]->key_fingerprint();
   f.members[1]->leave();
   auto leaver = std::move(f.members[1]);
   f.members[1].reset();
   f.sim.run();
   f.expect_agreement();
-  EXPECT_NE(to_hex(f.current_key()), to_hex(leaver_key));
+  EXPECT_NE(f.current_fingerprint(), leaver_fp);
   // The departed member never learns the new key.
-  EXPECT_EQ(to_hex(leaver->key()), to_hex(leaver_key));
+  EXPECT_EQ(leaver->key_fingerprint(), leaver_fp);
 }
 
 TEST_P(AllProtocols, EveryMemberCanLeaveInTurn) {
@@ -96,13 +96,13 @@ TEST_P(AllProtocols, KeysAreFreshAcrossManyEvents) {
   ProtocolFixture f(GetParam());
   std::set<std::string> seen;
   f.grow_to(3);
-  seen.insert(to_hex(f.current_key()));
+  seen.insert(f.current_fingerprint());
   for (int round = 0; round < 3; ++round) {
     f.add_member();
-    EXPECT_TRUE(seen.insert(to_hex(f.current_key())).second)
+    EXPECT_TRUE(seen.insert(f.current_fingerprint()).second)
         << "key reused after a join";
     f.remove_member(f.members.size() - 2);
-    EXPECT_TRUE(seen.insert(to_hex(f.current_key())).second)
+    EXPECT_TRUE(seen.insert(f.current_fingerprint()).second)
         << "key reused after a leave";
   }
 }
@@ -111,16 +111,16 @@ TEST_P(AllProtocols, PartitionBothSidesRekey) {
   ProtocolFixture f(GetParam(), lan_testbed(4));
   // Place two members per machine-pair so the partition splits 2/2.
   f.grow_to(4);
-  Bytes before = f.current_key();
+  const std::string before = f.current_fingerprint();
   f.net.partition({{0, 1}, {2, 3}});
   f.sim.run();
   // Members 0,1 (machines 0,1) and 2,3 (machines 2,3).
-  auto key_of = [&](std::size_t i) { return to_hex(f.members[i]->key()); };
-  EXPECT_EQ(key_of(0), key_of(1));
-  EXPECT_EQ(key_of(2), key_of(3));
-  EXPECT_NE(key_of(0), key_of(2)) << "partitioned sides must diverge";
-  EXPECT_NE(key_of(0), to_hex(before));
-  EXPECT_NE(key_of(2), to_hex(before));
+  auto fp_of = [&](std::size_t i) { return f.members[i]->key_fingerprint(); };
+  EXPECT_EQ(fp_of(0), fp_of(1));
+  EXPECT_EQ(fp_of(2), fp_of(3));
+  EXPECT_NE(fp_of(0), fp_of(2)) << "partitioned sides must diverge";
+  EXPECT_NE(fp_of(0), before);
+  EXPECT_NE(fp_of(2), before);
 }
 
 TEST_P(AllProtocols, MergeAfterPartitionReunifies) {
@@ -139,9 +139,9 @@ TEST_P(AllProtocols, UnevenPartitionAndMerge) {
   f.grow_to(5);
   f.net.partition({{0}, {1, 2, 3, 4}});
   f.sim.run();
-  auto key_of = [&](std::size_t i) { return to_hex(f.members[i]->key()); };
-  EXPECT_EQ(key_of(1), key_of(4));
-  EXPECT_NE(key_of(0), key_of(1));
+  auto fp_of = [&](std::size_t i) { return f.members[i]->key_fingerprint(); };
+  EXPECT_EQ(fp_of(1), fp_of(4));
+  EXPECT_NE(fp_of(0), fp_of(1));
   f.net.heal();
   f.sim.run();
   f.expect_agreement();
@@ -152,12 +152,12 @@ TEST_P(AllProtocols, ThreeWayPartitionAndMerge) {
   f.grow_to(6);
   f.net.partition({{0, 1}, {2, 3}, {4, 5}});
   f.sim.run();
-  auto key_of = [&](std::size_t i) { return to_hex(f.members[i]->key()); };
-  EXPECT_EQ(key_of(0), key_of(1));
-  EXPECT_EQ(key_of(2), key_of(3));
-  EXPECT_EQ(key_of(4), key_of(5));
-  EXPECT_NE(key_of(0), key_of(2));
-  EXPECT_NE(key_of(2), key_of(4));
+  auto fp_of = [&](std::size_t i) { return f.members[i]->key_fingerprint(); };
+  EXPECT_EQ(fp_of(0), fp_of(1));
+  EXPECT_EQ(fp_of(2), fp_of(3));
+  EXPECT_EQ(fp_of(4), fp_of(5));
+  EXPECT_NE(fp_of(0), fp_of(2));
+  EXPECT_NE(fp_of(2), fp_of(4));
   f.net.heal();
   f.sim.run();
   f.expect_agreement();

@@ -15,7 +15,7 @@ class Rekey : public ::testing::TestWithParam<ProtocolKind> {};
 TEST_P(Rekey, RefreshProducesFreshKeySameMembership) {
   ProtocolFixture f(GetParam());
   f.grow_to(5);
-  const Bytes before = f.current_key();
+  const std::string before = f.current_fingerprint();
   const auto members_before = f.alive()[0]->view()->members;
   const std::uint64_t epoch_before = f.alive()[0]->key_epoch();
 
@@ -23,7 +23,7 @@ TEST_P(Rekey, RefreshProducesFreshKeySameMembership) {
   f.sim.run();
 
   f.expect_agreement();
-  EXPECT_NE(to_hex(f.current_key()), to_hex(before));
+  EXPECT_NE(f.current_fingerprint(), before);
   EXPECT_GT(f.alive()[0]->key_epoch(), epoch_before);
   EXPECT_EQ(f.alive()[0]->view()->members, members_before);
 }
@@ -42,12 +42,12 @@ TEST_P(Rekey, RepeatedRefreshesAllDistinct) {
   ProtocolFixture f(GetParam());
   f.grow_to(4);
   std::set<std::string> keys;
-  keys.insert(to_hex(f.current_key()));
+  keys.insert(f.current_fingerprint());
   for (int i = 0; i < 4; ++i) {
     f.members[static_cast<std::size_t>(i)]->request_rekey();
     f.sim.run();
     f.expect_agreement();
-    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second)
+    EXPECT_TRUE(keys.insert(f.current_fingerprint()).second)
         << "re-key " << i << " reused a key";
   }
 }
@@ -67,10 +67,10 @@ TEST_P(Rekey, RefreshThenChurnStillConverges) {
 TEST_P(Rekey, SingletonRefreshWorks) {
   ProtocolFixture f(GetParam());
   f.grow_to(1);
-  Bytes before = f.members[0]->key();
+  const std::string before = f.members[0]->key_fingerprint();
   f.members[0]->request_rekey();
   f.sim.run();
-  EXPECT_NE(to_hex(f.members[0]->key()), to_hex(before));
+  EXPECT_NE(f.members[0]->key_fingerprint(), before);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -63,16 +63,16 @@ TEST_P(Secrecy, PlaintextNeverInDataFrames) {
     wire.push_back(payload);
   });
   f.grow_to(3);
-  const Bytes secret_message =
+  const Bytes app_payload =
       str_bytes("the launch code is 0000, tell no one about this message");
   Bytes received;
   f.members[1]->set_data_listener(
       [&](ProcessId, const Bytes& pt) { received = pt; });
-  f.members[0]->send_data(secret_message);
+  f.members[0]->send_data(app_payload);
   f.sim.run();
-  ASSERT_EQ(received, secret_message);  // delivered correctly...
+  ASSERT_EQ(received, app_payload);  // delivered correctly...
   for (const Bytes& frame : wire)
-    EXPECT_FALSE(contains_subsequence(frame, secret_message));  // ...never in clear
+    EXPECT_FALSE(contains_subsequence(frame, app_payload));  // ...never in clear
 }
 
 TEST_P(Secrecy, DistinctGroupsHaveIndependentKeys) {
@@ -97,7 +97,7 @@ TEST_P(Secrecy, DistinctGroupsHaveIndependentKeys) {
   };
   auto ga = make("alpha", 3);
   auto gb = make("beta", 3);
-  EXPECT_NE(to_hex(ga[0]->key()), to_hex(gb[0]->key()));
+  EXPECT_FALSE(ct_equal(ga[0]->key(), gb[0]->key()));
   // Data sealed in one group does not open in the other.
   Bytes sealed = ga[0]->seal(str_bytes("alpha only"));
   EXPECT_FALSE(gb[0]->open(sealed).has_value());

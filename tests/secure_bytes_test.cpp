@@ -1,0 +1,147 @@
+// SecureBytes: zeroize-on-destruction storage for key material.
+#include "util/secure_bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace sgk {
+namespace {
+
+Bytes pattern(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<std::uint8_t>(0xA0 + i);
+  return b;
+}
+
+TEST(SecureBytes, BasicAccessors) {
+  const Bytes src = pattern(16);
+  SecureBytes s(src);
+  EXPECT_EQ(s.size(), 16u);
+  EXPECT_FALSE(s.empty());
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(s[i], src[i]);
+
+  SecureBytes empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(SecureBytes, SizedConstructorZeroFills) {
+  SecureBytes s(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], 0);
+}
+
+// Destruction must wipe the object's storage. Constructing into a caller-
+// provided buffer via placement new makes the post-destruction bytes legal
+// to inspect: the SecureBytes lifetime has ended, but the char buffer's has
+// not. Inline storage (<= kInlineCapacity) means the secret bytes live
+// inside the object itself.
+TEST(SecureBytes, DestructorZeroizesInlineStorage) {
+  alignas(SecureBytes) unsigned char raw[sizeof(SecureBytes)];
+  const Bytes secret = pattern(48);
+
+  auto* s = new (raw) SecureBytes(secret);
+  ASSERT_EQ(s->size(), 48u);
+  // The secret must be somewhere in the object representation...
+  EXPECT_NE(std::search(raw, raw + sizeof(raw), secret.begin(), secret.end()),
+            raw + sizeof(raw));
+  s->~SecureBytes();
+  // ...and gone after destruction.
+  EXPECT_EQ(std::search(raw, raw + sizeof(raw), secret.begin(), secret.end()),
+            raw + sizeof(raw));
+}
+
+TEST(SecureBytes, WipeClearsAndEmpties) {
+  SecureBytes s(pattern(24));
+  s.wipe();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SecureBytes, HeapStorageAboveInlineCapacity) {
+  const Bytes big = pattern(SecureBytes::kInlineCapacity + 37);
+  SecureBytes s(big);
+  EXPECT_EQ(s.size(), big.size());
+  EXPECT_TRUE(ct_equal(s, big));
+  s.wipe();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SecureBytes, AdoptingMoveWipesSourceBytes) {
+  Bytes src = pattern(20);
+  const Bytes copy = src;
+  SecureBytes s(std::move(src));
+  EXPECT_TRUE(ct_equal(s, copy));
+  // The moved-from plain buffer must not retain the secret.
+  const bool all_zero =
+      std::all_of(src.begin(), src.end(), [](std::uint8_t b) { return b == 0; });
+  EXPECT_TRUE(all_zero);
+}
+
+TEST(SecureBytes, MoveConstructionWipesSource) {
+  SecureBytes a(pattern(16));
+  SecureBytes b(std::move(a));
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): wipe contract
+}
+
+TEST(SecureBytes, MoveAssignmentWipesSourceAndOldContents) {
+  SecureBytes a(pattern(16));
+  SecureBytes b(pattern(32));
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): wipe contract
+}
+
+TEST(SecureBytes, CopyIsIndependent) {
+  SecureBytes a(pattern(16));
+  SecureBytes b(a);
+  a.wipe();
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_TRUE(ct_equal(b, pattern(16)));
+}
+
+TEST(SecureBytes, RevealRanges) {
+  SecureBytes s(pattern(64));
+  const Bytes whole = s.reveal();
+  EXPECT_TRUE(ct_equal(s, whole));
+  const Bytes slice = s.reveal(4, 8);
+  ASSERT_EQ(slice.size(), 8u);
+  for (std::size_t i = 0; i < slice.size(); ++i) EXPECT_EQ(slice[i], s[4 + i]);
+  EXPECT_THROW(s.reveal(60, 8), std::out_of_range);
+  EXPECT_THROW(s.reveal(65, 0), std::out_of_range);
+}
+
+TEST(CtEqual, TruthTable) {
+  const Bytes x = pattern(16);
+  Bytes y = x;
+  EXPECT_TRUE(ct_equal(SecureBytes(x), SecureBytes(y)));
+  EXPECT_TRUE(ct_equal(SecureBytes(x), y));
+  EXPECT_TRUE(ct_equal(x, SecureBytes(y)));
+
+  y[7] ^= 1;  // single-bit difference
+  EXPECT_FALSE(ct_equal(SecureBytes(x), SecureBytes(y)));
+  EXPECT_FALSE(ct_equal(SecureBytes(x), y));
+  EXPECT_FALSE(ct_equal(x, SecureBytes(y)));
+
+  // Length mismatch is unequal, including the empty/non-empty case.
+  EXPECT_FALSE(ct_equal(SecureBytes(x), SecureBytes(pattern(15))));
+  EXPECT_FALSE(ct_equal(SecureBytes(), SecureBytes(x)));
+  EXPECT_TRUE(ct_equal(SecureBytes(), SecureBytes()));
+}
+
+TEST(SecureZero, WipesAndHandlesNull) {
+  Bytes b = pattern(16);
+  secure_zero(b.data(), b.size());
+  EXPECT_TRUE(std::all_of(b.begin(), b.end(),
+                          [](std::uint8_t v) { return v == 0; }));
+  secure_zero(nullptr, 0);  // must be a no-op, not a crash
+}
+
+}  // namespace
+}  // namespace sgk

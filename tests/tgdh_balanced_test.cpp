@@ -45,7 +45,7 @@ TEST(RebuildBalanced, PreservesLeafStateOrderAndSecrets) {
   int new_leaf7 = t.find_leaf(7);
   ASSERT_NE(new_leaf7, -1);
   EXPECT_TRUE(t.node(new_leaf7).has_key);
-  EXPECT_EQ(t.node(new_leaf7).key, BigInt(12345));
+  EXPECT_EQ(t.node(new_leaf7).key.get(), BigInt(12345));
   EXPECT_TRUE(t.node(new_leaf7).bkey_published);
   // Internal nodes are fresh and invalid.
   EXPECT_FALSE(t.node(t.root()).has_key);
@@ -112,11 +112,11 @@ TEST(TgdhBalanced, KeysFreshOnRebalancedLeave) {
   ProtocolFixture f(ProtocolKind::kTgdhBalanced);
   f.grow_to(10);
   std::set<std::string> keys;
-  keys.insert(to_hex(f.current_key()));
+  keys.insert(f.current_fingerprint());
   for (std::size_t idx : {1u, 2u, 3u, 4u}) {
     f.remove_member(idx);
     f.expect_agreement();
-    EXPECT_TRUE(keys.insert(to_hex(f.current_key())).second);
+    EXPECT_TRUE(keys.insert(f.current_fingerprint()).second);
   }
 }
 

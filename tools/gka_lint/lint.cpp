@@ -1,0 +1,447 @@
+#include "gka_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gka_lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// identifier classification
+
+const char* const kSecretComponents[] = {
+    "key",    "keys",   "secret", "secrets", "exponent",
+    "share",  "shares", "mac",    "tag",
+};
+
+// A component that marks a name as public, derived, or merely key-adjacent
+// metadata. "bkey" is TGDH/STR's blinded (public) key; epochs, listeners and
+// fingerprints are about keys but are not key material.
+const char* const kAllowComponents[] = {
+    "bkey",   "bkeys", "bk",          "br",       "pub",    "public",
+    "verify", "fingerprint", "fp",    "epoch",    "has",    "listener",
+    "time",   "kind",  "confirmation", "agreement", "tree",  "size",
+    "len",    "id",    "epochs",      "name",     "schedule",
+};
+
+std::vector<std::string> components(const std::string& ident) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : ident) {
+    if (c == '_') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool in_list(const std::string& s, const char* const* list, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (s == list[i]) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// per-line lexing helpers
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Token {
+  std::string text;
+  std::size_t pos;
+};
+
+std::vector<Token> identifiers(const std::string& code) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (ident_start(code[i]) &&
+        (i == 0 || !ident_char(code[i - 1]))) {
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      out.push_back({code.substr(i, j - i), i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Splits the top-level comma-separated arguments of a call whose opening
+/// paren is at `open`. Returns the [begin,end) ranges of each argument.
+std::vector<std::pair<std::size_t, std::size_t>> call_args(
+    const std::string& code, std::size_t open) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  int depth = 0;
+  std::size_t start = open + 1;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        if (i > start) out.push_back({start, i});
+        return out;
+      }
+    } else if (c == ',' && depth == 1) {
+      out.push_back({start, i});
+      start = i + 1;
+    }
+  }
+  if (code.size() > start) out.push_back({start, code.size()});
+  return out;
+}
+
+/// Last identifier inside [begin, end) — the heuristic "name of the operand":
+/// for `m->key()` that is `key`, for `f.members[i]` it is... the subscript;
+/// to avoid index variables winning, prefer the last identifier that is
+/// followed by `(`, `.`-end, or is the final token; in practice "last
+/// identifier not used as an index" ≈ last identifier before any trailing
+/// `[...]` subscript. We keep it simple: last identifier whose position is
+/// not inside a `[...]` range.
+const Token* operand_name(const std::string& code,
+                          const std::vector<Token>& ids, std::size_t begin,
+                          std::size_t end) {
+  const Token* best = nullptr;
+  int bracket = 0;
+  std::size_t i = begin;
+  std::size_t next_id = 0;
+  while (next_id < ids.size() && ids[next_id].pos < begin) ++next_id;
+  for (; i < end; ++i) {
+    if (code[i] == '[') ++bracket;
+    if (code[i] == ']' && bracket > 0) --bracket;
+    if (next_id < ids.size() && ids[next_id].pos == i) {
+      if (bracket == 0 && ids[next_id].pos + ids[next_id].text.size() <= end)
+        best = &ids[next_id];
+      ++next_id;
+    }
+  }
+  return best;
+}
+
+bool path_has_prefix(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// suppression comments
+
+/// Rule IDs named by `gka-lint: allow(...)` markers on the raw line.
+std::vector<std::string> allows_on(const std::string& raw) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  const std::string marker = "gka-lint: allow(";
+  while ((at = raw.find(marker, at)) != std::string::npos) {
+    std::size_t open = at + marker.size();
+    std::size_t close = raw.find(')', open);
+    if (close == std::string::npos) break;
+    std::stringstream list(raw.substr(open, close - open));
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      id.erase(std::remove_if(id.begin(), id.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               id.end());
+      if (!id.empty()) out.push_back(id);
+    }
+    at = close;
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"GKA001", Severity::kError,
+       "raw equality (memcmp / == / EXPECT_EQ) on secret material; use "
+       "ct_equal"},
+      {"GKA002", Severity::kError,
+       "secret material passed to a logging/formatting sink; log "
+       "key_fingerprint() instead"},
+      {"GKA003", Severity::kError,
+       "ambient randomness outside util/random_source.h and the DRBG"},
+      {"GKA004", Severity::kWarning,
+       "secret-named field not held in zeroizing Secure* storage"},
+      {"GKA005", Severity::kWarning, "TODO/FIXME in a crypto path"},
+  };
+  return kRules;
+}
+
+bool is_secretish(const std::string& ident) {
+  bool secret = false;
+  for (const std::string& c : components(ident)) {
+    if (in_list(c, kAllowComponents,
+                sizeof(kAllowComponents) / sizeof(kAllowComponents[0])))
+      return false;
+    if (in_list(c, kSecretComponents,
+                sizeof(kSecretComponents) / sizeof(kSecretComponents[0])))
+      secret = true;
+  }
+  return secret;
+}
+
+std::string format(const Finding& f) {
+  std::ostringstream os;
+  os << f.path << ':' << f.line << ": [" << f.rule << "] "
+     << (f.severity == Severity::kError ? "error" : "warning") << ": "
+     << f.message;
+  return os.str();
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  std::vector<Finding> findings;
+  if (content.find("gka-lint: skip-file") != std::string::npos)
+    return findings;
+
+  // Split into raw lines.
+  std::vector<std::string> raw;
+  {
+    std::string cur;
+    for (char c : content) {
+      if (c == '\n') {
+        raw.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) raw.push_back(cur);
+  }
+
+  // Strip comments and string/char literals, producing a "code" view of each
+  // line. Block-comment state carries across lines.
+  std::vector<std::string> code(raw.size());
+  bool in_block = false;
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    std::string& out = code[li];
+    out.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        out.push_back(' ');
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        out.push_back(' ');
+        out.push_back(' ');
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        out.push_back(quote);
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) break;
+          ++i;
+        }
+        out.push_back(quote);
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  const bool header = ends_with(path, ".h") || ends_with(path, ".hpp");
+  const bool crypto_path = path_has_prefix(path, "src/crypto") ||
+                           path_has_prefix(path, "src/bignum") ||
+                           path_has_prefix(path, "src/core");
+  const bool randomness_ok = path_contains(path, "util/random_source") ||
+                             path_contains(path, "crypto/drbg");
+
+  auto suppressed = [&](std::size_t li, const char* rule) {
+    std::vector<std::string> ids = allows_on(raw[li]);
+    if (li > 0) {
+      std::vector<std::string> prev = allows_on(raw[li - 1]);
+      ids.insert(ids.end(), prev.begin(), prev.end());
+    }
+    return std::find(ids.begin(), ids.end(), rule) != ids.end();
+  };
+
+  auto report = [&](std::size_t li, const char* rule, Severity sev,
+                    std::string message) {
+    if (suppressed(li, rule)) return;
+    findings.push_back(
+        {rule, sev, path, static_cast<int>(li) + 1, std::move(message)});
+  };
+
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& c = code[li];
+    const std::vector<Token> ids = identifiers(c);
+
+    // --- GKA001: raw equality on secret material -------------------------
+    // (a) == / != operators. Each operand is the text between the operator
+    // and the nearest expression delimiter; its *last* identifier names the
+    // compared thing (`it == keys_.end()` compares `end`, not `keys_`, so
+    // iterator-membership idioms don't trip the rule).
+    const std::string lhs_stops = ",;({}&|?=!";
+    const std::string rhs_stops = ",;)}&|?";
+    for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+      if ((c[i] == '=' || c[i] == '!') && c[i + 1] == '=' &&
+          (i == 0 || (c[i - 1] != '=' && c[i - 1] != '!' && c[i - 1] != '<' &&
+                      c[i - 1] != '>')) &&
+          (i + 2 >= c.size() || c[i + 2] != '=')) {
+        std::size_t lb = 0;
+        for (std::size_t j = i; j > 0; --j) {
+          if (lhs_stops.find(c[j - 1]) != std::string::npos) {
+            lb = j;
+            break;
+          }
+        }
+        std::size_t re = c.size();
+        for (std::size_t j = i + 2; j < c.size(); ++j) {
+          if (rhs_stops.find(c[j]) != std::string::npos) {
+            re = j;
+            break;
+          }
+        }
+        const Token* lhs = operand_name(c, ids, lb, i);
+        const Token* rhs = operand_name(c, ids, i + 2, re);
+        for (const Token* t : {lhs, rhs}) {
+          if (t != nullptr && is_secretish(t->text)) {
+            report(li, "GKA001", Severity::kError,
+                   "raw comparison touches secret '" + t->text +
+                       "'; use ct_equal");
+            break;
+          }
+        }
+      }
+    }
+    // (b) memcmp / gtest equality macros.
+    for (const char* call :
+         {"memcmp", "EXPECT_EQ", "EXPECT_NE", "ASSERT_EQ", "ASSERT_NE"}) {
+      for (const Token& t : ids) {
+        if (t.text != call) continue;
+        const std::size_t open = t.pos + t.text.size();
+        if (open >= c.size() || c[open] != '(') continue;
+        const auto args = call_args(c, open);
+        const std::size_t nargs = std::min<std::size_t>(args.size(), 2);
+        for (std::size_t a = 0; a < nargs; ++a) {
+          const Token* name =
+              operand_name(c, ids, args[a].first, args[a].second);
+          if (name != nullptr && is_secretish(name->text)) {
+            report(li, "GKA001", Severity::kError,
+                   std::string(call) + " on secret '" + name->text +
+                       "'; use ct_equal");
+            break;
+          }
+        }
+      }
+    }
+
+    // --- GKA002: secret material reaching a logging/formatting sink ------
+    for (const char* sink : {"to_hex", "printf", "fprintf", "report",
+                             "cout", "cerr", "clog"}) {
+      for (const Token& t : ids) {
+        if (t.text != sink) continue;
+        // Only identifiers to the right of the sink are its payload.
+        bool hit = false;
+        for (const Token& arg : ids) {
+          if (arg.pos <= t.pos) continue;
+          if (is_secretish(arg.text)) {
+            report(li, "GKA002", Severity::kError,
+                   "secret '" + arg.text + "' reaches sink '" + t.text +
+                       "'; log a fingerprint instead");
+            hit = true;
+            break;
+          }
+        }
+        if (hit) break;
+      }
+    }
+
+    // --- GKA003: ambient randomness --------------------------------------
+    if (!randomness_ok) {
+      for (const char* bad :
+           {"rand", "srand", "random_device", "mt19937", "mt19937_64",
+            "default_random_engine", "minstd_rand"}) {
+        for (const Token& t : ids) {
+          if (t.text == bad) {
+            report(li, "GKA003", Severity::kError,
+                   "ambient randomness '" + t.text +
+                       "'; use RandomSource / the DRBG");
+          }
+        }
+      }
+    }
+
+    // --- GKA004: secret-named field without Secure* storage --------------
+    if (header && ids.size() >= 2 && !c.empty()) {
+      // Declaration shape: ...Type name;  or  ...Type name = init;
+      // (assignments `name = ...;` have only one identifier before '=').
+      const std::string trimmed_end = c.substr(0, c.find_last_not_of(" \t") + 1);
+      if (ends_with(trimmed_end, ";") && c.find('(') == std::string::npos &&
+          c.find("return") == std::string::npos &&
+          c.find("using") == std::string::npos) {
+        const std::size_t eq = c.find('=');
+        const std::size_t decl_end =
+            eq == std::string::npos ? trimmed_end.size() - 1 : eq;
+        // Name = last identifier of the declarator part; type = everything
+        // before it.
+        const Token* name = nullptr;
+        for (const Token& t : ids)
+          if (t.pos + t.text.size() <= decl_end) name = &t;
+        if (name != nullptr && name->pos > 0 && is_secretish(name->text)) {
+          const std::string type = c.substr(0, name->pos);
+          if (type.find_first_not_of(" \t") != std::string::npos &&
+              type.find("Secure") == std::string::npos &&
+              type.find("Verify") == std::string::npos &&
+              type.find("Public") == std::string::npos) {
+            report(li, "GKA004", Severity::kWarning,
+                   "field '" + name->text +
+                       "' holds secret material in non-zeroizing storage; "
+                       "use SecureBytes / SecureBigInt");
+          }
+        }
+      }
+    }
+
+    // --- GKA005: TODO/FIXME in crypto paths ------------------------------
+    if (crypto_path) {
+      if (raw[li].find("TODO") != std::string::npos ||
+          raw[li].find("FIXME") != std::string::npos) {
+        report(li, "GKA005", Severity::kWarning,
+               "TODO/FIXME left in a crypto path");
+      }
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace gka_lint

@@ -1,0 +1,70 @@
+// gka_lint: project-specific static analysis for key-handling hygiene.
+//
+// A deliberately small line/token-based scanner (no real C++ parser) that
+// enforces the rules this codebase adopted alongside SecureBytes:
+//
+//   GKA001 (error)   raw equality on secret material: memcmp / operator== /
+//                    EXPECT_EQ-style macros where an operand names a key,
+//                    secret, exponent or share. Use ct_equal.
+//   GKA002 (error)   secret material passed to a logging / formatting sink
+//                    (to_hex, printf, std::cout, report, ...). Log a
+//                    key_fingerprint() instead.
+//   GKA003 (error)   ambient randomness (std::rand, std::random_device,
+//                    std::mt19937, ...) outside the sanctioned sources
+//                    (util/random_source.h and the DRBG implementation).
+//   GKA004 (warning) field named like secret material (key / secret /
+//                    exponent / share) whose declared type is not a
+//                    zeroizing Secure* wrapper.
+//   GKA005 (warning) TODO / FIXME left in a crypto path (src/crypto,
+//                    src/bignum, src/core).
+//
+// Suppressions:
+//   - `// gka-lint: allow(GKA00N)` on the same or the previous line
+//     suppresses that rule for the line (comma-separate several IDs).
+//   - `gka-lint: skip-file` anywhere in a file skips the whole file
+//     (for lint-rule test fixtures).
+//
+// The scanner is intentionally conservative-with-allowlist: identifiers are
+// split into `_`-separated components; a name is "secretish" when it has a
+// secret component (key, secret, mac, tag, exponent, share, ...) and no
+// component marking it as public or derived (bkey, pub, fingerprint, epoch,
+// verify, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gka_lint {
+
+enum class Severity { kWarning, kError };
+
+struct Finding {
+  std::string rule;      // "GKA001" ... "GKA005"
+  Severity severity;
+  std::string path;      // as passed to lint_source
+  int line;              // 1-based
+  std::string message;
+};
+
+struct Rule {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// The rule table (for --list-rules and the tests).
+const std::vector<Rule>& rules();
+
+/// True when `ident` names secret material per the component heuristic.
+bool is_secretish(const std::string& ident);
+
+/// Lints one file's contents. `path` is used for findings and for the
+/// path-scoped rules (GKA003 sanctioned files, GKA005 crypto paths) — use
+/// repo-relative paths like "src/crypto/dh.cpp".
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content);
+
+/// Formats a finding as "path:line: [RULE] severity: message".
+std::string format(const Finding& f);
+
+}  // namespace gka_lint

@@ -1,0 +1,64 @@
+// gka_lint driver: scans src/, tests/ and bench/ under the given repo root
+// and prints every finding. Exit status is non-zero when any unsuppressed
+// finding remains, so `ctest -R gka_lint` gates the tree.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gka_lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--list-rules") {
+    for (const gka_lint::Rule& r : gka_lint::rules())
+      std::cout << r.id << "  "
+                << (r.severity == gka_lint::Severity::kError ? "error  "
+                                                             : "warning")
+                << "  " << r.summary << "\n";
+    return 0;
+  }
+
+  const fs::path root = args.empty() ? fs::path(".") : fs::path(args[0]);
+  std::vector<gka_lint::Finding> all;
+  std::size_t files = 0;
+  for (const char* sub : {"src", "tests", "bench"}) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      ++files;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      const std::vector<gka_lint::Finding> found =
+          gka_lint::lint_source(rel, slurp(entry.path()));
+      all.insert(all.end(), found.begin(), found.end());
+    }
+  }
+
+  for (const gka_lint::Finding& f : all)
+    std::cout << gka_lint::format(f) << "\n";
+  std::cout << "gka_lint: " << files << " files, " << all.size()
+            << " finding(s)\n";
+  return all.empty() ? 0 : 1;
+}
