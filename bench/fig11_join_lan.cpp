@@ -10,23 +10,41 @@
 //    competitive up to ~24 members.
 //
 // Usage: fig11_join_lan [max_size] [--csv out_prefix]
-#include <cstring>
+//                       [--json out.json] [--trace out.trace.json]
 #include <iostream>
 #include <string>
 
+#include "harness/bench_io.h"
 #include "harness/report.h"
 
 int main(int argc, char** argv) {
+  sgk::BenchOptions opts;
+  std::string err;
+  if (!sgk::BenchOptions::parse(argc, argv, opts, err)) {
+    std::cerr << "error: " << err << "\n";
+    return 1;
+  }
   std::size_t max_size = 50;
   std::string csv_prefix;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      csv_prefix = argv[++i];
+  for (std::size_t i = 0; i < opts.rest.size(); ++i) {
+    if (opts.rest[i] == "--csv" && i + 1 < opts.rest.size()) {
+      csv_prefix = opts.rest[++i];
     } else {
-      max_size = static_cast<std::size_t>(std::stoul(argv[i]));
+      max_size = static_cast<std::size_t>(std::stoul(opts.rest[i]));
     }
   }
 
+  sgk::ObsSession session(opts);
+  sgk::obs::RunReport report("fig11_join_lan");
+  {
+    sgk::obs::Json params = sgk::obs::Json::object();
+    params.set("max_size", sgk::obs::Json(static_cast<std::uint64_t>(max_size)));
+    params.set("topology", sgk::obs::Json("lan"));
+    params.set("event", sgk::obs::Json("join"));
+    report.add_section("params", std::move(params));
+  }
+
+  sgk::obs::Json sweeps = sgk::obs::Json::object();
   for (sgk::DhBits bits : {sgk::DhBits::k512, sgk::DhBits::k1024}) {
     const char* label = bits == sgk::DhBits::k512 ? "512" : "1024";
     sgk::SweepConfig cfg;
@@ -38,9 +56,16 @@ int main(int argc, char** argv) {
                                " bits (avg total time, ms)",
                            result, 4);
     sgk::print_sweep_summary(std::cout, result);
-    if (!csv_prefix.empty())
-      sgk::write_sweep_csv(csv_prefix + "_join_" + label + ".csv", result);
+    sweeps.set(std::string("join_") + label, sgk::sweep_to_json(result));
+    if (!csv_prefix.empty()) {
+      std::string csv_err;
+      if (!sgk::write_sweep_csv(csv_prefix + "_join_" + label + ".csv", result,
+                                &csv_err))
+        std::cerr << "error: " << csv_err << "\n";
+    }
     std::cout << "\n";
   }
-  return 0;
+  report.add_section("sweeps", std::move(sweeps));
+
+  return session.finish(report) ? 0 : 1;
 }

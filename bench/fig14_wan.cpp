@@ -14,10 +14,11 @@
 // submission"; pass --dh1024 to produce them here.
 //
 // Usage: fig14_wan [max_size] [--csv out_prefix] [--topology] [--dh1024]
-#include <cstring>
+//                  [--json out.json] [--trace out.trace.json]
 #include <iostream>
 #include <string>
 
+#include "harness/bench_io.h"
 #include "harness/report.h"
 
 namespace {
@@ -36,19 +37,25 @@ void print_topology(const sgk::Topology& topo) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  sgk::BenchOptions opts;
+  std::string err;
+  if (!sgk::BenchOptions::parse(argc, argv, opts, err)) {
+    std::cerr << "error: " << err << "\n";
+    return 1;
+  }
   std::size_t max_size = 50;
   std::string csv_prefix;
   bool topology_only = false;
   bool dh1024 = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      csv_prefix = argv[++i];
-    } else if (std::strcmp(argv[i], "--topology") == 0) {
+  for (std::size_t i = 0; i < opts.rest.size(); ++i) {
+    if (opts.rest[i] == "--csv" && i + 1 < opts.rest.size()) {
+      csv_prefix = opts.rest[++i];
+    } else if (opts.rest[i] == "--topology") {
       topology_only = true;
-    } else if (std::strcmp(argv[i], "--dh1024") == 0) {
+    } else if (opts.rest[i] == "--dh1024") {
       dh1024 = true;
     } else {
-      max_size = static_cast<std::size_t>(std::stoul(argv[i]));
+      max_size = static_cast<std::size_t>(std::stoul(opts.rest[i]));
     }
   }
 
@@ -62,13 +69,29 @@ int main(int argc, char** argv) {
   if (dh1024) cfg.dh_bits = sgk::DhBits::k1024;
   const char* bits_label = dh1024 ? "1024" : "512";
 
+  sgk::ObsSession session(opts);
+  sgk::obs::RunReport report("fig14_wan");
+  {
+    sgk::obs::Json params = sgk::obs::Json::object();
+    params.set("max_size", sgk::obs::Json(static_cast<std::uint64_t>(max_size)));
+    params.set("topology", sgk::obs::Json("wan"));
+    params.set("dh_bits", sgk::obs::Json(bits_label));
+    report.add_section("params", std::move(params));
+  }
+  sgk::obs::Json sweeps = sgk::obs::Json::object();
+
   sgk::SweepResult join = sgk::sweep_join(cfg);
   sgk::print_sweep_table(std::cout,
                          std::string("Figure 14 (left): join, WAN, DH ") +
                              bits_label + " bits",
                          join, 4);
   sgk::print_sweep_summary(std::cout, join);
-  if (!csv_prefix.empty()) sgk::write_sweep_csv(csv_prefix + "_join.csv", join);
+  sweeps.set("join", sgk::sweep_to_json(join));
+  if (!csv_prefix.empty()) {
+    std::string csv_err;
+    if (!sgk::write_sweep_csv(csv_prefix + "_join.csv", join, &csv_err))
+      std::cerr << "error: " << csv_err << "\n";
+  }
   std::cout << "\n";
 
   sgk::SweepResult leave = sgk::sweep_leave(cfg);
@@ -77,6 +100,13 @@ int main(int argc, char** argv) {
                              bits_label + " bits",
                          leave, 4);
   sgk::print_sweep_summary(std::cout, leave);
-  if (!csv_prefix.empty()) sgk::write_sweep_csv(csv_prefix + "_leave.csv", leave);
-  return 0;
+  sweeps.set("leave", sgk::sweep_to_json(leave));
+  if (!csv_prefix.empty()) {
+    std::string csv_err;
+    if (!sgk::write_sweep_csv(csv_prefix + "_leave.csv", leave, &csv_err))
+      std::cerr << "error: " << csv_err << "\n";
+  }
+  report.add_section("sweeps", std::move(sweeps));
+
+  return session.finish(report) ? 0 : 1;
 }

@@ -12,13 +12,15 @@
 // Counting convention: key-confirmation recomputation is disabled, matching
 // the optimization the paper applies when counting exponentiations (sec. 5).
 //
-// Usage: table1_costs [n] [m] [l]   (defaults n=16, m=4, l=4)
+// Usage: table1_costs [n] [m] [l] [--json out.json] [--trace out.trace.json]
+//        (defaults n=16, m=4, l=4)
 #include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "harness/bench_io.h"
 #include "harness/experiment.h"
 
 namespace sgk {
@@ -57,6 +59,7 @@ void print_rows(const std::vector<Row>& rows) {
             << std::setw(9) << "exp(max)" << std::setw(9) << "exp(tot)"
             << std::setw(7) << "sig(p)" << std::setw(9) << "sig(tot)"
             << std::setw(8) << "ver(p)" << std::setw(9) << "ver(max)"
+            << std::setw(10) << "hash(tot)" << std::setw(10) << "drbgB(tot)"
             << std::setw(10) << "bytes" << "\n";
   for (const Row& r : rows) {
     std::cout << std::left << std::setw(6) << r.protocol << std::setw(11)
@@ -67,8 +70,32 @@ void print_rows(const std::vector<Row>& rows) {
               << r.measured.total.exp_total() << std::setw(7) << r.paper_sig
               << std::setw(9) << r.measured.total.sign_ops << std::setw(8)
               << r.paper_ver << std::setw(9) << r.measured.max_member.verify_ops
-              << std::setw(10) << r.measured.total.bytes_sent << "\n";
+              << std::setw(10) << r.measured.total.hash_ops << std::setw(10)
+              << r.measured.total.drbg_bytes << std::setw(10)
+              << r.measured.total.bytes_sent << "\n";
   }
+}
+
+obs::Json rows_to_json(const std::vector<Row>& rows) {
+  obs::Json out = obs::Json::array();
+  for (const Row& r : rows) {
+    obs::Json row = obs::Json::object();
+    row.set("protocol", obs::Json(r.protocol));
+    row.set("event", obs::Json(r.event));
+    row.set("elapsed_ms", obs::Json(r.measured.elapsed_ms));
+    row.set("multicasts", obs::Json(r.measured.total.multicasts));
+    row.set("ordered_sends", obs::Json(r.measured.total.ordered_sends));
+    row.set("unicasts", obs::Json(r.measured.total.unicasts));
+    row.set("bytes_sent", obs::Json(r.measured.total.bytes_sent));
+    row.set("exp_max", obs::Json(r.measured.max_member.exp_total()));
+    row.set("exp_total", obs::Json(r.measured.total.exp_total()));
+    row.set("sign_total", obs::Json(r.measured.total.sign_ops));
+    row.set("verify_max", obs::Json(r.measured.max_member.verify_ops));
+    row.set("hash_total", obs::Json(r.measured.total.hash_ops));
+    row.set("drbg_bytes_total", obs::Json(r.measured.total.drbg_bytes));
+    out.push(std::move(row));
+  }
+  return out;
 }
 
 /// Paper formulas (Table 1), evaluated with the run's n, m, l. Cells the
@@ -96,11 +123,18 @@ Experiment make_experiment(ProtocolKind kind, std::size_t machines) {
 
 int main(int argc, char** argv) {
   using namespace sgk;
+  BenchOptions opts;
+  std::string opt_err;
+  if (!BenchOptions::parse(argc, argv, opts, opt_err)) {
+    std::cerr << "error: " << opt_err << "\n";
+    return 1;
+  }
   std::size_t n = 16, m = 4, l = 4;
-  if (argc > 1) n = std::stoul(argv[1]);
-  if (argc > 2) m = std::stoul(argv[2]);
-  if (argc > 3) l = std::stoul(argv[3]);
+  if (opts.rest.size() > 0) n = std::stoul(opts.rest[0]);
+  if (opts.rest.size() > 1) m = std::stoul(opts.rest[1]);
+  if (opts.rest.size() > 2) l = std::stoul(opts.rest[2]);
   Formulas f{n, m, l};
+  ObsSession session(opts);
   const std::string N = std::to_string(n);
   const std::string H = std::to_string(f.h());
 
@@ -317,6 +351,18 @@ int main(int argc, char** argv) {
   }
 
   print_rows(rows);
+
+  obs::RunReport report("table1_costs");
+  {
+    obs::Json params = obs::Json::object();
+    params.set("n", obs::Json(static_cast<std::uint64_t>(n)));
+    params.set("m", obs::Json(static_cast<std::uint64_t>(m)));
+    params.set("l", obs::Json(static_cast<std::uint64_t>(l)));
+    report.add_section("params", std::move(params));
+  }
+  report.add_section("table", rows_to_json(rows));
+  if (!session.finish(report)) return 1;
+
   std::cout << "\nNotes:\n"
             << " * measured msgs include every signed protocol message the "
                "group sent for the event;\n"

@@ -35,6 +35,7 @@ void BdProtocol::on_view(const View& view, const ViewDelta& /*delta*/) {
     host_.deliver_key(crypto().exp(z, r_));
     return;
   }
+  mark_phase("round1_broadcast");
   Writer w;
   w.u8(kZ);
   put_bigint(w, z);
@@ -44,6 +45,7 @@ void BdProtocol::on_view(const View& view, const ViewDelta& /*delta*/) {
 void BdProtocol::maybe_round2() {
   if (sent_x_ || z_.size() < view_.members.size()) return;
   sent_x_ = true;
+  mark_phase("round2_broadcast");
   const std::size_t i = index_of(self());
   const BigInt& z_next = z_.at(at_offset(i, +1));
   const BigInt& z_prev = z_.at(at_offset(i, -1));
@@ -59,6 +61,7 @@ void BdProtocol::maybe_round2() {
 
 void BdProtocol::maybe_finish() {
   if (!sent_x_ || x_values_.size() < view_.members.size()) return;
+  mark_phase("key_derivation");
   const std::size_t n = view_.members.size();
   const std::size_t i = index_of(self());
   // K = z_{i-1}^(n r_i) * prod_{j=0}^{n-2} X_{i+j}^(n-1-j)

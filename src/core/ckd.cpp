@@ -81,6 +81,7 @@ void CkdProtocol::on_view(const View& view, const ViewDelta& delta) {
 }
 
 void CkdProtocol::begin_controller_round(const std::vector<ProcessId>& need_channel) {
+  mark_phase("pairwise_channels");
   if (!have_pub_) {
     x_ = crypto().random_exponent();
     my_pub_ = crypto().exp_g(x_);
@@ -96,6 +97,7 @@ void CkdProtocol::begin_controller_round(const std::vector<ProcessId>& need_chan
 }
 
 void CkdProtocol::rekey() {
+  mark_phase("key_distribution");
   SGK_CHECK(have_pub_);
   const SecureBigInt s = crypto().random_exponent();
   Writer w;
@@ -121,6 +123,7 @@ void CkdProtocol::on_message(ProcessId sender, const Bytes& body) {
   switch (type) {
     case kChallenge: {
       if (sender == self()) return;
+      mark_phase("pairwise_channels");
       BigInt controller_pub = get_bigint(r);
       const std::uint32_t count = r.u32();
       bool addressed = false;
@@ -155,6 +158,7 @@ void CkdProtocol::on_message(ProcessId sender, const Bytes& body) {
     }
     case kKeyBcast: {
       if (sender == self()) return;
+      mark_phase("key_distribution");
       const std::uint32_t order_len = r.u32();
       order_.clear();
       for (std::uint32_t i = 0; i < order_len; ++i) order_.push_back(r.u32());

@@ -19,6 +19,11 @@ struct OpCounters {
   std::uint64_t sign_ops = 0;
   std::uint64_t verify_ops = 0;
 
+  // Auxiliary crypto charged by the cost model but invisible in the paper's
+  // tables: message-digest invocations and DRBG output consumed.
+  std::uint64_t hash_ops = 0;
+  std::uint64_t drbg_bytes = 0;
+
   std::uint64_t multicasts = 0;
   std::uint64_t unicasts = 0;
   std::uint64_t ordered_sends = 0;
@@ -31,6 +36,8 @@ struct OpCounters {
     mod_mul += o.mod_mul;
     sign_ops += o.sign_ops;
     verify_ops += o.verify_ops;
+    hash_ops += o.hash_ops;
+    drbg_bytes += o.drbg_bytes;
     multicasts += o.multicasts;
     unicasts += o.unicasts;
     ordered_sends += o.ordered_sends;
@@ -46,6 +53,8 @@ struct OpCounters {
     r.mod_mul -= o.mod_mul;
     r.sign_ops -= o.sign_ops;
     r.verify_ops -= o.verify_ops;
+    r.hash_ops -= o.hash_ops;
+    r.drbg_bytes -= o.drbg_bytes;
     r.multicasts -= o.multicasts;
     r.unicasts -= o.unicasts;
     r.ordered_sends -= o.ordered_sends;

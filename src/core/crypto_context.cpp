@@ -6,7 +6,9 @@
 namespace sgk {
 
 SecureBigInt CryptoContext::random_exponent() {
-  return group_.random_exponent(rng_);
+  SecureBigInt e = group_.random_exponent(rng_);
+  sync_drbg();
+  return e;
 }
 
 BigInt CryptoContext::exp(const BigInt& base, const BigInt& e) {
@@ -44,12 +46,15 @@ BigInt CryptoContext::mul_p(const BigInt& a, const BigInt& b) {
 
 Bytes CryptoContext::sign(const Bytes& message) {
   ++counters_.sign_ops;
+  ++counters_.hash_ops;
   if (scheme_ == SigScheme::kDsa) {
     // One full exponentiation plus field arithmetic.
     meter_ms_ += cost_.mod_exp_ms(group_.p_bits(), group_.q().bit_length()) +
                  cost_.modinv_ms + cost_.sha256_ms(message.size());
-    return dsa_signature_to_bytes(dsa_->sign(message, rng_),
-                                  (group_.q().bit_length() + 7) / 8);
+    Bytes sig = dsa_signature_to_bytes(dsa_->sign(message, rng_),
+                                       (group_.q().bit_length() + 7) / 8);
+    sync_drbg();
+    return sig;
   }
   meter_ms_ += cost_.rsa_sign_ms(rsa_.public_key().n().bit_length()) +
                cost_.sha256_ms(message.size());
@@ -59,6 +64,7 @@ Bytes CryptoContext::sign(const Bytes& message) {
 bool CryptoContext::verify(const VerifyKey& pub, const Bytes& message,
                            const Bytes& sig) {
   ++counters_.verify_ops;
+  ++counters_.hash_ops;
   if (const auto* dsa = std::get_if<DsaPublicKey>(&pub)) {
     // Two full exponentiations — the paper's "expensive verification".
     meter_ms_ += 2 * cost_.mod_exp_ms(group_.p_bits(), group_.q().bit_length()) +
@@ -79,12 +85,14 @@ bool CryptoContext::verify(const VerifyKey& pub, const Bytes& message,
 }
 
 void CryptoContext::charge_symmetric(std::size_t bytes) {
+  ++counters_.hash_ops;
   meter_ms_ += cost_.aes_ms(bytes) + cost_.sha256_ms(bytes);
 }
 
 Bytes CryptoContext::random_bytes(std::size_t n) {
   Bytes out(n);
   rng_.fill(out.data(), out.size());
+  sync_drbg();
   return out;
 }
 

@@ -40,6 +40,8 @@ class CryptoContext {
       : group_(group), rsa_(rsa), cost_(cost), rng_(std::move(rng)),
         scheme_(scheme) {
     if (scheme_ == SigScheme::kDsa) dsa_.emplace(group_, rng_);
+    // Long-term key generation above is setup, not protocol cost.
+    last_drbg_ = rng_.bytes_generated();
   }
 
   const DhGroup& group() const { return group_; }
@@ -88,6 +90,13 @@ class CryptoContext {
   }
 
  private:
+  /// Folds bytes drawn from the DRBG since the last sync into the counters.
+  void sync_drbg() {
+    const std::uint64_t total = rng_.bytes_generated();
+    counters_.drbg_bytes += total - last_drbg_;
+    last_drbg_ = total;
+  }
+
   const DhGroup& group_;
   const RsaPrivateKey& rsa_;
   CostModel cost_;
@@ -96,6 +105,7 @@ class CryptoContext {
   std::optional<DsaPrivateKey> dsa_;
   OpCounters counters_;
   double meter_ms_ = 0;
+  std::uint64_t last_drbg_ = 0;
 };
 
 }  // namespace sgk

@@ -90,6 +90,7 @@ void GdhProtocol::on_view(const View& view, const ViewDelta& delta) {
 }
 
 void GdhProtocol::start_merge() {
+  mark_phase("token_accumulation");
   if (self() != order_.back()) return;  // only the current controller acts
   // Step 1: refresh my contribution and pass the accumulated token to the
   // first new member. The token carries the join order so the eventual
@@ -110,6 +111,7 @@ void GdhProtocol::start_merge() {
 
 void GdhProtocol::handle_leave(const ViewDelta& delta) {
   (void)delta;
+  mark_phase("key_distribution");
   if (self() != order_.back()) return;  // wait for the controller broadcast
   // Refresh my exponent by a factor f; every other partial key gains f, my
   // own stays (it excludes my contribution by construction).
@@ -167,6 +169,7 @@ void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
       SGK_CHECK(pos != new_members_.end());
       if (self() == new_controller_) {
         // Last new member: broadcast the accumulated value unchanged.
+        mark_phase("broadcast");
         accum_ = token;
         order_ = std::move(chain_order);
         order_.push_back(self());
@@ -176,6 +179,7 @@ void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
         host_.send_multicast(w.take());
       } else {
         // Add my contribution and forward along the chain.
+        mark_phase("token_accumulation");
         r_ = crypto().random_exponent();
         BigInt next_token = crypto().exp(token, r_);
         chain_order.push_back(self());
@@ -190,6 +194,7 @@ void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
     }
     case kAccum: {
       if (sender == self()) return;  // own broadcast
+      mark_phase("factor_out");
       accum_ = get_bigint(r);
       // Factor out my contribution and return it to the new controller.
       BigInt factored = crypto().exp(accum_, crypto().inverse_q(r_));
@@ -204,6 +209,7 @@ void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
       factors_[sender] = get_bigint(r);
       if (factors_.size() + 1 < view_.members.size()) return;
       // All factor-out tokens collected: become the controller.
+      mark_phase("key_distribution");
       r_ = crypto().random_exponent();
       partials_.clear();
       for (const auto& [member, factored] : factors_) {
@@ -218,6 +224,7 @@ void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
     }
     case kPartials: {
       if (sender == self()) return;  // I built this list
+      mark_phase("key_distribution");
       adopt_partials(r, sender);
       i_am_new_ = false;
       return;

@@ -61,6 +61,14 @@ class ProtocolHost {
   /// key-confirmation check, paying the extra exponentiations the paper
   /// describes in section 5. Table 1's counts assume this is off.
   virtual bool key_confirmation() const = 0;
+
+  /// Marks a protocol-phase transition on the observability timeline (see
+  /// docs/observability.md for the per-protocol taxonomy). Static phase
+  /// names only — never values derived from key material (gka_lint GKA006).
+  virtual void mark_phase(const char* phase_name) { (void)phase_name; }
+  /// Marks a zero-width point of interest (e.g. a key-confirmation check)
+  /// on the observability timeline. Same GKA006 rules as mark_phase.
+  virtual void mark_point(const char* point_name) { (void)point_name; }
 };
 
 class KeyAgreement {
@@ -81,6 +89,8 @@ class KeyAgreement {
   ProtocolHost& host_;
   CryptoContext& crypto() { return host_.crypto(); }
   ProcessId self() const { return host_.self(); }
+  void mark_phase(const char* phase_name) { host_.mark_phase(phase_name); }
+  void mark_point(const char* point_name) { host_.mark_point(point_name); }
 };
 
 /// Factory for the protocol implementations.

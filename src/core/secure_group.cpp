@@ -3,6 +3,7 @@
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -95,6 +96,19 @@ void SecureGroupMember::send_unicast(ProcessId dest, Bytes body) {
   queue(SendKind::kUnicast, dest, frame_and_sign(WireKind::kProtocol, body));
 }
 
+void SecureGroupMember::mark_phase(const char* phase_name) {
+  SGK_TRACE(tr->phase(phase_name, net_.simulator().now()));
+}
+
+void SecureGroupMember::mark_point(const char* point_name) {
+  SGK_TRACE(if (tr->event_active()) {
+    obs::SpanId mark = tr->instant(point_name, net_.simulator().now(),
+                                   static_cast<std::uint32_t>(
+                                       net_.machine_of(self_) + 1));
+    tr->attr(mark, "member", obs::Json(static_cast<std::uint64_t>(self_)));
+  });
+}
+
 void SecureGroupMember::deliver_key(const BigInt& group_secret) {
   // Derive a 64-byte key block (16B AES key, 16B IV seed, 32B HMAC key).
   Bytes material = group_secret.to_bytes();
@@ -145,6 +159,14 @@ void SecureGroupMember::end_handler() {
           key_ = std::move(*key);
           key_epoch_ = epoch;
           key_time_ = net_.simulator().now();
+          SGK_TRACE(if (tr->event_active()) {
+            obs::SpanId mark = tr->instant(
+                "key_install", key_time_,
+                static_cast<std::uint32_t>(net_.machine_of(self_) + 1));
+            tr->attr(mark, "member",
+                     obs::Json(static_cast<std::uint64_t>(self_)));
+            tr->attr(mark, "epoch", obs::Json(epoch));
+          });
           if (key_listener_) key_listener_(key_time_, key_epoch_);
         }
       });

@@ -140,6 +140,8 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
   void send_unicast(ProcessId dest, Bytes body) override;
   void deliver_key(const BigInt& group_secret) override;
   bool key_confirmation() const override { return config_.key_confirmation; }
+  void mark_phase(const char* phase_name) override;
+  void mark_point(const char* point_name) override;
 
   Bytes frame_and_sign(WireKind kind, const Bytes& body);
   void queue(SendKind kind, ProcessId dest, Bytes body);

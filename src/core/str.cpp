@@ -71,6 +71,7 @@ void StrProtocol::compute_chain(bool as_sponsor) {
       // constant time — the check value is derived from secret chain keys.
       BigInt check = crypto().exp_g(crypto().to_exponent(keys_.at(m)));
       SGK_CHECK(ct_equal(check.to_bytes(), bk_.at(m).to_bytes()));
+      mark_point("key_confirmation");
     }
   }
 }
@@ -126,6 +127,7 @@ void StrProtocol::on_view(const View& view, const ViewDelta& delta) {
 }
 
 void StrProtocol::start_subtractive(const ViewDelta& delta) {
+  mark_phase("tree_update");
   std::vector<ProcessId> departed = delta.left;
   std::sort(departed.begin(), departed.end());
 
@@ -180,6 +182,7 @@ void StrProtocol::start_subtractive(const ViewDelta& delta) {
 }
 
 void StrProtocol::start_merge(const ViewDelta& delta) {
+  mark_phase("tree_update");
   // Prune members that disappeared (mixed events).
   if (!members_.empty()) {
     std::vector<ProcessId> departed;
@@ -291,6 +294,7 @@ void StrProtocol::on_message(ProcessId sender, const Bytes& body) {
 
   if (type == kAnnounce) {
     if (sender == self()) return;
+    mark_phase("tree_update");
     if (collecting_ && info.members == members_) {
       // My own side's sponsor announcement: adopt its fresh values.
       for (const auto& [m, v] : info.br) br_[m] = v;
@@ -322,6 +326,7 @@ void StrProtocol::on_message(ProcessId sender, const Bytes& body) {
 
   if (type == kUpdate) {
     if (sender == self()) return;
+    mark_phase("tree_update");
     if (sorted_copy(info.members) != view_.members) return;  // stale epoch
     members_ = info.members;
     for (const auto& [m, v] : info.br) br_[m] = v;

@@ -84,6 +84,7 @@ void TgdhProtocol::on_view(const View& view, const ViewDelta& delta) {
 }
 
 void TgdhProtocol::start_subtractive(const ViewDelta& delta) {
+  mark_phase("tree_update");
   std::vector<ProcessId> departed = delta.left;
   std::sort(departed.begin(), departed.end());
   const std::vector<int> candidates = tree_.remove_members(departed);
@@ -139,6 +140,7 @@ void TgdhProtocol::start_subtractive(const ViewDelta& delta) {
 }
 
 void TgdhProtocol::start_merge(const ViewDelta& delta) {
+  mark_phase("tree_update");
   // Determine my side; if my tree does not match it (cascade or fresh join),
   // fall back to a singleton announcement, which is always safe.
   const std::vector<ProcessId>* my_side = delta.side_of(self());
@@ -246,6 +248,7 @@ void TgdhProtocol::compute_up() {
         // constant time — the check value is derived from the node secret.
         BigInt check = crypto().exp_g(crypto().to_exponent(node.key));
         SGK_CHECK(ct_equal(check.to_bytes(), node.bkey.to_bytes()));
+        mark_point("key_confirmation");
       }
     }
     child = cur;
@@ -280,6 +283,7 @@ void TgdhProtocol::on_message(ProcessId sender, const Bytes& body) {
   const std::uint8_t type = r.u8();
   if (type == kAnnounce) {
     if (sender == self()) return;
+    mark_phase("tree_update");
     KeyTree announced = KeyTree::deserialize(r);
     if (!collecting_) {
       // Post-fold (or refresh) announcement: absorb if it matches my tree.
@@ -307,6 +311,7 @@ void TgdhProtocol::on_message(ProcessId sender, const Bytes& body) {
   }
   if (type == kUpdate) {
     if (sender == self()) return;
+    mark_phase("tree_update");
     KeyTree update = KeyTree::deserialize(r);
     if (!update.same_structure(tree_)) return;  // stale or foreign
     tree_.absorb_bkeys(update);

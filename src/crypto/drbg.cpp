@@ -23,6 +23,7 @@ Drbg::Drbg(std::uint64_t seed, std::string_view label)
 void Drbg::fill(std::uint8_t* out, std::size_t len) {
   Bytes ks = stream_.keystream(len);
   std::copy(ks.begin(), ks.end(), out);
+  bytes_generated_ += len;
 }
 
 std::uint64_t Drbg::next_u64(std::uint64_t bound) {

@@ -32,8 +32,14 @@ class Drbg final : public RandomSource {
   /// independent of the parent's future output.
   Drbg fork(std::string_view label);
 
+  /// Total bytes drawn through fill() over this generator's lifetime
+  /// (includes draws made by next_u64/next_double/fork). Lets callers meter
+  /// randomness consumption by differencing.
+  std::uint64_t bytes_generated() const { return bytes_generated_; }
+
  private:
   ChaCha20 stream_;
+  std::uint64_t bytes_generated_ = 0;
 };
 
 }  // namespace sgk

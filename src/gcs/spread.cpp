@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -29,8 +31,13 @@ SpreadNetwork::SpreadNetwork(Simulator& sim, Topology topology, SpreadParams par
     daemons_[m].epoch = comp.epoch;
     comp.ring.push_back(static_cast<MachineId>(m));
     const MachineSpec& spec = topo_.machine(static_cast<MachineId>(m));
-    cpus_.push_back(std::make_unique<CpuScheduler>(sim_, spec.cores, spec.speed));
+    // Track 0 is the events/phases timeline; machine m traces on track m+1.
+    const auto track = static_cast<std::uint32_t>(m + 1);
+    cpus_.push_back(
+        std::make_unique<CpuScheduler>(sim_, spec.cores, spec.speed, track));
+    SGK_TRACE(tr->set_track_name(track, "machine " + std::to_string(m)));
   }
+  SGK_TRACE(tr->set_track_name(0, "membership events"));
   components_.push_back(std::move(comp));
 }
 
@@ -264,6 +271,16 @@ void SpreadNetwork::token_arrive(int component_index, std::uint64_t epoch, int p
     ++messages_stamped_;
     ++stamped_count;
     depart += params_.stamp_ms;
+    if (obs::MetricsRegistry* mr = obs::metrics())
+      mr->counter("gcs/messages_stamped").add();
+    SGK_TRACE(if (tr->event_active()) {
+      obs::SpanId mark = tr->instant(
+          stamped.payload.kind == Payload::kView ? "stamp_view" : "stamp_data",
+          depart, static_cast<std::uint32_t>(machine + 1));
+      if (stamped.payload.kind == Payload::kData)
+        tr->attr(mark, "bytes",
+                 obs::Json(static_cast<std::uint64_t>(stamped.payload.data.size())));
+    });
     transmit(comp, machine, std::move(stamped), depart);
   }
 
@@ -331,6 +348,15 @@ void SpreadNetwork::daemon_deliver(Daemon& daemon, const Stamped& stamped) {
 void SpreadNetwork::deliver_view(Daemon& daemon, const Payload& payload) {
   const View& view = payload.view;
   daemon.delivered_view[payload.group] = view;
+  if (obs::MetricsRegistry* mr = obs::metrics())
+    mr->counter("gcs/views_installed").add();
+  SGK_TRACE(if (tr->event_active()) {
+    obs::SpanId mark =
+        tr->instant("view_install", sim_.now() + params_.deliver_ms,
+                    static_cast<std::uint32_t>(daemon.machine + 1));
+    tr->attr(mark, "members",
+             obs::Json(static_cast<std::uint64_t>(view.members.size())));
+  });
   for (ProcessId p : view.members) {
     if (machine_of(p) != daemon.machine) continue;
     ProcessInfo& info = processes_.at(p);

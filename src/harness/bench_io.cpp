@@ -1,0 +1,114 @@
+#include "harness/bench_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace sgk {
+
+bool BenchOptions::parse(int argc, char** argv, BenchOptions& out,
+                         std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--trace") {
+      if (i + 1 >= argc) {
+        error = arg + " requires a file path argument";
+        return false;
+      }
+      (arg == "--json" ? out.json_path : out.trace_path) = argv[++i];
+    } else {
+      out.rest.push_back(arg);
+    }
+  }
+  return true;
+}
+
+ObsSession::ObsSession(const BenchOptions& opts) : opts_(opts) {
+  if (!opts_.observing()) return;
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  tracer_ = std::make_unique<obs::Tracer>();
+  prev_metrics_ = obs::metrics();
+  prev_tracer_ = obs::tracer();
+  obs::set_metrics(metrics_.get());
+  obs::set_tracer(tracer_.get());
+}
+
+ObsSession::~ObsSession() {
+  if (!opts_.observing()) return;
+  obs::set_metrics(prev_metrics_);
+  obs::set_tracer(prev_tracer_);
+}
+
+bool ObsSession::finish(obs::RunReport& report) {
+  if (!opts_.observing()) return true;
+  report.add_metrics(*metrics_);
+  report.add_span_rollup(*tracer_);
+  bool ok = true;
+  std::string error;
+  if (!opts_.json_path.empty() &&
+      !obs::write_json_file(opts_.json_path, report.json(), &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    ok = false;
+  }
+  if (!opts_.trace_path.empty() &&
+      !obs::write_chrome_trace_file(opts_.trace_path, *tracer_, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+namespace {
+
+// Quantile over a copy of `v` with linear interpolation between order
+// statistics (matches the convention documented in docs/observability.md).
+double sample_quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace
+
+obs::Json sweep_to_json(const SweepResult& result) {
+  obs::Json doc = obs::Json::object();
+  doc.set("min_size", obs::Json(static_cast<std::uint64_t>(result.min_size)));
+  doc.set("max_size", obs::Json(static_cast<std::uint64_t>(result.max_size)));
+  obs::Json sizes = obs::Json::array();
+  for (std::size_t n : result.sizes())
+    sizes.push(obs::Json(static_cast<std::uint64_t>(n)));
+  doc.set("sizes", std::move(sizes));
+
+  obs::Json series = obs::Json::array();
+  for (const Series& s : result.series) {
+    obs::Json entry = obs::Json::object();
+    entry.set("label", obs::Json(s.label));
+    obs::Json mean = obs::Json::array();
+    obs::Json median = obs::Json::array();
+    obs::Json p95 = obs::Json::array();
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      mean.push(obs::Json(s.values[i]));
+      // Sweeps run with seeds=1 still get well-defined order statistics: the
+      // single sample is its own median and p95.
+      static const std::vector<double> kEmpty;
+      const std::vector<double>& samples =
+          i < s.samples.size() ? s.samples[i] : kEmpty;
+      median.push(obs::Json(samples.empty() ? s.values[i]
+                                            : sample_quantile(samples, 0.5)));
+      p95.push(obs::Json(samples.empty() ? s.values[i]
+                                         : sample_quantile(samples, 0.95)));
+    }
+    entry.set("mean_ms", std::move(mean));
+    entry.set("median_ms", std::move(median));
+    entry.set("p95_ms", std::move(p95));
+    series.push(std::move(entry));
+  }
+  doc.set("series", std::move(series));
+  return doc;
+}
+
+}  // namespace sgk

@@ -1,0 +1,66 @@
+// Shared command-line handling and observability plumbing for the bench
+// binaries: every bench gains `--json <path>` (schema-versioned BENCH_*.json
+// RunReport) and `--trace <path>` (Chrome trace_event file for Perfetto /
+// chrome://tracing) through this header. See docs/observability.md.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+#include "obs/run_report.h"
+
+namespace sgk {
+
+/// Observability flags shared by every bench binary. Flags this parser does
+/// not recognize (and all positional arguments) pass through in `rest`, in
+/// their original order, so each bench keeps its own argument handling.
+struct BenchOptions {
+  std::string json_path;   // --json <path>
+  std::string trace_path;  // --trace <path>
+  std::vector<std::string> rest;
+
+  bool observing() const { return !json_path.empty() || !trace_path.empty(); }
+
+  /// Parses argv (argv[0] is skipped). Returns false and fills `error` when a
+  /// recognized flag is missing its argument.
+  static bool parse(int argc, char** argv, BenchOptions& out,
+                    std::string& error);
+};
+
+/// Scoped installation of the process-global metrics registry and tracer.
+/// While an ObsSession with observing options is alive, the harness and the
+/// instrumented simulator record into its sinks; `finish` folds the collected
+/// state into a RunReport and writes the files the flags requested. When the
+/// options request nothing, the session is a no-op and `finish` only prints
+/// nothing and succeeds.
+class ObsSession {
+ public:
+  explicit ObsSession(const BenchOptions& opts);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  obs::Tracer* tracer() const { return tracer_.get(); }
+
+  /// Adds the metrics + span-rollup sections to `report`, then writes the
+  /// --json and --trace files. Failures are reported on stderr; returns
+  /// false if any write failed.
+  bool finish(obs::RunReport& report);
+
+ private:
+  const BenchOptions opts_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::MetricsRegistry* prev_metrics_ = nullptr;
+  obs::Tracer* prev_tracer_ = nullptr;
+};
+
+/// Serializes a sweep for the BENCH_*.json "sweeps" entries: sizes plus, per
+/// series, the mean curve and per-size median / p95 over seeds (the median is
+/// what the CI perf gate compares against its committed baseline).
+obs::Json sweep_to_json(const SweepResult& result);
+
+}  // namespace sgk

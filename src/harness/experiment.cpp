@@ -1,7 +1,10 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -10,7 +13,11 @@ Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config)),
       net_(sim_, config_.topology),
       pki_(std::make_shared<Pki>()),
-      rng_(config_.seed, "experiment") {}
+      rng_(config_.seed, "experiment") {
+  // Each Experiment has its own Simulator starting at virtual 0; re-base the
+  // tracer so sequential experiments lay out sequentially on the timeline.
+  SGK_TRACE(tr->use_clock());
+}
 
 Experiment::~Experiment() = default;
 
@@ -58,7 +65,36 @@ OpCounters Experiment::sum_counters() const {
   return total;
 }
 
-EventResult Experiment::finish_event(double t0, OpCounters before_total) {
+void Experiment::begin_event(const char* event_name, double t0) {
+  // The first phase covers the GCS membership protocol: it runs from the
+  // event until a protocol handler marks its first phase.
+  SGK_TRACE(tr->begin_event(event_name, t0); tr->phase("membership", t0));
+}
+
+void Experiment::record_event(const char* event_name, const EventResult& r,
+                              double keyed) {
+  SGK_TRACE(
+      tr->event_attr("protocol", obs::Json(to_string(config_.protocol)));
+      tr->event_attr("n", obs::Json(static_cast<std::uint64_t>(r.group_size)));
+      tr->end_event(keyed));
+  if (obs::MetricsRegistry* mr = obs::metrics()) {
+    const std::string path =
+        std::string(to_string(config_.protocol)) + "/" + event_name;
+    mr->counter("events/" + path).add();
+    mr->histogram("event_ms/" + path).observe(r.elapsed_ms);
+    mr->histogram("event_bytes/" + path)
+        .observe(static_cast<double>(r.total.bytes_sent));
+    mr->histogram("event_msgs/" + path)
+        .observe(static_cast<double>(r.total.messages()));
+    // Rounds-to-key proxy: the heaviest member's sent-message count (each
+    // protocol round has a member send at most one message).
+    mr->histogram("event_rounds/" + path)
+        .observe(static_cast<double>(r.max_member.messages()));
+  }
+}
+
+EventResult Experiment::finish_event(const char* event_name, double t0,
+                                     OpCounters before_total) {
   sim_.run();
   EventResult r;
   r.group_size = group_size();
@@ -79,6 +115,7 @@ EventResult Experiment::finish_event(double t0, OpCounters before_total) {
   r.elapsed_ms = keyed - t0;
   r.membership_ms = membership - t0;
   r.total = sum_counters() - before_total;
+  record_event(event_name, r, keyed);
   return r;
 }
 
@@ -89,9 +126,10 @@ EventResult Experiment::measure_join() {
     if (m) last_counters_.at(m->id()) = m->counters();
   const OpCounters before = sum_counters();
   const double t0 = sim_.now();
+  begin_event("join", t0);
   spawn().join();
   last_counters_.resize(members_.size());
-  return finish_event(t0, before);
+  return finish_event("join", t0, before);
 }
 
 EventResult Experiment::measure_leave(LeavePolicy policy) {
@@ -121,9 +159,10 @@ EventResult Experiment::measure_leave(LeavePolicy policy) {
   before = before - leaver->counters();  // leaver's past ops drop out of the sum
 
   const double t0 = sim_.now();
+  begin_event("leave", t0);
   leaver->leave();
   members_.at(leaver->id()).reset();
-  return finish_event(t0, before);
+  return finish_event("leave", t0, before);
 }
 
 EventResult Experiment::measure_multi_leave(std::size_t count) {
@@ -135,6 +174,7 @@ EventResult Experiment::measure_multi_leave(std::size_t count) {
   OpCounters before = sum_counters();
 
   const double t0 = sim_.now();
+  begin_event("multi_leave", t0);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t pick = static_cast<std::size_t>(rng_.next_u64(live.size()));
     SecureGroupMember* leaver = live.at(pick);
@@ -143,7 +183,7 @@ EventResult Experiment::measure_multi_leave(std::size_t count) {
     leaver->leave();
     members_.at(leaver->id()).reset();
   }
-  return finish_event(t0, before);
+  return finish_event("multi_leave", t0, before);
 }
 
 EventResult Experiment::measure_partition(
@@ -153,6 +193,7 @@ EventResult Experiment::measure_partition(
     if (m) last_counters_.at(m->id()) = m->counters();
   const OpCounters before = sum_counters();
   const double t0 = sim_.now();
+  begin_event("partition", t0);
   net_.partition(parts);
   sim_.run();
   EventResult r;
@@ -164,6 +205,7 @@ EventResult Experiment::measure_partition(
   }
   r.elapsed_ms = keyed - t0;
   r.total = sum_counters() - before;
+  record_event("partition", r, keyed);
   return r;
 }
 
@@ -173,8 +215,9 @@ EventResult Experiment::measure_merge() {
     if (m) last_counters_.at(m->id()) = m->counters();
   const OpCounters before = sum_counters();
   const double t0 = sim_.now();
+  begin_event("merge", t0);
   net_.heal();
-  return finish_event(t0, before);
+  return finish_event("merge", t0, before);
 }
 
 }  // namespace sgk

@@ -78,8 +78,13 @@ class Experiment {
 
  private:
   SecureGroupMember& spawn();
+  /// Opens the tracer's root span for a measured event at t0.
+  void begin_event(const char* event_name, double t0);
   /// Runs the sim and collects timing/counter deltas for one event.
-  EventResult finish_event(double t0, OpCounters before_total);
+  EventResult finish_event(const char* event_name, double t0,
+                           OpCounters before_total);
+  /// Closes the root span at `keyed` and records event metrics.
+  void record_event(const char* event_name, const EventResult& r, double keyed);
   OpCounters sum_counters() const;
 
   ExperimentConfig config_;

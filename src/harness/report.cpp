@@ -37,11 +37,19 @@ void print_sweep_csv(std::ostream& os, const SweepResult& result) {
   }
 }
 
-bool write_sweep_csv(const std::string& path, const SweepResult& result) {
+bool write_sweep_csv(const std::string& path, const SweepResult& result,
+                     std::string* error) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
   print_sweep_csv(out, result);
-  return static_cast<bool>(out);
+  if (!out) {
+    if (error) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
 }
 
 void print_sweep_summary(std::ostream& os, const SweepResult& result) {

@@ -16,8 +16,10 @@ void print_sweep_table(std::ostream& os, const std::string& title,
 /// Renders the sweep as CSV ("size,BD,CKD,...").
 void print_sweep_csv(std::ostream& os, const SweepResult& result);
 
-/// Writes the CSV to a file; returns false on I/O failure.
-bool write_sweep_csv(const std::string& path, const SweepResult& result);
+/// Writes the CSV to a file; returns false on I/O failure. When `error` is
+/// non-null a failure fills it with a message naming the offending path.
+bool write_sweep_csv(const std::string& path, const SweepResult& result,
+                     std::string* error = nullptr);
 
 /// Short textual summary (min/max per series and who wins at small / large
 /// sizes) to make bench output self-explanatory.

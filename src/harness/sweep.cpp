@@ -31,6 +31,7 @@ SweepResult sweep_join(const SweepConfig& config) {
     Series series;
     series.label = series_label(kind);
     series.values.assign(config.max_size - config.min_size + 1, 0.0);
+    series.samples.assign(series.values.size(), {});
     for (int seed = 0; seed < config.seeds; ++seed) {
       ExperimentConfig ec;
       ec.topology = config.topology;
@@ -44,6 +45,7 @@ SweepResult sweep_join(const SweepConfig& config) {
         EventResult r = exp.measure_join();
         SGK_CHECK(r.group_size == n);
         series.values[n - config.min_size] += r.elapsed_ms / config.seeds;
+        series.samples[n - config.min_size].push_back(r.elapsed_ms);
       }
     }
     result.series.push_back(std::move(series));
@@ -59,6 +61,7 @@ SweepResult sweep_leave(const SweepConfig& config) {
     Series series;
     series.label = series_label(kind);
     series.values.assign(config.max_size - config.min_size + 1, 0.0);
+    series.samples.assign(series.values.size(), {});
     for (int seed = 0; seed < config.seeds; ++seed) {
       ExperimentConfig ec;
       ec.topology = config.topology;
@@ -72,6 +75,7 @@ SweepResult sweep_leave(const SweepConfig& config) {
         EventResult r = exp.measure_leave(leave_policy_for(kind));
         SGK_CHECK(r.group_size == n - 1);
         series.values[n - config.min_size] += r.elapsed_ms / config.seeds;
+        series.samples[n - config.min_size].push_back(r.elapsed_ms);
       }
     }
     result.series.push_back(std::move(series));

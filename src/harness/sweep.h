@@ -13,6 +13,10 @@ namespace sgk {
 struct Series {
   std::string label;
   std::vector<double> values;  // indexed by group size - min_size
+  /// Per-size raw samples, one entry per seed (same indexing as `values`;
+  /// `values[i]` is the mean of `samples[i]`). Feeds the median/p95 columns
+  /// of BENCH_*.json and the CI perf gate.
+  std::vector<std::vector<double>> samples;
 };
 
 struct SweepResult {

@@ -1,0 +1,105 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+#include <map>
+
+namespace sgk::obs {
+
+RunReport::RunReport(std::string bench_name) {
+  doc_ = Json::object();
+  doc_.set("schema", Json(kBenchSchema));
+  doc_.set("bench", Json(std::move(bench_name)));
+}
+
+void RunReport::add_section(std::string name, Json value) {
+  doc_.set(std::move(name), std::move(value));
+}
+
+void RunReport::add_metrics(const MetricsRegistry& registry) {
+  doc_.set("metrics", registry.to_json());
+}
+
+void RunReport::add_span_rollup(const Tracer& tr) {
+  doc_.set("span_rollup", span_rollup_json(tr));
+}
+
+Json span_rollup_json(const Tracer& tr) {
+  struct Rollup {
+    std::uint64_t count = 0;
+    double total_ms = 0;
+    std::map<std::string, double> phases;
+  };
+  // Key: protocol + '\0' + event name (events without a protocol attribute
+  // roll up under "").
+  std::map<std::string, Rollup> rollups;
+
+  const std::vector<Span>& spans = tr.spans();
+  std::vector<std::string> event_key(spans.size() + 1);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (s.kind != SpanKind::kEvent || s.open()) continue;
+    std::string proto;
+    for (const auto& [k, v] : s.attrs)
+      if (k == "protocol" && v.is_string()) proto = v.as_string();
+    std::string key = proto + '\0' + s.name;
+    event_key[i + 1] = key;
+    Rollup& r = rollups[key];
+    ++r.count;
+    r.total_ms += s.duration_ms();
+  }
+  for (const Span& s : spans) {
+    if (s.kind != SpanKind::kPhase || s.open() || s.parent == kNoSpan) continue;
+    const std::string& key = event_key[s.parent];
+    if (key.empty()) continue;
+    rollups[key].phases[s.name] += s.duration_ms();
+  }
+
+  Json rows = Json::array();
+  for (const auto& [key, r] : rollups) {
+    const std::size_t sep = key.find('\0');
+    Json row = Json::object();
+    row.set("protocol", Json(key.substr(0, sep)));
+    row.set("event", Json(key.substr(sep + 1)));
+    row.set("count", Json(r.count));
+    row.set("total_ms", Json(r.total_ms));
+    row.set("mean_ms",
+            Json(r.count == 0 ? 0.0 : r.total_ms / static_cast<double>(r.count)));
+    Json phases = Json::object();
+    for (const auto& [name, ms] : r.phases) phases.set(name, Json(ms));
+    row.set("phases", std::move(phases));
+    rows.push(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_json_file(const std::string& path, const Json& doc,
+                     std::string* error) {
+  return write_text_file(path, doc.dump(2) + "\n", error);
+}
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& tr,
+                             std::string* error) {
+  return write_text_file(path, tr.chrome_trace_json().dump() + "\n", error);
+}
+
+}  // namespace sgk::obs

@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace sgk::obs {
+
+namespace {
+Tracer* g_tracer = nullptr;
+}  // namespace
+
+Tracer* tracer() { return g_tracer; }
+void set_tracer(Tracer* tr) { g_tracer = tr; }
+
+SpanId Tracer::add_span(Span s) {
+  bump_high_water(s.start_ms);
+  spans_.push_back(std::move(s));
+  return static_cast<SpanId>(spans_.size());
+}
+
+void Tracer::bump_high_water(double line_ms) {
+  high_water_ = std::max(high_water_, line_ms);
+}
+
+void Tracer::use_clock() {
+  offset_ = high_water_;
+}
+
+SpanId Tracer::begin_event(std::string name, double clock_now) {
+  end_event(clock_now);  // defensively close a dangling event
+  Span s;
+  s.name = std::move(name);
+  s.kind = SpanKind::kEvent;
+  s.start_ms = to_line(clock_now);
+  event_ = add_span(std::move(s));
+  return event_;
+}
+
+void Tracer::event_attr(std::string_view name, Json value) {
+  if (event_ == kNoSpan) return;
+  attr(event_, name, std::move(value));
+}
+
+void Tracer::phase(std::string_view name, double clock_now) {
+  if (event_ == kNoSpan) return;
+  if (open_phase_ != kNoSpan && mut(open_phase_).name == name) return;
+  const double t = to_line(clock_now);
+  if (open_phase_ != kNoSpan) {
+    Span& prev = mut(open_phase_);
+    prev.end_ms = std::max(prev.start_ms, t);
+    bump_high_water(prev.end_ms);
+  }
+  Span s;
+  s.name = std::string(name);
+  s.kind = SpanKind::kPhase;
+  s.parent = event_;
+  s.start_ms = t;
+  open_phase_ = add_span(std::move(s));
+  event_phases_.push_back(open_phase_);
+}
+
+void Tracer::end_event(double clock_end) {
+  if (event_ == kNoSpan) return;
+  const double end = std::max(to_line(clock_end), mut(event_).start_ms);
+  // Tile: clamp every phase of this event into [event.start, end] so the
+  // phase durations sum exactly to the root duration.
+  for (SpanId id : event_phases_) {
+    Span& p = mut(id);
+    p.start_ms = std::min(p.start_ms, end);
+    if (p.open() || p.end_ms > end) p.end_ms = end;
+  }
+  if (open_phase_ != kNoSpan) mut(open_phase_).end_ms = end;
+  Span& root = mut(event_);
+  root.end_ms = end;
+  bump_high_water(end);
+  event_ = kNoSpan;
+  open_phase_ = kNoSpan;
+  event_phases_.clear();
+}
+
+SpanId Tracer::begin_span_at(std::string name, double clock_start,
+                             SpanId parent, std::uint32_t track) {
+  Span s;
+  s.name = std::move(name);
+  s.parent = parent;
+  s.track = track;
+  s.start_ms = to_line(clock_start);
+  return add_span(std::move(s));
+}
+
+void Tracer::end_span_at(SpanId id, double clock_end) {
+  if (id == kNoSpan) return;
+  Span& s = mut(id);
+  s.end_ms = std::max(s.start_ms, to_line(clock_end));
+  bump_high_water(s.end_ms);
+}
+
+SpanId Tracer::instant(std::string name, double clock_now,
+                       std::uint32_t track) {
+  Span s;
+  s.name = std::move(name);
+  s.kind = SpanKind::kInstant;
+  s.parent = (track == 0) ? event_ : kNoSpan;
+  s.track = track;
+  s.start_ms = to_line(clock_now);
+  s.end_ms = s.start_ms;
+  return add_span(std::move(s));
+}
+
+void Tracer::attr(SpanId id, std::string_view name, Json value) {
+  if (id == kNoSpan) return;
+  mut(id).attrs.emplace_back(std::string(name), std::move(value));
+}
+
+void Tracer::set_track_name(std::uint32_t track, std::string name) {
+  for (auto& [t, n] : track_names_) {
+    if (t == track) {
+      n = std::move(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(track, std::move(name));
+}
+
+Json Tracer::chrome_trace_json() const {
+  Json events = Json::array();
+  for (const auto& [track, name] : track_names_) {
+    Json m = Json::object();
+    m.set("ph", Json("M"));
+    m.set("name", Json("thread_name"));
+    m.set("pid", Json(0));
+    m.set("tid", Json(static_cast<std::uint64_t>(track)));
+    Json margs = Json::object();
+    margs.set("name", Json(name));
+    m.set("args", std::move(margs));
+    events.push(std::move(m));
+  }
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    Json e = Json::object();
+    e.set("name", Json(s.name));
+    e.set("cat", Json(s.kind == SpanKind::kEvent   ? "event"
+                      : s.kind == SpanKind::kPhase ? "phase"
+                      : s.kind == SpanKind::kInstant ? "instant"
+                                                     : "span"));
+    e.set("ph", Json(s.kind == SpanKind::kInstant ? "i" : "X"));
+    e.set("pid", Json(0));
+    e.set("tid", Json(static_cast<std::uint64_t>(s.track)));
+    e.set("ts", Json(s.start_ms * 1000.0));  // virtual microseconds
+    if (s.kind == SpanKind::kInstant) {
+      e.set("s", Json("t"));  // thread-scoped instant
+    } else {
+      e.set("dur", Json(s.duration_ms() * 1000.0));
+    }
+    Json args = Json::object();
+    args.set("span_id", Json(static_cast<std::uint64_t>(i + 1)));
+    if (s.parent != kNoSpan)
+      args.set("parent_span_id", Json(static_cast<std::uint64_t>(s.parent)));
+    for (const auto& [k, v] : s.attrs) args.set(k, v);
+    e.set("args", std::move(args));
+    events.push(std::move(e));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", Json("ms"));
+  return doc;
+}
+
+}  // namespace sgk::obs

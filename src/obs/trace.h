@@ -1,0 +1,153 @@
+// Span-based tracer driven by the simulator's virtual clock.
+//
+// The tracer records three related shapes of data:
+//
+//   * membership-event root spans (SpanKind::kEvent) opened by the harness
+//     around each measured operation (join, leave, partition, merge, ...);
+//   * protocol-phase spans (SpanKind::kPhase) that tile the open event span:
+//     a `phase("x")` mark at virtual time t closes the previous phase at t
+//     and opens "x" at t, and `end_event(end)` closes the last one at `end`.
+//     By construction the phase durations of an event sum exactly to the
+//     event's duration — this is the per-phase breakdown BENCH_*.json rolls
+//     up (see docs/observability.md);
+//   * free spans (SpanKind::kSpan, e.g. per-machine compute charges from the
+//     CPU scheduler) and zero-width instants (SpanKind::kInstant, e.g. view
+//     installs and key installs), each placed on an explicit track.
+//
+// Time handling: every Experiment runs its own Simulator starting at virtual
+// time 0. `use_clock()` re-bases the tracer so that consecutive experiments
+// lay out sequentially on the trace timeline instead of overlapping: the new
+// clock's 0 maps to the current high-water mark. All public *_at entry points
+// take *clock* coordinates (the current simulator's time); spans store
+// trace-line coordinates internally.
+//
+// Instrumentation sites use the SGK_TRACE(stmt) macro: a single global
+// pointer null-check when tracing is compiled in, nothing at all when built
+// with SGK_TRACE_DISABLED. Never pass key material into attributes — the
+// gka_lint rule GKA006 enforces this statically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace sgk::obs {
+
+using SpanId = std::uint32_t;
+inline constexpr SpanId kNoSpan = 0;
+
+enum class SpanKind : std::uint8_t { kSpan, kEvent, kPhase, kInstant };
+
+struct Span {
+  std::string name;
+  SpanKind kind = SpanKind::kSpan;
+  SpanId parent = kNoSpan;
+  std::uint32_t track = 0;  // 0 = events/phases; 1 + machine = machine tracks
+  double start_ms = 0;      // trace-line coordinates
+  double end_ms = -1;       // < start_ms while still open
+  std::vector<std::pair<std::string, Json>> attrs;
+
+  bool open() const { return end_ms < start_ms; }
+  double duration_ms() const { return open() ? 0.0 : end_ms - start_ms; }
+};
+
+class Tracer {
+ public:
+  /// Re-bases clock coordinates so the new clock's 0 lands at the current
+  /// high-water mark; call once per Experiment/Simulator before tracing.
+  void use_clock();
+
+  // -- membership-event roots + phase tiling ------------------------------
+
+  /// Opens a root span for a membership event at clock time `clock_now`.
+  SpanId begin_event(std::string name, double clock_now);
+  /// True between begin_event and end_event.
+  bool event_active() const { return event_ != kNoSpan; }
+  /// The open event root (kNoSpan outside an event).
+  SpanId current_event() const { return event_; }
+  /// Sets an attribute on the open event root; no-op outside an event.
+  void event_attr(std::string_view name, Json value);
+
+  /// Marks a protocol-phase transition at `clock_now`: closes the open phase
+  /// and opens `name` as a child of the event root. Consecutive marks with
+  /// the same name coalesce. No-op outside an event.
+  void phase(std::string_view name, double clock_now);
+
+  /// Closes the event root at clock time `clock_end` (the instant the last
+  /// member installed the key). The open phase is closed at `clock_end` too;
+  /// any phase that started at/after `clock_end` (late straggler handlers)
+  /// is clamped to zero width so phase durations still sum to the root's.
+  void end_event(double clock_end);
+
+  // -- free spans / instants ----------------------------------------------
+
+  SpanId begin_span_at(std::string name, double clock_start, SpanId parent,
+                       std::uint32_t track);
+  void end_span_at(SpanId id, double clock_end);
+  /// Zero-width marker; parented under the open event when `parent` is
+  /// kNoSpan and an event is active.
+  SpanId instant(std::string name, double clock_now, std::uint32_t track = 0);
+
+  /// Sets an attribute on any open-or-closed span.
+  void attr(SpanId id, std::string_view name, Json value);
+
+  /// Names a track ("thread") in the Chrome trace, e.g. "machine 3".
+  void set_track_name(std::uint32_t track, std::string name);
+
+  // -- inspection / export ------------------------------------------------
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span& span(SpanId id) const { return spans_[id - 1]; }
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) loadable in
+  /// chrome://tracing and Perfetto. Timestamps are virtual microseconds.
+  Json chrome_trace_json() const;
+
+ private:
+  Span& mut(SpanId id) { return spans_[id - 1]; }
+  SpanId add_span(Span s);
+  double to_line(double clock_ms) const { return offset_ + clock_ms; }
+  void bump_high_water(double line_ms);
+
+  std::vector<Span> spans_;
+  double offset_ = 0;
+  double high_water_ = 0;
+  SpanId event_ = kNoSpan;
+  SpanId open_phase_ = kNoSpan;
+  std::vector<SpanId> event_phases_;
+  std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+};
+
+/// Process-global tracer used by instrumentation sites; nullptr (the
+/// default) disables tracing.
+Tracer* tracer();
+void set_tracer(Tracer* tracer);
+
+}  // namespace sgk::obs
+
+// Statement guard for instrumentation sites. `tr` is bound to the active
+// tracer inside the statement. Compiles to a single global-pointer test, or
+// to nothing under SGK_TRACE_DISABLED.
+#if defined(SGK_TRACE_DISABLED)
+// Dead branch: the statement is still type-checked (so instrumentation can't
+// rot behind the flag) but constant-folds away, parameters and all.
+#define SGK_TRACE(...)                            \
+  do {                                            \
+    if (false) {                                  \
+      if (::sgk::obs::Tracer* tr = nullptr) {     \
+        __VA_ARGS__;                              \
+      }                                           \
+    }                                             \
+  } while (false)
+#else
+#define SGK_TRACE(...)                                   \
+  do {                                                   \
+    if (::sgk::obs::Tracer* tr = ::sgk::obs::tracer()) { \
+      __VA_ARGS__;                                       \
+    }                                                    \
+  } while (false)
+#endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -16,6 +17,14 @@ SimTime CpuScheduler::submit(std::uint64_t process, double cost_ms,
 
   SimTime start = std::max({sim_.now(), core_free_[best], process_free_at(process)});
   SimTime finish = start + cost_ms * speed_;
+  // Cost-model charges become spans on the machine's track, but only while a
+  // membership event is being measured — setup traffic would drown the trace.
+  SGK_TRACE(if (cost_ms > 0 && track_ != 0 && tr->event_active()) {
+    obs::SpanId span = tr->begin_span_at("compute", start, obs::kNoSpan, track_);
+    tr->attr(span, "process", obs::Json(process));
+    tr->attr(span, "cost_ms", obs::Json(finish - start));
+    tr->end_span_at(span, finish);
+  });
   core_free_[best] = finish;
   process_free_[process] = finish;
   if (on_done) sim_.at(finish, std::move(on_done));

@@ -18,8 +18,13 @@ namespace sgk {
 
 class CpuScheduler {
  public:
-  CpuScheduler(Simulator& sim, int cores, double speed)
-      : sim_(sim), core_free_(static_cast<std::size_t>(cores), 0.0), speed_(speed) {}
+  /// `track` is this machine's tracer track (0 = untracked); compute charges
+  /// show up as spans on it when a membership event is being traced.
+  CpuScheduler(Simulator& sim, int cores, double speed, std::uint32_t track = 0)
+      : sim_(sim),
+        core_free_(static_cast<std::size_t>(cores), 0.0),
+        speed_(speed),
+        track_(track) {}
 
   /// Schedules `cost_ms` of compute (at reference speed) for `process`,
   /// invoking `on_done` at completion. Returns the completion time.
@@ -36,6 +41,7 @@ class CpuScheduler {
   std::vector<SimTime> core_free_;
   std::unordered_map<std::uint64_t, SimTime> process_free_;
   double speed_;
+  std::uint32_t track_;
 };
 
 }  // namespace sgk

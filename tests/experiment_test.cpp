@@ -4,6 +4,7 @@
 // figure benches).
 #include <gtest/gtest.h>
 
+#include "harness/bench_io.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
 
@@ -136,7 +137,7 @@ TEST(Report, TableAndCsvRender) {
   SweepResult r;
   r.min_size = 2;
   r.max_size = 4;
-  r.series = {Series{"A", {1.0, 2.0, 3.0}}, Series{"B", {4.0, 5.0, 6.0}}};
+  r.series = {Series{"A", {1.0, 2.0, 3.0}, {}}, Series{"B", {4.0, 5.0, 6.0}, {}}};
   std::ostringstream table;
   print_sweep_table(table, "title", r);
   EXPECT_NE(table.str().find("title"), std::string::npos);
@@ -154,13 +155,82 @@ TEST(Report, CsvFileWrite) {
   SweepResult r;
   r.min_size = 2;
   r.max_size = 3;
-  r.series = {Series{"X", {1.5, 2.5}}};
+  r.series = {Series{"X", {1.5, 2.5}, {}}};
   const std::string path = ::testing::TempDir() + "/sweep_test.csv";
   ASSERT_TRUE(write_sweep_csv(path, r));
   std::ifstream in(path);
   std::string header;
   std::getline(in, header);
   EXPECT_EQ(header, "size,X");
+}
+
+TEST(Report, CsvWriteErrorNamesPath) {
+  SweepResult r;
+  r.min_size = 2;
+  r.max_size = 2;
+  r.series = {Series{"X", {1.0}, {}}};
+  const std::string path =
+      ::testing::TempDir() + "/no-such-dir-xyz/sweep_test.csv";
+  std::string error;
+  EXPECT_FALSE(write_sweep_csv(path, r, &error));
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+}
+
+TEST(BenchIo, ParsesObservabilityFlagsAndPassesRestThrough) {
+  const char* argv[] = {"bench", "12", "--json", "out.json",
+                        "--csv",  "p",  "--trace", "t.json"};
+  BenchOptions opts;
+  std::string error;
+  ASSERT_TRUE(BenchOptions::parse(8, const_cast<char**>(argv), opts, error));
+  EXPECT_EQ(opts.json_path, "out.json");
+  EXPECT_EQ(opts.trace_path, "t.json");
+  EXPECT_TRUE(opts.observing());
+  ASSERT_EQ(opts.rest.size(), 3u);
+  EXPECT_EQ(opts.rest[0], "12");
+  EXPECT_EQ(opts.rest[1], "--csv");
+  EXPECT_EQ(opts.rest[2], "p");
+
+  const char* bad[] = {"bench", "--json"};
+  BenchOptions opts2;
+  EXPECT_FALSE(BenchOptions::parse(2, const_cast<char**>(bad), opts2, error));
+  EXPECT_NE(error.find("--json"), std::string::npos);
+}
+
+TEST(BenchIo, SweepToJsonEmitsMedianAndP95) {
+  SweepResult r;
+  r.min_size = 2;
+  r.max_size = 3;
+  Series s;
+  s.label = "GDH";
+  s.values = {2.0, 5.0};  // means of the sample sets below
+  s.samples = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  r.series = {s};
+  const obs::Json doc = sweep_to_json(r);
+  EXPECT_DOUBLE_EQ(doc.at("min_size").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(doc.at("sizes").at(std::size_t{1}).as_number(), 3.0);
+  const obs::Json& entry = doc.at("series").at(std::size_t{0});
+  EXPECT_EQ(entry.at("label").as_string(), "GDH");
+  EXPECT_DOUBLE_EQ(entry.at("mean_ms").at(std::size_t{0}).as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(entry.at("median_ms").at(std::size_t{0}).as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(entry.at("median_ms").at(std::size_t{1}).as_number(), 5.0);
+  // p95 with 3 samples interpolates toward the max.
+  EXPECT_NEAR(entry.at("p95_ms").at(std::size_t{1}).as_number(), 5.9, 1e-9);
+}
+
+TEST(Sweep, SamplesBackTheAverages) {
+  SweepConfig cfg;
+  cfg.max_size = 4;
+  cfg.seeds = 2;
+  cfg.protocols = {ProtocolKind::kTgdh};
+  SweepResult r = sweep_leave(cfg);
+  ASSERT_EQ(r.series.size(), 1u);
+  const Series& s = r.series[0];
+  ASSERT_EQ(s.samples.size(), s.values.size());
+  for (std::size_t i = 0; i < s.values.size(); ++i) {
+    ASSERT_EQ(s.samples[i].size(), 2u);
+    const double mean = (s.samples[i][0] + s.samples[i][1]) / 2.0;
+    EXPECT_NEAR(mean, s.values[i], 1e-9);
+  }
 }
 
 TEST(Experiment, WanJoinSlowerThanLan) {

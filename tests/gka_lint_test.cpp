@@ -20,9 +20,9 @@ bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
 
 TEST(GkaLintRules, TableIsComplete) {
   const auto& rules = gka_lint::rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 6u);
   EXPECT_STREQ(rules[0].id, "GKA001");
-  EXPECT_STREQ(rules[4].id, "GKA005");
+  EXPECT_STREQ(rules[5].id, "GKA006");
 }
 
 TEST(GkaLintClassifier, SecretishNames) {
@@ -128,6 +128,44 @@ TEST(GkaLint, Gka005FiresOnlyInCryptoPaths) {
   EXPECT_TRUE(has_rule(lint_source("src/core/x.cpp", src), "GKA005"));
   EXPECT_TRUE(lint_source("src/sim/x.cpp", src).empty());
   EXPECT_TRUE(lint_source("tests/x.cpp", src).empty());
+}
+
+TEST(GkaLint, Gka006FiresOnSecretsInObsSinks) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "tr->attr(span, \"k\", obs::Json(session_key));\n"),
+      "GKA006"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "tr->event_attr(\"x\", obs::Json(group_secret.hex()));\n"),
+      "GKA006"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/harness/x.cpp",
+                  "mr->histogram(\"h\").observe(exponent.bits());\n"),
+      "GKA006"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp", "mark_point(my_share);\n"), "GKA006"));
+}
+
+TEST(GkaLint, Gka006IgnoresMetadataAndNonCalls) {
+  // Public / metadata names in obs sinks are fine.
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "tr->attr(span, \"epoch\", obs::Json(key_epoch));\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "tr->instant(\"key_install\", key_time_, track);\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/harness/x.cpp",
+                          "mr->histogram(name).observe(r.elapsed_ms);\n")
+                  .empty());
+  // The obs API's own declarations stay clean (parameters are named `name`
+  // / `v`, never after key material).
+  EXPECT_TRUE(lint_source("src/obs/metrics.h", "void observe(double v);\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_source("src/obs/trace.h",
+                  "void phase(std::string_view name, double clock_now);\n")
+          .empty());
 }
 
 TEST(GkaLint, StringAndCommentContentsAreIgnored) {

@@ -186,6 +186,9 @@ const std::vector<Rule>& rules() {
       {"GKA004", Severity::kWarning,
        "secret-named field not held in zeroizing Secure* storage"},
       {"GKA005", Severity::kWarning, "TODO/FIXME in a crypto path"},
+      {"GKA006", Severity::kError,
+       "secret material passed into a trace/metric attribute sink; record a "
+       "fingerprint or a size instead"},
   };
   return kRules;
 }
@@ -380,6 +383,37 @@ std::vector<Finding> lint_source(const std::string& path,
             hit = true;
             break;
           }
+        }
+        if (hit) break;
+      }
+    }
+
+    // --- GKA006: secret material into a trace/metric attribute sink ------
+    // Observability data leaves the process (BENCH_*.json, Chrome traces),
+    // so the obs API is a logging sink in the GKA002 sense. Matches calls
+    // only (the token must be followed by '('), so declarations of these
+    // methods don't self-flag.
+    for (const char* sink :
+         {"attr", "event_attr", "instant", "phase", "mark_phase", "mark_point",
+          "begin_event", "begin_span_at", "observe", "counter", "histogram",
+          "set_track_name"}) {
+      for (const Token& t : ids) {
+        if (t.text != sink) continue;
+        const std::size_t open = t.pos + t.text.size();
+        if (open >= c.size() || c[open] != '(') continue;
+        bool hit = false;
+        for (const auto& [ab, ae] : call_args(c, open)) {
+          for (const Token& arg : ids) {
+            if (arg.pos < ab || arg.pos >= ae) continue;
+            if (is_secretish(arg.text)) {
+              report(li, "GKA006", Severity::kError,
+                     "secret '" + arg.text + "' reaches trace/metric sink '" +
+                         t.text + "'; record a fingerprint or a size instead");
+              hit = true;
+              break;
+            }
+          }
+          if (hit) break;
         }
         if (hit) break;
       }
