@@ -9,7 +9,7 @@
 // both simultaneously.
 #include <iostream>
 
-#include "core/secure_group.h"
+#include "gcs/secure_group.h"
 
 using namespace sgk;
 

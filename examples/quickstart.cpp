@@ -7,7 +7,7 @@
 // agreed group key.
 #include <iostream>
 
-#include "core/secure_group.h"
+#include "gcs/secure_group.h"
 
 using namespace sgk;
 

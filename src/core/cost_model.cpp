@@ -1,4 +1,4 @@
-#include "sim/cost_model.h"
+#include "core/cost_model.h"
 
 namespace sgk {
 

@@ -17,7 +17,7 @@
 #include "crypto/drbg.h"
 #include "crypto/dsa.h"
 #include "crypto/rsa.h"
-#include "sim/cost_model.h"
+#include "core/cost_model.h"
 #include "util/bytes.h"
 
 namespace sgk {

@@ -11,7 +11,7 @@
 
 #include "bignum/bigint.h"
 #include "core/crypto_context.h"
-#include "gcs/view.h"
+#include "core/view.h"
 #include "util/bytes.h"
 #include "util/serde.h"
 

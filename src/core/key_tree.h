@@ -20,7 +20,7 @@
 
 #include "bignum/bigint.h"
 #include "bignum/secure_bigint.h"
-#include "gcs/view.h"
+#include "core/view.h"
 #include "util/serde.h"
 
 namespace sgk {

@@ -1,4 +1,4 @@
-#include "gcs/view.h"
+#include "core/view.h"
 
 namespace sgk {
 

@@ -25,8 +25,8 @@ class Aes128 {
   void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
  private:
-  // Fixed-size array so block operations stay allocation-free; zeroized by
-  // the destructor above. gka-lint: allow(GKA004)
+  // Fixed-size array so block operations stay allocation-free.
+  // gka-lint: allow(GKA004) -- zeroized by the destructor above
   std::array<std::array<std::uint8_t, 16>, 11> round_keys_;
 };
 

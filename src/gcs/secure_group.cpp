@@ -1,4 +1,4 @@
-#include "core/secure_group.h"
+#include "gcs/secure_group.h"
 
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
@@ -47,7 +47,6 @@ std::string SecureGroupMember::key_fingerprint() const {
   if (!has_key()) return {};
   Sha256 h;
   h.update(str_bytes("sgk-key-fingerprint"));
-  // gka-lint: allow(GKA002) -- one-way fingerprint, not the key itself
   const ScopedSubkey block(key_.reveal());
   h.update(block.b);
   Bytes digest = h.finish();

@@ -20,7 +20,7 @@
 #include "core/crypto_context.h"
 #include "core/key_agreement.h"
 #include "gcs/spread.h"
-#include "sim/cost_model.h"
+#include "core/cost_model.h"
 #include "util/secure_bytes.h"
 
 namespace sgk {

@@ -26,7 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "gcs/view.h"
+#include "core/view.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"

@@ -9,7 +9,7 @@
 #include <optional>
 #include <vector>
 
-#include "core/secure_group.h"
+#include "gcs/secure_group.h"
 #include "crypto/drbg.h"
 #include "gcs/spread.h"
 

@@ -1,0 +1,9 @@
+#include "util/bytes.h"
+
+namespace sgk {
+
+bool same_key(const Bytes& a, const Bytes& session_key) {
+  return a == session_key;
+}
+
+}  // namespace sgk

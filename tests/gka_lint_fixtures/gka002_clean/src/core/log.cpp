@@ -1,0 +1,9 @@
+#include <iostream>
+
+namespace sgk {
+
+void debug_dump(const Member& m) {
+  std::cout << m.key_fingerprint() << "\n";
+}
+
+}  // namespace sgk

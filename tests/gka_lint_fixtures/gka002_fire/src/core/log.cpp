@@ -1,0 +1,9 @@
+#include <iostream>
+
+namespace sgk {
+
+void debug_dump(const Bytes& session_key) {
+  std::cout << to_hex(session_key) << "\n";
+}
+
+}  // namespace sgk

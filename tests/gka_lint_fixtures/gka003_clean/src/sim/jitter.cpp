@@ -1,0 +1,9 @@
+#include "util/random_source.h"
+
+namespace sgk {
+
+double jitter_ms(RandomSource& rng) {
+  return static_cast<double>(rng.below(7));
+}
+
+}  // namespace sgk

@@ -1,0 +1,10 @@
+#include <random>
+
+namespace sgk {
+
+double jitter_ms() {
+  static std::mt19937 gen(std::random_device{}());
+  return static_cast<double>(gen() % 7);
+}
+
+}  // namespace sgk

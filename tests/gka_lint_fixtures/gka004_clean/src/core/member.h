@@ -1,0 +1,15 @@
+#pragma once
+
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+class Member {
+ public:
+  bool has_key() const { return !session_key_.empty(); }
+
+ private:
+  SecureBytes session_key_;
+};
+
+}  // namespace sgk

@@ -1,0 +1,6 @@
+namespace sgk {
+
+// Constant-time by construction: pure arithmetic, no table lookup.
+int sbox(int x) { return x * 7 % 251; }
+
+}  // namespace sgk

@@ -1,0 +1,6 @@
+namespace sgk {
+
+// TODO: replace with a constant-time table lookup
+int sbox(int x) { return x * 7 % 251; }
+
+}  // namespace sgk

@@ -1,0 +1,9 @@
+#include "obs/trace.h"
+
+namespace sgk {
+
+void annotate(obs::Tracer* tr, const obs::Span& span, std::uint64_t key_epoch) {
+  tr->attr(span, "epoch", obs::Json(key_epoch));
+}
+
+}  // namespace sgk

@@ -1,0 +1,9 @@
+#include "obs/trace.h"
+
+namespace sgk {
+
+void annotate(obs::Tracer* tr, const obs::Span& span, const Bytes& session_key) {
+  tr->attr(span, "k", obs::Json(session_key));
+}
+
+}  // namespace sgk

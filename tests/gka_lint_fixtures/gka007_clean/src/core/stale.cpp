@@ -1,0 +1,10 @@
+#include <iostream>
+
+namespace sgk {
+
+void debug_dump(const Bytes& session_key) {
+  // gka-lint: allow(GKA002) -- fixture: deliberately suppressed dump
+  std::cout << to_hex(session_key) << "\n";
+}
+
+}  // namespace sgk

@@ -1,0 +1,10 @@
+#pragma once
+
+#include "bignum/bigint.h"
+#include "util/bytes.h"
+
+namespace sgk {
+
+inline int kdf_rounds() { return 10; }
+
+}  // namespace sgk

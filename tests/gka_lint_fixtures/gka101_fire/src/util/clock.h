@@ -1,0 +1,9 @@
+#pragma once
+
+#include "obs/trace.h"
+
+namespace sgk {
+
+inline double now_ms() { return 0.0; }
+
+}  // namespace sgk

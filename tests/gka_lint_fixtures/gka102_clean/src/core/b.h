@@ -1,0 +1,5 @@
+#pragma once
+
+namespace sgk {
+struct B { int y; };
+}  // namespace sgk

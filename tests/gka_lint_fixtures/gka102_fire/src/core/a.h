@@ -1,0 +1,7 @@
+#pragma once
+
+#include "core/b.h"
+
+namespace sgk {
+struct A { int x; };
+}  // namespace sgk

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "core/a.h"
+
+namespace sgk {
+struct B { int y; };
+}  // namespace sgk

@@ -1,0 +1,10 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+void persist(const SecureBytes& session_key, Store& store) {
+  SecureBytes held(session_key);
+  store.put(aes128_cbc_encrypt(session_key.reveal(), iv_, payload_));
+}
+
+}  // namespace sgk

@@ -1,0 +1,10 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+void persist(const SecureBytes& session_key, Store& store) {
+  Bytes copy_bytes = session_key.reveal();
+  store.put(copy_bytes);
+}
+
+}  // namespace sgk

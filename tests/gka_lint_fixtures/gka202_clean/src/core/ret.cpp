@@ -1,0 +1,9 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+SecureBytes export_key(const SecureBytes& session_key) {
+  return SecureBytes(session_key.reveal());
+}
+
+}  // namespace sgk

@@ -1,0 +1,9 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+Bytes export_key(const SecureBytes& session_key) {
+  return session_key.reveal();
+}
+
+}  // namespace sgk

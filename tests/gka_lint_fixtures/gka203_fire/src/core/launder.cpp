@@ -1,0 +1,12 @@
+#include <iostream>
+
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+void show(const SecureBytes& session_key) {
+  auto view = session_key;
+  std::cout << to_hex(view) << "\n";
+}
+
+}  // namespace sgk

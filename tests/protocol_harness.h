@@ -8,7 +8,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/secure_group.h"
+#include "gcs/secure_group.h"
 #include "gcs/spread.h"
 
 namespace sgk::testing {
@@ -87,6 +87,7 @@ struct ProtocolFixture {
   /// current_fingerprint() everywhere else.
   Bytes current_key() const {
     auto live = alive();
+    // gka-lint: allow(GKA202) -- the documented test-only escape hatch above
     return live.empty() ? Bytes{} : live[0]->key().reveal();
   }
 

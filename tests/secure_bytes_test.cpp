@@ -108,8 +108,10 @@ TEST(SecureBytes, CopyIsIndependent) {
 
 TEST(SecureBytes, RevealRanges) {
   SecureBytes s(pattern(64));
+  // gka-lint: allow(GKA201) -- reveal() round-trip is the behavior under test
   const Bytes whole = s.reveal();
   EXPECT_TRUE(ct_equal(s, whole));
+  // gka-lint: allow(GKA201) -- reveal() range slicing is the behavior under test
   const Bytes slice = s.reveal(4, 8);
   ASSERT_EQ(slice.size(), 8u);
   for (std::size_t i = 0; i < slice.size(); ++i) EXPECT_EQ(slice[i], s[4 + i]);

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "util/check.h"
-#include "sim/cost_model.h"
+#include "core/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"

@@ -1,0 +1,276 @@
+#include "gka_lint/lexer.h"
+
+#include <cctype>
+
+namespace gka_lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when `ident` is a raw-string prefix (R, u8R, uR, UR, LR).
+bool raw_prefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+/// True when `ident` is an ordinary string/char prefix (u8, u, U, L).
+bool str_prefix(const std::string& ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) {}
+
+  std::vector<Tok> run() {
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\n') {
+        advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && i_ + 1 < s_.size() && s_[i_ + 1] == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && i_ + 1 < s_.size() && s_[i_ + 1] == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      begin(TokKind::kPunct);
+      cur_.text.push_back(c);
+      advance();
+      emit();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void advance() {
+    if (s_[i_] == '\n') {
+      ++line_;
+      col_ = 0;
+    } else {
+      ++col_;
+    }
+    ++i_;
+  }
+
+  void begin(TokKind kind) {
+    cur_ = Tok{kind, {}, line_, col_};
+  }
+
+  void emit() { out_.push_back(std::move(cur_)); }
+
+  /// Consumes a whole preprocessor logical line, honoring backslash
+  /// continuations. Comments on the line are not separated out — directive
+  /// lines are opaque to the rule engine except for #include extraction.
+  void preprocessor() {
+    begin(TokKind::kPp);
+    while (i_ < s_.size()) {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size() && s_[i_ + 1] == '\n') {
+        cur_.text.push_back(' ');
+        advance();
+        advance();
+        continue;
+      }
+      if (s_[i_] == '\n') break;
+      cur_.text.push_back(s_[i_]);
+      advance();
+    }
+    emit();
+  }
+
+  void line_comment() {
+    begin(TokKind::kComment);
+    advance();  // '/'
+    advance();  // '/'
+    while (i_ < s_.size() && s_[i_] != '\n') {
+      cur_.text.push_back(s_[i_]);
+      advance();
+    }
+    emit();
+  }
+
+  void block_comment() {
+    begin(TokKind::kComment);
+    advance();  // '/'
+    advance();  // '*'
+    while (i_ < s_.size()) {
+      if (s_[i_] == '*' && i_ + 1 < s_.size() && s_[i_ + 1] == '/') {
+        advance();
+        advance();
+        break;
+      }
+      cur_.text.push_back(s_[i_]);
+      advance();
+    }
+    emit();
+  }
+
+  /// Ordinary "..." literal; the opening quote is at i_.
+  void string_literal() {
+    begin(TokKind::kString);
+    advance();  // '"'
+    while (i_ < s_.size()) {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) {
+        cur_.text.push_back(s_[i_]);
+        advance();
+        cur_.text.push_back(s_[i_]);
+        advance();
+        continue;
+      }
+      if (s_[i_] == '"') {
+        advance();
+        break;
+      }
+      cur_.text.push_back(s_[i_]);
+      advance();
+    }
+    emit();
+  }
+
+  /// R"delim( ... )delim" — the opening quote is at i_ (prefix consumed by
+  /// identifier()).
+  void raw_string_literal() {
+    begin(TokKind::kString);
+    advance();  // '"'
+    std::string delim;
+    while (i_ < s_.size() && s_[i_] != '(' && s_[i_] != '\n') {
+      delim.push_back(s_[i_]);
+      advance();
+    }
+    if (i_ < s_.size() && s_[i_] == '(') advance();
+    const std::string closer = ")" + delim + "\"";
+    while (i_ < s_.size()) {
+      if (s_.compare(i_, closer.size(), closer) == 0) {
+        for (std::size_t k = 0; k < closer.size(); ++k) advance();
+        break;
+      }
+      cur_.text.push_back(s_[i_]);
+      advance();
+    }
+    emit();
+  }
+
+  void char_literal() {
+    begin(TokKind::kChar);
+    advance();  // '\''
+    while (i_ < s_.size()) {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) {
+        cur_.text.push_back(s_[i_]);
+        advance();
+        cur_.text.push_back(s_[i_]);
+        advance();
+        continue;
+      }
+      if (s_[i_] == '\'' || s_[i_] == '\n') {
+        if (s_[i_] == '\'') advance();
+        break;
+      }
+      cur_.text.push_back(s_[i_]);
+      advance();
+    }
+    emit();
+  }
+
+  /// Loose numeric literal: digits, hex/bin/octal bodies, digit separators,
+  /// exponents with signs, and type suffixes.
+  void number() {
+    begin(TokKind::kNumber);
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          (c == '\'' && i_ + 1 < s_.size() &&
+           std::isalnum(static_cast<unsigned char>(s_[i_ + 1])))) {
+        cur_.text.push_back(c);
+        advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && !cur_.text.empty()) {
+        const char prev = cur_.text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          cur_.text.push_back(c);
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    emit();
+  }
+
+  void identifier() {
+    begin(TokKind::kIdent);
+    while (i_ < s_.size() && ident_char(s_[i_])) {
+      cur_.text.push_back(s_[i_]);
+      advance();
+    }
+    // A string literal glued to this identifier makes it a literal prefix,
+    // not an identifier: R"(...)", u8"...", L'x'.
+    if (i_ < s_.size() && s_[i_] == '"') {
+      if (raw_prefix(cur_.text)) {
+        raw_string_literal();
+        return;
+      }
+      if (str_prefix(cur_.text)) {
+        string_literal();
+        return;
+      }
+    }
+    if (i_ < s_.size() && s_[i_] == '\'' && str_prefix(cur_.text)) {
+      char_literal();
+      return;
+    }
+    emit();
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  std::size_t col_ = 0;
+  bool at_line_start_ = true;
+  Tok cur_;
+  std::vector<Tok> out_;
+};
+
+}  // namespace
+
+std::vector<Tok> lex(const std::string& content) {
+  return Lexer(content).run();
+}
+
+}  // namespace gka_lint

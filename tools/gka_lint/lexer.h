@@ -1,0 +1,35 @@
+// A small C++ lexer for gka_lint: comment-, string-, char- and raw-string
+// aware, with line/column positions. It does not try to be a conforming
+// phase-3 tokenizer — punctuation is emitted one character at a time and
+// numbers are lexed loosely — but it is exact about the things a lint rule
+// must never confuse: what is code, what is a comment, and what is the
+// inside of a string literal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gka_lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (incl. digit separators, suffixes)
+  kString,   // "..." and R"delim(...)delim"; text is the literal's contents
+  kChar,     // '...'
+  kPunct,    // one punctuation character
+  kComment,  // // or /* */; text is the comment's contents (may span lines)
+  kPp,       // a whole preprocessor logical line (text includes the '#')
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line = 1;         // 1-based line of the token's first character
+  std::size_t col = 0;  // 0-based column on that line
+};
+
+/// Lexes a whole translation unit. Never throws: unterminated literals and
+/// comments are closed at end of input.
+std::vector<Tok> lex(const std::string& content);
+
+}  // namespace gka_lint

@@ -1,8 +1,16 @@
+// gka_lint engine: orchestrates the rule families over file models, applies
+// inline suppressions, and implements the suppression-hygiene meta rules
+// (GKA007 stale allow, GKA008 missing reason).
 #include "gka_lint/lint.h"
 
 #include <algorithm>
 #include <cctype>
+#include <map>
+#include <set>
 #include <sstream>
+
+#include "gka_lint/model.h"
+#include "gka_lint/rules_internal.h"
 
 namespace gka_lint {
 
@@ -47,28 +55,224 @@ bool in_list(const std::string& s, const char* const* list, std::size_t n) {
   return false;
 }
 
-// ---------------------------------------------------------------------------
-// per-line lexing helpers
+Severity rule_severity(const std::string& id) {
+  for (const Rule& r : rules())
+    if (id == r.id) return r.severity;
+  return Severity::kError;
+}
 
+// ---------------------------------------------------------------------------
+// suppression resolution
+
+/// Applies a file's allow() markers to its raw findings, records which
+/// allows were used, and appends the GKA007/GKA008 meta findings. An allow
+/// covers its own line and the following line (matching the established
+/// same-line / previous-line comment styles).
+void resolve_suppressions(const FileModel& m, std::vector<RawFinding>& raw,
+                          std::vector<Finding>& out) {
+  std::map<const Allow*, std::set<std::string>> used;  // allow -> ids used
+  for (RawFinding& f : raw) {
+    bool suppressed = false;
+    for (const Allow& a : m.allows) {
+      if (a.line != f.line && a.line != f.line - 1) continue;
+      if (std::find(a.ids.begin(), a.ids.end(), f.rule) == a.ids.end())
+        continue;
+      used[&a].insert(f.rule);
+      suppressed = true;
+    }
+    if (!suppressed)
+      out.push_back({f.rule, rule_severity(f.rule), f.path, f.line,
+                     std::move(f.message)});
+  }
+
+  for (const Allow& a : m.allows) {
+    for (const std::string& id : a.ids) {
+      const auto it = used.find(&a);
+      if (it == used.end() || it->second.count(id) == 0) {
+        out.push_back({"GKA007", rule_severity("GKA007"), m.path, a.line,
+                       "stale suppression: allow(" + id +
+                           ") no longer matches any finding; remove it"});
+      }
+    }
+    if (!a.has_reason) {
+      out.push_back({"GKA008", rule_severity("GKA008"), m.path, a.line,
+                     "suppression without a reason; write `gka-lint: "
+                     "allow(...) -- why this is safe`"});
+    }
+  }
+}
+
+/// Per-file rules (GKA0xx + GKA2xx) into `out`, suppressions applied.
+void lint_one(const FileModel& m, const std::vector<std::string>& taint_seed,
+              std::vector<Finding>& out) {
+  if (m.skip_file) return;
+  std::vector<RawFinding> raw;
+  const Sink sink = [&raw](RawFinding f) { raw.push_back(std::move(f)); };
+  run_core_rules(m, sink);
+  run_taint_rules(m, taint_seed, sink);
+  resolve_suppressions(m, raw, out);
+}
+
+void sort_findings(std::vector<Finding>& fs) {
+  std::stable_sort(fs.begin(), fs.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"GKA001", Severity::kError,
+       "raw equality (memcmp / == / EXPECT_EQ) on secret material; use "
+       "ct_equal"},
+      {"GKA002", Severity::kError,
+       "secret material passed to a logging/formatting sink; log "
+       "key_fingerprint() instead"},
+      {"GKA003", Severity::kError,
+       "ambient randomness outside util/random_source.h and the DRBG"},
+      {"GKA004", Severity::kWarning,
+       "secret-named field not held in zeroizing Secure* storage"},
+      {"GKA005", Severity::kWarning, "TODO/FIXME in a crypto path"},
+      {"GKA006", Severity::kError,
+       "secret material passed into a trace/metric attribute sink; record a "
+       "fingerprint or a size instead"},
+      {"GKA007", Severity::kWarning,
+       "stale allow() suppression that no longer matches any finding"},
+      {"GKA008", Severity::kWarning,
+       "allow() suppression without a reason string"},
+      {"GKA101", Severity::kError,
+       "include edge violates the subsystem layering DAG (util -> bignum -> "
+       "crypto -> core -> {sim, gcs} -> harness; obs from core up)"},
+      {"GKA102", Severity::kError, "cycle in the file-level include graph"},
+      {"GKA201", Severity::kError,
+       "secret-derived value escapes into a raw byte/string local without "
+       "an approved boundary"},
+      {"GKA202", Severity::kError,
+       "secret-derived value returned as a raw byte/string type"},
+      {"GKA203", Severity::kError,
+       "secret-derived value reaches a logging/trace/metric sink "
+       "(taint-based)"},
+  };
+  return kRules;
+}
+
+bool is_secretish(const std::string& ident) {
+  bool secret = false;
+  for (const std::string& c : components(ident)) {
+    if (in_list(c, kAllowComponents,
+                sizeof(kAllowComponents) / sizeof(kAllowComponents[0])))
+      return false;
+    if (in_list(c, kSecretComponents,
+                sizeof(kSecretComponents) / sizeof(kSecretComponents[0])))
+      secret = true;
+  }
+  return secret;
+}
+
+std::string format(const Finding& f) {
+  std::ostringstream os;
+  os << f.path << ':' << f.line << ": [" << f.rule << "] "
+     << (f.severity == Severity::kError ? "error" : "warning") << ": "
+     << f.message;
+  return os.str();
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  std::vector<Finding> out;
+  const FileModel m = build_model(path, content);
+  lint_one(m, m.secure_idents, out);
+  sort_findings(out);
+  return out;
+}
+
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files) {
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const SourceFile& f : files) models.push_back(build_model(f.path, f.content));
+
+  // Taint seeds follow the include graph: a file sees the Secure*-typed
+  // symbols of every header reachable from it (and its own), mirroring
+  // actual visibility — a SecureBytes field declared in gcs/secure_group.h
+  // taints uses of that name in gcs/secure_group.cpp, but a secret local
+  // named `k` in an unrelated .cpp taints nothing else.
+  std::map<std::string, const FileModel*> by_path;
+  for (const FileModel& m : models) by_path[m.path] = &m;
+  auto resolve = [&](const std::string& target) -> const FileModel* {
+    const auto it = by_path.find("src/" + target);
+    return it == by_path.end() ? nullptr : it->second;
+  };
+  std::map<const FileModel*, std::vector<std::string>> seeds;
+  for (const FileModel& m : models) {
+    std::set<std::string> names(m.secure_idents.begin(),
+                                m.secure_idents.end());
+    std::set<const FileModel*> visited{&m};
+    std::vector<const FileModel*> queue{&m};
+    while (!queue.empty()) {
+      const FileModel* cur = queue.back();
+      queue.pop_back();
+      for (const Include& inc : cur->includes) {
+        const FileModel* dep = resolve(inc.target);
+        if (dep == nullptr || !visited.insert(dep).second) continue;
+        names.insert(dep->secure_idents.begin(), dep->secure_idents.end());
+        queue.push_back(dep);
+      }
+    }
+    seeds[&m] = std::vector<std::string>(names.begin(), names.end());
+  }
+
+  std::vector<Finding> out;
+  for (const FileModel& m : models) lint_one(m, seeds[&m], out);
+
+  // Project-wide architecture rules (suppressions still apply, resolved
+  // against the reporting file's allow markers).
+  std::vector<RawFinding> arch_raw;
+  run_arch_rules(models, [&](RawFinding f) { arch_raw.push_back(std::move(f)); });
+  std::map<std::string, std::vector<RawFinding>> arch_by_file;
+  for (RawFinding& f : arch_raw) arch_by_file[f.path].push_back(std::move(f));
+  for (const FileModel& m : models) {
+    const auto it = arch_by_file.find(m.path);
+    if (it == arch_by_file.end() || m.skip_file) continue;
+    // Meta findings for these files were already emitted by lint_one; only
+    // filter the arch findings against the allows here.
+    for (RawFinding& f : it->second) {
+      bool suppressed = false;
+      for (const Allow& a : m.allows) {
+        if (a.line != f.line && a.line != f.line - 1) continue;
+        if (std::find(a.ids.begin(), a.ids.end(), f.rule) != a.ids.end())
+          suppressed = true;
+      }
+      if (!suppressed)
+        out.push_back({f.rule, rule_severity(f.rule), f.path, f.line,
+                       std::move(f.message)});
+    }
+  }
+
+  sort_findings(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// shared line helpers (declared in rules_internal.h)
+
+namespace {
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
-
 bool ident_start(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }
+}  // namespace
 
-struct Token {
-  std::string text;
-  std::size_t pos;
-};
-
-std::vector<Token> identifiers(const std::string& code) {
-  std::vector<Token> out;
+std::vector<LineTok> line_identifiers(const std::string& code) {
+  std::vector<LineTok> out;
   std::size_t i = 0;
   while (i < code.size()) {
-    if (ident_start(code[i]) &&
-        (i == 0 || !ident_char(code[i - 1]))) {
+    if (ident_start(code[i]) && (i == 0 || !ident_char(code[i - 1]))) {
       std::size_t j = i;
       while (j < code.size() && ident_char(code[j])) ++j;
       out.push_back({code.substr(i, j - i), i});
@@ -80,8 +284,6 @@ std::vector<Token> identifiers(const std::string& code) {
   return out;
 }
 
-/// Splits the top-level comma-separated arguments of a call whose opening
-/// paren is at `open`. Returns the [begin,end) ranges of each argument.
 std::vector<std::pair<std::size_t, std::size_t>> call_args(
     const std::string& code, std::size_t open) {
   std::vector<std::pair<std::size_t, std::size_t>> out;
@@ -106,17 +308,10 @@ std::vector<std::pair<std::size_t, std::size_t>> call_args(
   return out;
 }
 
-/// Last identifier inside [begin, end) — the heuristic "name of the operand":
-/// for `m->key()` that is `key`, for `f.members[i]` it is... the subscript;
-/// to avoid index variables winning, prefer the last identifier that is
-/// followed by `(`, `.`-end, or is the final token; in practice "last
-/// identifier not used as an index" ≈ last identifier before any trailing
-/// `[...]` subscript. We keep it simple: last identifier whose position is
-/// not inside a `[...]` range.
-const Token* operand_name(const std::string& code,
-                          const std::vector<Token>& ids, std::size_t begin,
-                          std::size_t end) {
-  const Token* best = nullptr;
+const LineTok* operand_name(const std::string& code,
+                            const std::vector<LineTok>& ids,
+                            std::size_t begin, std::size_t end) {
+  const LineTok* best = nullptr;
   int bracket = 0;
   std::size_t i = begin;
   std::size_t next_id = 0;
@@ -146,336 +341,32 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// ---------------------------------------------------------------------------
-// suppression comments
-
-/// Rule IDs named by `gka-lint: allow(...)` markers on the raw line.
-std::vector<std::string> allows_on(const std::string& raw) {
+std::vector<std::string> enclosing_calls(const std::string& code,
+                                         const std::vector<LineTok>& ids,
+                                         std::size_t pos) {
   std::vector<std::string> out;
-  std::size_t at = 0;
-  const std::string marker = "gka-lint: allow(";
-  while ((at = raw.find(marker, at)) != std::string::npos) {
-    std::size_t open = at + marker.size();
-    std::size_t close = raw.find(')', open);
-    if (close == std::string::npos) break;
-    std::stringstream list(raw.substr(open, close - open));
-    std::string id;
-    while (std::getline(list, id, ',')) {
-      id.erase(std::remove_if(id.begin(), id.end(),
-                              [](unsigned char c) { return std::isspace(c); }),
-               id.end());
-      if (!id.empty()) out.push_back(id);
+  int depth = 0;
+  for (std::size_t i = pos; i-- > 0;) {
+    const char c = code[i];
+    if (c == ')' || c == ']' || c == '}') ++depth;
+    if (c == '(' || c == '[' || c == '{') {
+      if (depth > 0) {
+        --depth;
+        continue;
+      }
+      if (c == '(') {
+        // The identifier ending right before this '(' names the call.
+        for (const LineTok& t : ids) {
+          if (t.pos + t.text.size() == i) {
+            out.push_back(t.text);
+            break;
+          }
+        }
+      }
+      // Keep walking outward (depth stays 0: we are now outside this group).
     }
-    at = close;
   }
   return out;
-}
-
-}  // namespace
-
-const std::vector<Rule>& rules() {
-  static const std::vector<Rule> kRules = {
-      {"GKA001", Severity::kError,
-       "raw equality (memcmp / == / EXPECT_EQ) on secret material; use "
-       "ct_equal"},
-      {"GKA002", Severity::kError,
-       "secret material passed to a logging/formatting sink; log "
-       "key_fingerprint() instead"},
-      {"GKA003", Severity::kError,
-       "ambient randomness outside util/random_source.h and the DRBG"},
-      {"GKA004", Severity::kWarning,
-       "secret-named field not held in zeroizing Secure* storage"},
-      {"GKA005", Severity::kWarning, "TODO/FIXME in a crypto path"},
-      {"GKA006", Severity::kError,
-       "secret material passed into a trace/metric attribute sink; record a "
-       "fingerprint or a size instead"},
-  };
-  return kRules;
-}
-
-bool is_secretish(const std::string& ident) {
-  bool secret = false;
-  for (const std::string& c : components(ident)) {
-    if (in_list(c, kAllowComponents,
-                sizeof(kAllowComponents) / sizeof(kAllowComponents[0])))
-      return false;
-    if (in_list(c, kSecretComponents,
-                sizeof(kSecretComponents) / sizeof(kSecretComponents[0])))
-      secret = true;
-  }
-  return secret;
-}
-
-std::string format(const Finding& f) {
-  std::ostringstream os;
-  os << f.path << ':' << f.line << ": [" << f.rule << "] "
-     << (f.severity == Severity::kError ? "error" : "warning") << ": "
-     << f.message;
-  return os.str();
-}
-
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& content) {
-  std::vector<Finding> findings;
-  if (content.find("gka-lint: skip-file") != std::string::npos)
-    return findings;
-
-  // Split into raw lines.
-  std::vector<std::string> raw;
-  {
-    std::string cur;
-    for (char c : content) {
-      if (c == '\n') {
-        raw.push_back(cur);
-        cur.clear();
-      } else {
-        cur.push_back(c);
-      }
-    }
-    if (!cur.empty()) raw.push_back(cur);
-  }
-
-  // Strip comments and string/char literals, producing a "code" view of each
-  // line. Block-comment state carries across lines.
-  std::vector<std::string> code(raw.size());
-  bool in_block = false;
-  for (std::size_t li = 0; li < raw.size(); ++li) {
-    const std::string& line = raw[li];
-    std::string& out = code[li];
-    out.reserve(line.size());
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      if (in_block) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block = false;
-          ++i;
-        }
-        out.push_back(' ');
-        continue;
-      }
-      const char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block = true;
-        out.push_back(' ');
-        out.push_back(' ');
-        ++i;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        out.push_back(quote);
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) break;
-          ++i;
-        }
-        out.push_back(quote);
-        continue;
-      }
-      out.push_back(c);
-    }
-  }
-
-  const bool header = ends_with(path, ".h") || ends_with(path, ".hpp");
-  const bool crypto_path = path_has_prefix(path, "src/crypto") ||
-                           path_has_prefix(path, "src/bignum") ||
-                           path_has_prefix(path, "src/core");
-  const bool randomness_ok = path_contains(path, "util/random_source") ||
-                             path_contains(path, "crypto/drbg");
-
-  auto suppressed = [&](std::size_t li, const char* rule) {
-    std::vector<std::string> ids = allows_on(raw[li]);
-    if (li > 0) {
-      std::vector<std::string> prev = allows_on(raw[li - 1]);
-      ids.insert(ids.end(), prev.begin(), prev.end());
-    }
-    return std::find(ids.begin(), ids.end(), rule) != ids.end();
-  };
-
-  auto report = [&](std::size_t li, const char* rule, Severity sev,
-                    std::string message) {
-    if (suppressed(li, rule)) return;
-    findings.push_back(
-        {rule, sev, path, static_cast<int>(li) + 1, std::move(message)});
-  };
-
-  for (std::size_t li = 0; li < code.size(); ++li) {
-    const std::string& c = code[li];
-    const std::vector<Token> ids = identifiers(c);
-
-    // --- GKA001: raw equality on secret material -------------------------
-    // (a) == / != operators. Each operand is the text between the operator
-    // and the nearest expression delimiter; its *last* identifier names the
-    // compared thing (`it == keys_.end()` compares `end`, not `keys_`, so
-    // iterator-membership idioms don't trip the rule).
-    const std::string lhs_stops = ",;({}&|?=!";
-    const std::string rhs_stops = ",;)}&|?";
-    for (std::size_t i = 0; i + 1 < c.size(); ++i) {
-      if ((c[i] == '=' || c[i] == '!') && c[i + 1] == '=' &&
-          (i == 0 || (c[i - 1] != '=' && c[i - 1] != '!' && c[i - 1] != '<' &&
-                      c[i - 1] != '>')) &&
-          (i + 2 >= c.size() || c[i + 2] != '=')) {
-        std::size_t lb = 0;
-        for (std::size_t j = i; j > 0; --j) {
-          if (lhs_stops.find(c[j - 1]) != std::string::npos) {
-            lb = j;
-            break;
-          }
-        }
-        std::size_t re = c.size();
-        for (std::size_t j = i + 2; j < c.size(); ++j) {
-          if (rhs_stops.find(c[j]) != std::string::npos) {
-            re = j;
-            break;
-          }
-        }
-        const Token* lhs = operand_name(c, ids, lb, i);
-        const Token* rhs = operand_name(c, ids, i + 2, re);
-        for (const Token* t : {lhs, rhs}) {
-          if (t != nullptr && is_secretish(t->text)) {
-            report(li, "GKA001", Severity::kError,
-                   "raw comparison touches secret '" + t->text +
-                       "'; use ct_equal");
-            break;
-          }
-        }
-      }
-    }
-    // (b) memcmp / gtest equality macros.
-    for (const char* call :
-         {"memcmp", "EXPECT_EQ", "EXPECT_NE", "ASSERT_EQ", "ASSERT_NE"}) {
-      for (const Token& t : ids) {
-        if (t.text != call) continue;
-        const std::size_t open = t.pos + t.text.size();
-        if (open >= c.size() || c[open] != '(') continue;
-        const auto args = call_args(c, open);
-        const std::size_t nargs = std::min<std::size_t>(args.size(), 2);
-        for (std::size_t a = 0; a < nargs; ++a) {
-          const Token* name =
-              operand_name(c, ids, args[a].first, args[a].second);
-          if (name != nullptr && is_secretish(name->text)) {
-            report(li, "GKA001", Severity::kError,
-                   std::string(call) + " on secret '" + name->text +
-                       "'; use ct_equal");
-            break;
-          }
-        }
-      }
-    }
-
-    // --- GKA002: secret material reaching a logging/formatting sink ------
-    for (const char* sink : {"to_hex", "printf", "fprintf", "report",
-                             "cout", "cerr", "clog"}) {
-      for (const Token& t : ids) {
-        if (t.text != sink) continue;
-        // Only identifiers to the right of the sink are its payload.
-        bool hit = false;
-        for (const Token& arg : ids) {
-          if (arg.pos <= t.pos) continue;
-          if (is_secretish(arg.text)) {
-            report(li, "GKA002", Severity::kError,
-                   "secret '" + arg.text + "' reaches sink '" + t.text +
-                       "'; log a fingerprint instead");
-            hit = true;
-            break;
-          }
-        }
-        if (hit) break;
-      }
-    }
-
-    // --- GKA006: secret material into a trace/metric attribute sink ------
-    // Observability data leaves the process (BENCH_*.json, Chrome traces),
-    // so the obs API is a logging sink in the GKA002 sense. Matches calls
-    // only (the token must be followed by '('), so declarations of these
-    // methods don't self-flag.
-    for (const char* sink :
-         {"attr", "event_attr", "instant", "phase", "mark_phase", "mark_point",
-          "begin_event", "begin_span_at", "observe", "counter", "histogram",
-          "set_track_name"}) {
-      for (const Token& t : ids) {
-        if (t.text != sink) continue;
-        const std::size_t open = t.pos + t.text.size();
-        if (open >= c.size() || c[open] != '(') continue;
-        bool hit = false;
-        for (const auto& [ab, ae] : call_args(c, open)) {
-          for (const Token& arg : ids) {
-            if (arg.pos < ab || arg.pos >= ae) continue;
-            if (is_secretish(arg.text)) {
-              report(li, "GKA006", Severity::kError,
-                     "secret '" + arg.text + "' reaches trace/metric sink '" +
-                         t.text + "'; record a fingerprint or a size instead");
-              hit = true;
-              break;
-            }
-          }
-          if (hit) break;
-        }
-        if (hit) break;
-      }
-    }
-
-    // --- GKA003: ambient randomness --------------------------------------
-    if (!randomness_ok) {
-      for (const char* bad :
-           {"rand", "srand", "random_device", "mt19937", "mt19937_64",
-            "default_random_engine", "minstd_rand"}) {
-        for (const Token& t : ids) {
-          if (t.text == bad) {
-            report(li, "GKA003", Severity::kError,
-                   "ambient randomness '" + t.text +
-                       "'; use RandomSource / the DRBG");
-          }
-        }
-      }
-    }
-
-    // --- GKA004: secret-named field without Secure* storage --------------
-    if (header && ids.size() >= 2 && !c.empty()) {
-      // Declaration shape: ...Type name;  or  ...Type name = init;
-      // (assignments `name = ...;` have only one identifier before '=').
-      const std::string trimmed_end = c.substr(0, c.find_last_not_of(" \t") + 1);
-      if (ends_with(trimmed_end, ";") && c.find('(') == std::string::npos &&
-          c.find("return") == std::string::npos &&
-          c.find("using") == std::string::npos) {
-        const std::size_t eq = c.find('=');
-        const std::size_t decl_end =
-            eq == std::string::npos ? trimmed_end.size() - 1 : eq;
-        // Name = last identifier of the declarator part; type = everything
-        // before it.
-        const Token* name = nullptr;
-        for (const Token& t : ids)
-          if (t.pos + t.text.size() <= decl_end) name = &t;
-        if (name != nullptr && name->pos > 0 && is_secretish(name->text)) {
-          const std::string type = c.substr(0, name->pos);
-          if (type.find_first_not_of(" \t") != std::string::npos &&
-              type.find("Secure") == std::string::npos &&
-              type.find("Verify") == std::string::npos &&
-              type.find("Public") == std::string::npos) {
-            report(li, "GKA004", Severity::kWarning,
-                   "field '" + name->text +
-                       "' holds secret material in non-zeroizing storage; "
-                       "use SecureBytes / SecureBigInt");
-          }
-        }
-      }
-    }
-
-    // --- GKA005: TODO/FIXME in crypto paths ------------------------------
-    if (crypto_path) {
-      if (raw[li].find("TODO") != std::string::npos ||
-          raw[li].find("FIXME") != std::string::npos) {
-        report(li, "GKA005", Severity::kWarning,
-               "TODO/FIXME left in a crypto path");
-      }
-    }
-  }
-
-  return findings;
 }
 
 }  // namespace gka_lint

@@ -1,8 +1,11 @@
-// gka_lint: project-specific static analysis for key-handling hygiene.
+// gka_lint v2: project-specific static analysis for key-handling hygiene
+// and architecture discipline.
 //
-// A deliberately small line/token-based scanner (no real C++ parser) that
-// enforces the rules this codebase adopted alongside SecureBytes:
+// Built on a real (comment/string/raw-string aware) lexer with per-file
+// include, symbol and function extraction — see lexer.h and model.h. Three
+// rule families:
 //
+// Key-handling rules (per file):
 //   GKA001 (error)   raw equality on secret material: memcmp / operator== /
 //                    EXPECT_EQ-style macros where an operand names a key,
 //                    secret, exponent or share. Use ct_equal.
@@ -15,20 +18,43 @@
 //   GKA004 (warning) field named like secret material (key / secret /
 //                    exponent / share) whose declared type is not a
 //                    zeroizing Secure* wrapper.
-//   GKA005 (warning) TODO / FIXME left in a crypto path (src/crypto,
+//   GKA005 (warning) TODO / FIXME comment in a crypto path (src/crypto,
 //                    src/bignum, src/core).
+//   GKA006 (error)   secret material passed into a trace/metric attribute
+//                    sink; record a fingerprint or a size instead.
+//
+// Suppression-hygiene rules (per file, not themselves suppressible):
+//   GKA007 (warning) stale suppression: an `allow(GKAnnn)` that no longer
+//                    suppresses anything.
+//   GKA008 (warning) suppression without a reason: every `allow()` must
+//                    carry explanatory text after the closing paren, e.g.
+//                    `// gka-lint: allow(GKA002) -- public test vector`.
+//
+// Architecture rules (whole project, src/ only):
+//   GKA101 (error)   include edge that violates the subsystem layering DAG
+//                    util -> bignum -> crypto -> core -> {sim, gcs} ->
+//                    harness, with obs includable from core upward only.
+//   GKA102 (error)   cycle in the file-level include graph.
+//
+// Secret-taint rules (function-local dataflow, per file):
+//   GKA201 (error)   a value derived from SecureBytes / SecureBigInt (or
+//                    from reveal()) stored in a raw std::vector<uint8_t> /
+//                    std::string / Bytes local without passing through an
+//                    approved boundary (ct_equal, key_fingerprint, HKDF /
+//                    cipher / MAC APIs, ScopedSubkey, secure_zero).
+//   GKA202 (error)   a secret-derived value returned from a function whose
+//                    return type is a raw byte/string type.
+//   GKA203 (error)   a secret-derived value reaching a logging / trace /
+//                    metric sink under a name the GKA002/GKA006 heuristics
+//                    would not catch (taint-based, not name-based).
 //
 // Suppressions:
-//   - `// gka-lint: allow(GKA00N)` on the same or the previous line
-//     suppresses that rule for the line (comma-separate several IDs).
-//   - `gka-lint: skip-file` anywhere in a file skips the whole file
-//     (for lint-rule test fixtures).
-//
-// The scanner is intentionally conservative-with-allowlist: identifiers are
-// split into `_`-separated components; a name is "secretish" when it has a
-// secret component (key, secret, mac, tag, exponent, share, ...) and no
-// component marking it as public or derived (bkey, pub, fingerprint, epoch,
-// verify, ...).
+//   - `// gka-lint: allow(GKAnnn) -- reason` on the same or the previous
+//     line suppresses that rule for the line (comma-separate several IDs).
+//     The reason text is mandatory (GKA008) and a suppression that stops
+//     matching anything is flagged (GKA007).
+//   - `gka-lint: skip-file` in a comment anywhere in a file skips the whole
+//     file (for lint-rule test fixtures).
 #pragma once
 
 #include <string>
@@ -39,10 +65,10 @@ namespace gka_lint {
 enum class Severity { kWarning, kError };
 
 struct Finding {
-  std::string rule;      // "GKA001" ... "GKA005"
+  std::string rule;  // "GKA001" ... "GKA203"
   Severity severity;
-  std::string path;      // as passed to lint_source
-  int line;              // 1-based
+  std::string path;  // as passed to lint_source / lint_project
+  int line;          // 1-based
   std::string message;
 };
 
@@ -52,19 +78,37 @@ struct Rule {
   const char* summary;
 };
 
-/// The rule table (for --list-rules and the tests).
+/// The rule table (for --list-rules, the SARIF catalog, and the tests).
 const std::vector<Rule>& rules();
 
 /// True when `ident` names secret material per the component heuristic.
 bool is_secretish(const std::string& ident);
 
-/// Lints one file's contents. `path` is used for findings and for the
-/// path-scoped rules (GKA003 sanctioned files, GKA005 crypto paths) — use
+/// Lints one file in isolation: all per-file rules (GKA0xx, GKA2xx), with
+/// the taint analysis seeded only from this file's Secure*-typed symbols.
+/// `path` is used for findings and for the path-scoped rules — use
 /// repo-relative paths like "src/crypto/dh.cpp".
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content);
 
+/// A file handed to the whole-project analysis.
+struct SourceFile {
+  std::string path;     // repo-relative
+  std::string content;
+};
+
+/// Lints a whole project: per-file rules with taint seeded from every
+/// file's Secure*-typed symbols (so a field declared in a header taints its
+/// uses in the .cpp), plus the GKA1xx include-graph rules.
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files);
+
 /// Formats a finding as "path:line: [RULE] severity: message".
 std::string format(const Finding& f);
+
+/// Machine-readable output for CI: a stable JSON object, and SARIF 2.1.0
+/// for code-scanning annotation upload.
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_scanned);
+std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace gka_lint

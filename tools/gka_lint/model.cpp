@@ -1,0 +1,301 @@
+#include "gka_lint/model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gka_lint {
+
+namespace {
+
+void split_lines(const std::string& content, std::vector<std::string>& out) {
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+}
+
+void place(std::vector<std::string>& lines, int line, std::size_t col,
+           const std::string& text) {
+  if (line < 1) return;
+  const std::size_t idx = static_cast<std::size_t>(line - 1);
+  if (idx >= lines.size()) return;
+  std::string& l = lines[idx];
+  if (l.size() < col) l.resize(col, ' ');
+  l += text;
+}
+
+/// Appends comment text (which may span lines for block comments) to the
+/// per-line comment map starting at `line`.
+void place_comment(std::vector<std::string>& comments, int line,
+                   const std::string& text) {
+  std::vector<std::string> parts;
+  split_lines(text + "\n", parts);
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    const std::size_t idx = static_cast<std::size_t>(line - 1) + k;
+    if (idx >= comments.size()) break;
+    if (!comments[idx].empty()) comments[idx] += ' ';
+    comments[idx] += parts[k];
+  }
+}
+
+void parse_allows(const std::vector<std::string>& comments,
+                  std::vector<Allow>& out) {
+  const std::string marker = "gka-lint: allow(";
+  for (std::size_t li = 0; li < comments.size(); ++li) {
+    const std::string& text = comments[li];
+    std::size_t at = 0;
+    while ((at = text.find(marker, at)) != std::string::npos) {
+      const std::size_t open = at + marker.size();
+      const std::size_t close = text.find(')', open);
+      if (close == std::string::npos) break;
+      Allow a;
+      a.line = static_cast<int>(li) + 1;
+      std::stringstream list(text.substr(open, close - open));
+      std::string id;
+      while (std::getline(list, id, ',')) {
+        id.erase(std::remove_if(
+                     id.begin(), id.end(),
+                     [](unsigned char c) { return std::isspace(c); }),
+                 id.end());
+        if (!id.empty()) a.ids.push_back(id);
+      }
+      // A reason is any text after the ')' beyond whitespace and the
+      // conventional "--" / ":" separator.
+      std::size_t r = close + 1;
+      while (r < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[r])) ||
+              text[r] == '-' || text[r] == ':'))
+        ++r;
+      a.has_reason = r < text.size();
+      if (!a.ids.empty()) out.push_back(a);
+      at = close;
+    }
+  }
+}
+
+void parse_include(const Tok& pp, std::vector<Include>& out) {
+  // Directive text is the whole logical line including '#'.
+  std::size_t i = pp.text.find_first_not_of(" \t", 1);
+  if (i == std::string::npos) return;
+  if (pp.text.compare(i, 7, "include") != 0) return;
+  const std::size_t open = pp.text.find('"', i + 7);
+  if (open == std::string::npos) return;
+  const std::size_t close = pp.text.find('"', open + 1);
+  if (close == std::string::npos) return;
+  out.push_back({pp.text.substr(open + 1, close - open - 1), pp.line});
+}
+
+bool is_code(const Tok& t) {
+  return t.kind != TokKind::kComment && t.kind != TokKind::kPp;
+}
+
+const char* const kKeywordsNotCalls[] = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "static_assert", "new", "delete", "throw",
+};
+
+bool keyword_not_call(const std::string& s) {
+  for (const char* k : kKeywordsNotCalls)
+    if (s == k) return true;
+  return false;
+}
+
+bool secure_type(const std::string& s) {
+  return s == "SecureBytes" || s == "SecureBigInt";
+}
+
+/// Extracts identifiers declared with a Secure* type: the next identifier
+/// after the type name, skipping `>`, `&`, `*` and `const` (covers plain
+/// fields, references, and `std::map<K, SecureBigInt> m` /
+/// `std::optional<SecureBytes> o` where the declared name follows the
+/// closing `>`). A `(` right after the type is a constructor call, not a
+/// declaration. A declared name directly followed by `(` is a function
+/// returning a Secure* type — also recorded: calling it yields secret
+/// material, so it seeds taint the same way a variable does.
+void extract_secure_idents(const std::vector<Tok>& code_toks,
+                           std::vector<std::string>& out) {
+  for (std::size_t i = 0; i < code_toks.size(); ++i) {
+    if (code_toks[i].kind != TokKind::kIdent || !secure_type(code_toks[i].text))
+      continue;
+    std::size_t j = i + 1;
+    while (j < code_toks.size()) {
+      const Tok& t = code_toks[j];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ">" || t.text == "&" || t.text == "*")) {
+        ++j;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && t.text == "const") {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j >= code_toks.size() || code_toks[j].kind != TokKind::kIdent) continue;
+    const std::string& name = code_toks[j].text;
+    if (!keyword_not_call(name) &&
+        std::find(out.begin(), out.end(), name) == out.end())
+      out.push_back(name);
+  }
+}
+
+/// Heuristic function-definition finder: `name ( ... ) [qualifiers] {`.
+/// Constructors with init lists (`) : a_(x), b_(y) {`) are followed through
+/// the init list; `name (...)` followed by `;` is a declaration and skipped.
+void extract_functions(const std::vector<Tok>& code_toks,
+                       std::vector<Function>& out) {
+  const std::size_t n = code_toks.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const Tok& name = code_toks[i];
+    if (name.kind != TokKind::kIdent || keyword_not_call(name.text)) continue;
+    const Tok& open = code_toks[i + 1];
+    if (open.kind != TokKind::kPunct || open.text != "(") continue;
+
+    // Find the matching ')'.
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < n; ++j) {
+      if (code_toks[j].kind != TokKind::kPunct) continue;
+      if (code_toks[j].text == "(") ++depth;
+      if (code_toks[j].text == ")" && --depth == 0) break;
+    }
+    if (j >= n) break;
+
+    // After the parameter list: qualifiers, trailing return, init list —
+    // anything but ';', '}' or a second unbalanced construct — then '{'.
+    std::size_t k = j + 1;
+    int paren = 0;
+    bool is_def = false;
+    for (; k < n; ++k) {
+      const Tok& t = code_toks[k];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") ++paren;
+        if (t.text == ")") --paren;
+        if (paren == 0 && t.text == ";") break;          // declaration
+        if (paren == 0 && t.text == "=") continue;        // = default/delete
+        if (paren == 0 && t.text == "{") {
+          is_def = true;
+          break;
+        }
+        if (paren < 0) break;  // we were inside an argument list, not params
+        continue;
+      }
+      continue;
+    }
+    if (!is_def) continue;
+    // `= default {` can't happen; `= delete` ends in ';' and was skipped.
+
+    // Body range: match braces from code_toks[k].
+    int braces = 0;
+    std::size_t b = k;
+    for (; b < n; ++b) {
+      if (code_toks[b].kind != TokKind::kPunct) continue;
+      if (code_toks[b].text == "{") ++braces;
+      if (code_toks[b].text == "}" && --braces == 0) break;
+    }
+    if (b >= n) break;
+
+    Function f;
+    f.name = name.text;
+    f.signature_line = name.line;
+    f.body_begin = code_toks[k].line;
+    f.body_end = code_toks[b].line;
+
+    // Return type: walk back over the qualified-name prefix (`A::B::name`),
+    // then collect the preceding type tokens up to a statement boundary.
+    std::size_t start = i;
+    while (start >= 2 && code_toks[start - 1].kind == TokKind::kPunct &&
+           code_toks[start - 1].text == ":" &&
+           code_toks[start - 2].kind == TokKind::kPunct &&
+           code_toks[start - 2].text == ":") {
+      start -= 2;
+      if (start >= 1 && code_toks[start - 1].kind == TokKind::kIdent)
+        --start;
+    }
+    std::vector<std::string> type_parts;
+    for (std::size_t p = start; p-- > 0;) {
+      const Tok& t = code_toks[p];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == ";" || t.text == "{" || t.text == "}" ||
+            t.text == "(" || t.text == ")" || t.text == ",")
+          break;
+        type_parts.push_back(t.text);
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) {
+        type_parts.push_back(t.text);
+        continue;
+      }
+      break;
+    }
+    std::reverse(type_parts.begin(), type_parts.end());
+    std::string type;
+    for (const std::string& part : type_parts) {
+      if (!type.empty()) type += ' ';
+      type += part;
+    }
+    f.return_type = type;
+
+    out.push_back(f);
+    i = k;  // continue the scan inside the body (nested definitions: rare,
+            // and their lines are already covered by the enclosing range)
+  }
+}
+
+}  // namespace
+
+FileModel build_model(const std::string& path, const std::string& content) {
+  FileModel m;
+  m.path = path;
+  split_lines(content, m.raw);
+  m.code.assign(m.raw.size(), std::string());
+  m.comments.assign(m.raw.size(), std::string());
+  m.tokens = lex(content);
+
+  std::vector<Tok> code_toks;
+  code_toks.reserve(m.tokens.size());
+  for (const Tok& t : m.tokens) {
+    switch (t.kind) {
+      case TokKind::kComment:
+        place_comment(m.comments, t.line, t.text);
+        break;
+      case TokKind::kPp:
+        parse_include(t, m.includes);
+        break;
+      case TokKind::kString:
+        place(m.code, t.line, t.col, "\"\"");
+        code_toks.push_back(t);
+        break;
+      case TokKind::kChar:
+        place(m.code, t.line, t.col, "''");
+        code_toks.push_back(t);
+        break;
+      default:
+        place(m.code, t.line, t.col, t.text);
+        code_toks.push_back(t);
+        break;
+    }
+  }
+
+  parse_allows(m.comments, m.allows);
+  for (const std::string& c : m.comments)
+    if (c.find("gka-lint: skip-file") != std::string::npos) m.skip_file = true;
+
+  std::vector<Tok> pure_code;
+  pure_code.reserve(code_toks.size());
+  for (const Tok& t : code_toks)
+    if (is_code(t) && t.kind != TokKind::kString && t.kind != TokKind::kChar)
+      pure_code.push_back(t);
+  extract_secure_idents(pure_code, m.secure_idents);
+  extract_functions(pure_code, m.functions);
+  return m;
+}
+
+}  // namespace gka_lint

@@ -1,0 +1,62 @@
+// Per-file analysis model for gka_lint: the lexed token stream digested into
+// the structures the rule families consume.
+//
+//   - `code`:     a per-line view with comments blanked and string/char
+//                 literal contents emptied (only the quotes remain), so line
+//                 rules never match inside literals — including raw strings
+//                 and multi-line block comments, which the v1 line stripper
+//                 got wrong.
+//   - `comments`: per-line comment text, for suppression markers and
+//                 TODO/FIXME scanning.
+//   - includes:   every `#include "..."` with its line, for the GKA1xx
+//                 layering rules.
+//   - functions:  heuristic function-definition extraction (name, return
+//                 type, body line range), for the GKA2xx taint rules.
+//   - secure_idents: identifiers declared with a zeroizing Secure* type —
+//                 fields, locals, parameters, and functions *returning* a
+//                 Secure* type. These seed the taint analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gka_lint/lexer.h"
+
+namespace gka_lint {
+
+struct Include {
+  std::string target;  // the path between the quotes
+  int line = 0;        // 1-based
+};
+
+/// One `gka-lint: allow(...)` marker.
+struct Allow {
+  int line = 0;                   // 1-based line the marker sits on
+  std::vector<std::string> ids;   // rule ids listed in the parentheses
+  bool has_reason = false;        // non-empty text followed the ')'
+};
+
+struct Function {
+  std::string name;
+  std::string return_type;  // token spelling, space-joined; empty if unknown
+  int signature_line = 0;   // line of the name
+  int body_begin = 0;       // line of the opening '{'
+  int body_end = 0;         // line of the matching '}'
+};
+
+struct FileModel {
+  std::string path;
+  bool skip_file = false;
+  std::vector<std::string> raw;       // raw source lines
+  std::vector<std::string> code;      // stripped code view, same line count
+  std::vector<std::string> comments;  // per-line comment text
+  std::vector<Include> includes;
+  std::vector<Allow> allows;
+  std::vector<Function> functions;
+  std::vector<std::string> secure_idents;
+  std::vector<Tok> tokens;
+};
+
+FileModel build_model(const std::string& path, const std::string& content);
+
+}  // namespace gka_lint

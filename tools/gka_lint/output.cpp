@@ -1,0 +1,94 @@
+// Machine-readable output: --format=json for scripting, --format=sarif for
+// CI code-scanning upload (SARIF 2.1.0, minimal static-analysis profile).
+#include "gka_lint/lint.h"
+
+#include <sstream>
+
+namespace gka_lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_scanned) {
+  std::size_t errors = 0, warnings = 0;
+  for (const Finding& f : findings)
+    (f.severity == Severity::kError ? errors : warnings)++;
+
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"gka_lint\",\n  \"files_scanned\": " << files_scanned
+     << ",\n  \"errors\": " << errors << ",\n  \"warnings\": " << warnings
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i ? "," : "") << "\n    {\"rule\": \"" << f.rule
+       << "\", \"severity\": \"" << severity_name(f.severity)
+       << "\", \"path\": \"" << json_escape(f.path)
+       << "\", \"line\": " << f.line << ", \"message\": \""
+       << json_escape(f.message) << "\"}";
+  }
+  os << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n"
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [{\n"
+        "    \"tool\": {\"driver\": {\n"
+        "      \"name\": \"gka_lint\",\n"
+        "      \"informationUri\": \"docs/static_analysis.md\",\n"
+        "      \"rules\": [";
+  const std::vector<Rule>& rs = rules();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    os << (i ? "," : "") << "\n        {\"id\": \"" << rs[i].id
+       << "\", \"shortDescription\": {\"text\": \"" << json_escape(rs[i].summary)
+       << "\"}, \"defaultConfiguration\": {\"level\": \""
+       << severity_name(rs[i].severity) << "\"}}";
+  }
+  os << "\n      ]\n    }},\n    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i ? "," : "") << "\n      {\"ruleId\": \"" << f.rule
+       << "\", \"level\": \"" << severity_name(f.severity)
+       << "\", \"message\": {\"text\": \"" << json_escape(f.message)
+       << "\"}, \"locations\": [{\"physicalLocation\": {"
+          "\"artifactLocation\": {\"uri\": \""
+       << json_escape(f.path) << "\"}, \"region\": {\"startLine\": " << f.line
+       << "}}}]}";
+  }
+  os << (findings.empty() ? "]" : "\n    ]") << "\n  }]\n}\n";
+  return os.str();
+}
+
+}  // namespace gka_lint

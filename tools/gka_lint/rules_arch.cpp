@@ -1,0 +1,138 @@
+// GKA101/GKA102: architecture rules over the real include graph.
+//
+// The subsystem layering DAG this repo commits to (see DESIGN.md and
+// docs/static_analysis.md):
+//
+//     util -> bignum -> crypto -> core -> {sim, gcs} -> harness
+//
+// where "A -> B" means B may include A. The braces group sim and gcs above
+// core; within the group, gcs may include sim (the Spread model runs on the
+// simulator) but not vice versa. `obs` is a side layer includable from core
+// upward only — the numeric/crypto layers below core must stay free of
+// observability hooks.
+//
+// GKA101 rejects any `#include "subsys/..."` edge outside that table;
+// GKA102 rejects cycles in the file-level include graph (which the DAG
+// alone cannot see: two files of the same subsystem can still include each
+// other in a loop).
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "gka_lint/rules_internal.h"
+
+namespace gka_lint {
+
+namespace {
+
+/// Subsystem of a repo-relative path, or "" when the file is outside src/
+/// (tests, benches and tools are consumers of every layer and exempt).
+std::string subsystem_of(const std::string& path) {
+  const std::string prefix = "src/";
+  if (path.rfind(prefix, 0) != 0) return {};
+  const std::size_t slash = path.find('/', prefix.size());
+  if (slash == std::string::npos) return {};
+  return path.substr(prefix.size(), slash - prefix.size());
+}
+
+/// Subsystem named by an include target ("core/view.h" -> "core").
+std::string subsystem_of_target(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return {};
+  return target.substr(0, slash);
+}
+
+const std::map<std::string, std::set<std::string>>& allowed_deps() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"util", {"util"}},
+      {"obs", {"obs", "util"}},
+      {"bignum", {"bignum", "util"}},
+      {"crypto", {"crypto", "bignum", "util"}},
+      {"core", {"core", "crypto", "bignum", "util", "obs"}},
+      {"sim", {"sim", "core", "crypto", "bignum", "util", "obs"}},
+      {"gcs", {"gcs", "sim", "core", "crypto", "bignum", "util", "obs"}},
+      {"harness",
+       {"harness", "gcs", "sim", "core", "crypto", "bignum", "util", "obs"}},
+  };
+  return kAllowed;
+}
+
+}  // namespace
+
+void run_arch_rules(const std::vector<FileModel>& files, const Sink& sink) {
+  // --- GKA101: layering-DAG violations ------------------------------------
+  for (const FileModel& m : files) {
+    const std::string from = subsystem_of(m.path);
+    if (from.empty()) continue;
+    const auto it = allowed_deps().find(from);
+    for (const Include& inc : m.includes) {
+      const std::string to = subsystem_of_target(inc.target);
+      if (to.empty()) continue;  // relative or project-external include
+      if (allowed_deps().find(to) == allowed_deps().end())
+        continue;  // not a known subsystem (e.g. a third-party dir)
+      if (it == allowed_deps().end()) {
+        sink({"GKA101", m.path, inc.line,
+              "subsystem '" + from +
+                  "' is not in the layering DAG; add it to the table in "
+                  "tools/gka_lint/rules_arch.cpp"});
+        break;  // once per file is enough for an unknown subsystem
+      }
+      if (it->second.count(to) == 0) {
+        sink({"GKA101", m.path, inc.line,
+              "include of \"" + inc.target + "\" makes '" + from +
+                  "' depend on '" + to +
+                  "', violating the layering DAG util -> bignum -> crypto "
+                  "-> core -> {sim, gcs} -> harness (obs from core up)"});
+      }
+    }
+  }
+
+  // --- GKA102: include cycles ---------------------------------------------
+  // File-level DFS over project-internal includes with a three-color walk;
+  // each back edge is one cycle, reported at the include that closes it.
+  std::map<std::string, const FileModel*> by_path;
+  for (const FileModel& m : files) by_path[m.path] = &m;
+  // Include targets are repo-relative to src/ ("core/view.h"); file paths
+  // are repo-relative ("src/core/view.h").
+  auto resolve = [&](const std::string& target) -> const FileModel* {
+    const auto it = by_path.find("src/" + target);
+    return it == by_path.end() ? nullptr : it->second;
+  };
+
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<const FileModel*> stack;
+
+  std::function<void(const FileModel*)> dfs = [&](const FileModel* m) {
+    color[m->path] = Color::kGray;
+    stack.push_back(m);
+    for (const Include& inc : m->includes) {
+      const FileModel* dep = resolve(inc.target);
+      if (dep == nullptr) continue;
+      const Color c = color.count(dep->path) ? color[dep->path] : Color::kWhite;
+      if (c == Color::kGray) {
+        // Reconstruct the loop for the message.
+        std::string chain = dep->path;
+        auto at = std::find(stack.begin(), stack.end(), dep);
+        for (auto s = at; s != stack.end(); ++s)
+          if (s != at) chain += " -> " + (*s)->path;
+        chain += " -> " + dep->path;
+        sink({"GKA102", m->path, inc.line,
+              "include cycle: " + chain});
+        continue;
+      }
+      if (c == Color::kWhite) dfs(dep);
+    }
+    stack.pop_back();
+    color[m->path] = Color::kBlack;
+  };
+
+  for (const FileModel& m : files) {
+    if (subsystem_of(m.path).empty()) continue;
+    if (!color.count(m.path) || color[m.path] == Color::kWhite) dfs(&m);
+  }
+}
+
+}  // namespace gka_lint

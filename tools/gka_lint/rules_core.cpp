@@ -1,0 +1,208 @@
+// GKA001..GKA006: the key-handling hygiene rules, ported from gka_lint v1
+// onto the lexer-backed FileModel (the matching logic is unchanged; the
+// input is now a properly stripped code view, so raw strings, multi-line
+// strings and block comments can no longer confuse the line rules).
+#include <algorithm>
+
+#include "gka_lint/rules_internal.h"
+
+namespace gka_lint {
+
+namespace {
+
+const char* const kEqualityMacros[] = {"memcmp", "EXPECT_EQ", "EXPECT_NE",
+                                       "ASSERT_EQ", "ASSERT_NE"};
+
+const char* const kLogSinks[] = {"to_hex", "printf", "fprintf", "report",
+                                 "cout",   "cerr",   "clog"};
+
+const char* const kObsSinks[] = {
+    "attr",      "event_attr",    "instant", "phase",     "mark_phase",
+    "mark_point", "begin_event",  "begin_span_at", "observe", "counter",
+    "histogram", "set_track_name"};
+
+const char* const kAmbientRandomness[] = {
+    "rand",       "srand",      "random_device", "mt19937",
+    "mt19937_64", "default_random_engine",       "minstd_rand"};
+
+}  // namespace
+
+void run_core_rules(const FileModel& m, const Sink& sink) {
+  const std::string& path = m.path;
+  const bool header = ends_with(path, ".h") || ends_with(path, ".hpp");
+  const bool crypto_path = path_has_prefix(path, "src/crypto") ||
+                           path_has_prefix(path, "src/bignum") ||
+                           path_has_prefix(path, "src/core");
+  const bool randomness_ok = path_contains(path, "util/random_source") ||
+                             path_contains(path, "crypto/drbg");
+
+  auto report = [&](std::size_t li, const char* rule, std::string message) {
+    sink({rule, path, static_cast<int>(li) + 1, std::move(message)});
+  };
+
+  for (std::size_t li = 0; li < m.code.size(); ++li) {
+    const std::string& c = m.code[li];
+    const std::vector<LineTok> ids = line_identifiers(c);
+
+    // --- GKA001: raw equality on secret material -------------------------
+    // (a) == / != operators. Each operand is the text between the operator
+    // and the nearest expression delimiter; its *last* identifier names the
+    // compared thing (`it == keys_.end()` compares `end`, not `keys_`, so
+    // iterator-membership idioms don't trip the rule).
+    const std::string lhs_stops = ",;({}&|?=!";
+    const std::string rhs_stops = ",;)}&|?";
+    for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+      if ((c[i] == '=' || c[i] == '!') && c[i + 1] == '=' &&
+          (i == 0 || (c[i - 1] != '=' && c[i - 1] != '!' && c[i - 1] != '<' &&
+                      c[i - 1] != '>')) &&
+          (i + 2 >= c.size() || c[i + 2] != '=')) {
+        std::size_t lb = 0;
+        for (std::size_t j = i; j > 0; --j) {
+          if (lhs_stops.find(c[j - 1]) != std::string::npos) {
+            lb = j;
+            break;
+          }
+        }
+        std::size_t re = c.size();
+        for (std::size_t j = i + 2; j < c.size(); ++j) {
+          if (rhs_stops.find(c[j]) != std::string::npos) {
+            re = j;
+            break;
+          }
+        }
+        const LineTok* lhs = operand_name(c, ids, lb, i);
+        const LineTok* rhs = operand_name(c, ids, i + 2, re);
+        for (const LineTok* t : {lhs, rhs}) {
+          if (t != nullptr && is_secretish(t->text)) {
+            report(li, "GKA001",
+                   "raw comparison touches secret '" + t->text +
+                       "'; use ct_equal");
+            break;
+          }
+        }
+      }
+    }
+    // (b) memcmp / gtest equality macros.
+    for (const char* call : kEqualityMacros) {
+      for (const LineTok& t : ids) {
+        if (t.text != call) continue;
+        const std::size_t open = t.pos + t.text.size();
+        if (open >= c.size() || c[open] != '(') continue;
+        const auto args = call_args(c, open);
+        const std::size_t nargs = std::min<std::size_t>(args.size(), 2);
+        for (std::size_t a = 0; a < nargs; ++a) {
+          const LineTok* name =
+              operand_name(c, ids, args[a].first, args[a].second);
+          if (name != nullptr && is_secretish(name->text)) {
+            report(li, "GKA001",
+                   std::string(call) + " on secret '" + name->text +
+                       "'; use ct_equal");
+            break;
+          }
+        }
+      }
+    }
+
+    // --- GKA002: secret material reaching a logging/formatting sink ------
+    for (const char* sink_name : kLogSinks) {
+      for (const LineTok& t : ids) {
+        if (t.text != sink_name) continue;
+        // Only identifiers to the right of the sink are its payload.
+        bool hit = false;
+        for (const LineTok& arg : ids) {
+          if (arg.pos <= t.pos) continue;
+          if (is_secretish(arg.text)) {
+            report(li, "GKA002",
+                   "secret '" + arg.text + "' reaches sink '" + t.text +
+                       "'; log a fingerprint instead");
+            hit = true;
+            break;
+          }
+        }
+        if (hit) break;
+      }
+    }
+
+    // --- GKA006: secret material into a trace/metric attribute sink ------
+    // Observability data leaves the process (BENCH_*.json, Chrome traces),
+    // so the obs API is a logging sink in the GKA002 sense. Matches calls
+    // only (the token must be followed by '('), so declarations of these
+    // methods don't self-flag.
+    for (const char* sink_name : kObsSinks) {
+      for (const LineTok& t : ids) {
+        if (t.text != sink_name) continue;
+        const std::size_t open = t.pos + t.text.size();
+        if (open >= c.size() || c[open] != '(') continue;
+        bool hit = false;
+        for (const auto& [ab, ae] : call_args(c, open)) {
+          for (const LineTok& arg : ids) {
+            if (arg.pos < ab || arg.pos >= ae) continue;
+            if (is_secretish(arg.text)) {
+              report(li, "GKA006",
+                     "secret '" + arg.text + "' reaches trace/metric sink '" +
+                         t.text + "'; record a fingerprint or a size instead");
+              hit = true;
+              break;
+            }
+          }
+          if (hit) break;
+        }
+        if (hit) break;
+      }
+    }
+
+    // --- GKA003: ambient randomness --------------------------------------
+    if (!randomness_ok) {
+      for (const char* bad : kAmbientRandomness) {
+        for (const LineTok& t : ids) {
+          if (t.text == bad) {
+            report(li, "GKA003",
+                   "ambient randomness '" + t.text +
+                       "'; use RandomSource / the DRBG");
+          }
+        }
+      }
+    }
+
+    // --- GKA004: secret-named field without Secure* storage --------------
+    if (header && ids.size() >= 2 && !c.empty()) {
+      // Declaration shape: ...Type name;  or  ...Type name = init;
+      // (assignments `name = ...;` have only one identifier before '=').
+      const std::string trimmed_end = c.substr(0, c.find_last_not_of(" \t") + 1);
+      if (ends_with(trimmed_end, ";") && c.find('(') == std::string::npos &&
+          c.find("return") == std::string::npos &&
+          c.find("using") == std::string::npos) {
+        const std::size_t eq = c.find('=');
+        const std::size_t decl_end =
+            eq == std::string::npos ? trimmed_end.size() - 1 : eq;
+        // Name = last identifier of the declarator part; type = everything
+        // before it.
+        const LineTok* name = nullptr;
+        for (const LineTok& t : ids)
+          if (t.pos + t.text.size() <= decl_end) name = &t;
+        if (name != nullptr && name->pos > 0 && is_secretish(name->text)) {
+          const std::string type = c.substr(0, name->pos);
+          if (type.find_first_not_of(" \t") != std::string::npos &&
+              type.find("Secure") == std::string::npos &&
+              type.find("Verify") == std::string::npos &&
+              type.find("Public") == std::string::npos) {
+            report(li, "GKA004",
+                   "field '" + name->text +
+                       "' holds secret material in non-zeroizing storage; "
+                       "use SecureBytes / SecureBigInt");
+          }
+        }
+      }
+    }
+
+    // --- GKA005: TODO/FIXME comments in crypto paths ---------------------
+    if (crypto_path) {
+      if (m.comments[li].find("TODO") != std::string::npos ||
+          m.comments[li].find("FIXME") != std::string::npos) {
+        report(li, "GKA005", "TODO/FIXME left in a crypto path");
+      }
+    }
+  }
+}
+
+}  // namespace gka_lint

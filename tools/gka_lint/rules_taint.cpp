@@ -1,0 +1,273 @@
+// GKA201..GKA203: function-local secret-taint dataflow.
+//
+// Taint sources are identifiers declared with a zeroizing Secure* type
+// (fields, locals, parameters, and functions *returning* a Secure* type —
+// the model extracts them; in project mode the seed set spans all files so
+// a field declared in a header taints its uses in the .cpp) plus any call
+// to `reveal(...)`, the explicit SecureBytes escape hatch.
+//
+// Taint propagates through raw-byte locals: a line that declares a
+// std::vector<uint8_t> / std::string / Bytes local (or `auto` initialized
+// from reveal()) from a tainted expression both fires GKA201 and marks the
+// new name tainted, so a later `std::cout << to_hex(buf)` fires GKA203 even
+// though `buf` is not a secret-ish *name* — exactly the laundering the
+// name-based GKA002/GKA006 heuristics cannot see.
+//
+// An approved boundary absorbs taint: a tainted value used as an argument
+// of ct_equal / key_fingerprint / the HKDF-MAC-cipher APIs / a Secure*
+// constructor / ScopedSubkey / secure_zero / mod_exp is considered properly
+// handed over (the result is a fingerprint, ciphertext, a wiped copy, or a
+// blinded public value), and the destination is not tainted.
+#include <algorithm>
+#include <set>
+
+#include "gka_lint/rules_internal.h"
+
+namespace gka_lint {
+
+namespace {
+
+/// Call names that absorb taint. Deliberately explicit rather than
+/// pattern-based: growing this list is a reviewed decision.
+const char* const kBoundaries[] = {
+    "ct_equal",       "key_fingerprint",    "secure_zero",
+    "hkdf_sha256",    "hmac_sha256",        "aes128_cbc_encrypt",
+    "aes128_cbc_decrypt", "ChaCha20",       "Sha256",
+    "SecureBytes",    "SecureBigInt",       "ScopedSubkey",
+    "Drbg",           "mod_exp",            "wipe",
+};
+
+/// Logging + obs sinks (the GKA002 and GKA006 lists combined): a tainted
+/// value reaching one of these is an exfiltration regardless of its name.
+const char* const kTaintSinks[] = {
+    "to_hex",     "printf",     "fprintf",    "report",     "cout",
+    "cerr",       "clog",       "attr",       "event_attr", "instant",
+    "phase",      "mark_phase", "mark_point", "begin_event",
+    "begin_span_at", "observe", "counter",    "histogram",
+    "set_track_name"};
+
+bool is_boundary(const std::string& name) {
+  for (const char* b : kBoundaries)
+    if (name == b) return true;
+  return false;
+}
+
+bool is_taint_sink(const std::string& name) {
+  for (const char* s : kTaintSinks)
+    if (name == s) return true;
+  return false;
+}
+
+/// Raw byte/string storage per the rule text. `Bytes` is this repo's alias
+/// for std::vector<uint8_t>.
+bool raw_byte_type(const std::string& type) {
+  if (type.find("Secure") != std::string::npos) return false;
+  return type.find("vector") != std::string::npos ||
+         type.find("string") != std::string::npos ||
+         type.find("Bytes") != std::string::npos;
+}
+
+/// True when the identifier occurrence at `pos` is wrapped by an approved
+/// boundary call somewhere up its enclosing-call chain on this line.
+bool wrapped_by_boundary(const std::string& code,
+                         const std::vector<LineTok>& ids, std::size_t pos) {
+  for (const std::string& call : enclosing_calls(code, ids, pos))
+    if (is_boundary(call)) return true;
+  return false;
+}
+
+struct TaintHit {
+  const LineTok* tok;  // the tainted identifier (or `reveal`)
+  bool via_reveal;
+};
+
+/// Tainted, non-boundary-wrapped occurrences within [begin,end) of the line.
+std::vector<TaintHit> taint_hits(const std::string& code,
+                                 const std::vector<LineTok>& ids,
+                                 const std::set<std::string>& tainted,
+                                 std::size_t begin, std::size_t end) {
+  std::vector<TaintHit> hits;
+  for (const LineTok& t : ids) {
+    if (t.pos < begin || t.pos >= end) continue;
+    const bool reveal = t.text == "reveal";
+    if (!reveal && tainted.count(t.text) == 0) continue;
+    if (wrapped_by_boundary(code, ids, t.pos)) continue;
+    hits.push_back({&t, reveal});
+  }
+  return hits;
+}
+
+/// Parses a local declaration with an initializer on a stripped code line:
+/// `[const] Type name = expr;` or `[const] Type name(expr);` /
+/// `Type name{expr};`. Returns true and fills the out-params when the line
+/// looks like one; `init_begin` is where the initializer text starts.
+bool parse_decl(const std::string& code, const std::vector<LineTok>& ids,
+                std::string* type, const LineTok** name,
+                std::size_t* init_begin) {
+  if (ids.empty()) return false;
+  const std::size_t eq = code.find('=');
+  if (eq != std::string::npos &&
+      (eq + 1 >= code.size() || code[eq + 1] != '=') &&
+      (eq == 0 || (code[eq - 1] != '=' && code[eq - 1] != '!' &&
+                   code[eq - 1] != '<' && code[eq - 1] != '>' &&
+                   code[eq - 1] != '+' && code[eq - 1] != '-' &&
+                   code[eq - 1] != '|' && code[eq - 1] != '&'))) {
+    // `Type name = init` needs >= 2 identifiers left of '='; a plain
+    // assignment `name = init` has one and is not a declaration.
+    const LineTok* last = nullptr;
+    std::size_t count = 0;
+    for (const LineTok& t : ids) {
+      if (t.pos + t.text.size() <= eq) {
+        last = &t;
+        ++count;
+      }
+    }
+    if (last == nullptr || count < 2) return false;
+    *name = last;
+    *type = code.substr(0, last->pos);
+    *init_begin = eq + 1;
+    return true;
+  }
+  // Constructor-style: `Type name(init);` — the name is the identifier
+  // right before the first '(' and must have type text before it.
+  const std::size_t open = code.find('(');
+  if (open == std::string::npos) return false;
+  const LineTok* before = nullptr;
+  for (const LineTok& t : ids)
+    if (t.pos + t.text.size() == open) before = &t;
+  if (before == nullptr || before->pos == 0) return false;
+  const std::string head = code.substr(0, before->pos);
+  // Type text must contain another identifier (calls like `foo(x)` have
+  // only whitespace or punctuation before the name).
+  bool has_type_ident = false;
+  for (const LineTok& t : ids)
+    if (t.pos + t.text.size() <= before->pos && &t != before &&
+        t.text != "const" && t.text != "static")
+      has_type_ident = true;
+  (void)head;
+  if (!has_type_ident) return false;
+  *name = before;
+  *type = code.substr(0, before->pos);
+  *init_begin = open + 1;
+  return true;
+}
+
+}  // namespace
+
+void run_taint_rules(const FileModel& m,
+                     const std::vector<std::string>& secure_idents,
+                     const Sink& sink) {
+  // Sanctioned files: the Secure* wrappers implement the boundary (reveal(),
+  // wiping internals), and the symmetric primitives below them take raw key
+  // bytes by design — their bodies ARE the approved boundary interior.
+  if (path_contains(m.path, "util/secure_bytes") ||
+      path_contains(m.path, "bignum/secure_bigint") ||
+      path_contains(m.path, "crypto/aes") ||
+      path_contains(m.path, "crypto/hmac") ||
+      path_contains(m.path, "crypto/hkdf") ||
+      path_contains(m.path, "crypto/chacha20") ||
+      path_contains(m.path, "crypto/sha1") ||
+      path_contains(m.path, "crypto/sha256") ||
+      path_contains(m.path, "crypto/drbg"))
+    return;
+
+  // Single-letter names are too generic to taint by name: the seed set is
+  // file-global (no per-function scoping), so a `SecureBytes b` in one test
+  // body must not taint an unrelated `b` elsewhere. An escape of a
+  // single-letter secret is still caught at its reveal() call.
+  std::set<std::string> seed;
+  for (const std::string& n : secure_idents)
+    if (n.size() > 1) seed.insert(n);
+
+  for (const Function& fn : m.functions) {
+    std::set<std::string> tainted = seed;
+    const bool raw_return = raw_byte_type(fn.return_type);
+
+    for (int line = fn.body_begin; line <= fn.body_end; ++line) {
+      const std::size_t li = static_cast<std::size_t>(line - 1);
+      if (li >= m.code.size()) break;
+      const std::string& c = m.code[li];
+      if (c.empty()) continue;
+      const std::vector<LineTok> ids = line_identifiers(c);
+
+      // --- GKA202: tainted return from a raw-typed function --------------
+      for (const LineTok& t : ids) {
+        if (t.text != "return") continue;
+        const auto hits = taint_hits(c, ids, tainted,
+                                     t.pos + t.text.size(), c.size());
+        if (!hits.empty() && raw_return) {
+          const LineTok* h = hits.front().tok;
+          sink({"GKA202", m.path, line,
+                "function '" + fn.name + "' returns secret-derived '" +
+                    h->text + "' as raw '" + fn.return_type +
+                    "'; return a Secure* wrapper or pass through an "
+                    "approved boundary"});
+        }
+        break;
+      }
+      if (!ids.empty() && ids.front().text == "return") continue;
+
+      // --- GKA203: tainted value reaching a sink --------------------------
+      // Scanned before the declaration handling: member-call lines like
+      // `tr->attr(...)` parse as constructor-style declarations, and the
+      // sink scan must not be gated behind that misparse.
+      // Stream sinks (cout/cerr/clog) take everything to their right; call
+      // sinks take their parenthesized arguments.
+      for (const LineTok& t : ids) {
+        if (!is_taint_sink(t.text)) continue;
+        const std::size_t open = t.pos + t.text.size();
+        const bool is_call = open < c.size() && c[open] == '(';
+        const bool is_stream =
+            t.text == "cout" || t.text == "cerr" || t.text == "clog";
+        if (!is_call && !is_stream) continue;
+        std::vector<TaintHit> hits;
+        if (is_call) {
+          for (const auto& [ab, ae] : call_args(c, open)) {
+            const auto h = taint_hits(c, ids, tainted, ab, ae);
+            hits.insert(hits.end(), h.begin(), h.end());
+          }
+        } else {
+          hits = taint_hits(c, ids, tainted, open, c.size());
+        }
+        for (const TaintHit& h : hits) {
+          // Name-based rules already cover secret-ish names; GKA203 exists
+          // for the laundered ones they cannot see.
+          if (!h.via_reveal && is_secretish(h.tok->text)) continue;
+          sink({"GKA203", m.path, line,
+                "secret-derived '" + h.tok->text + "' reaches sink '" +
+                    t.text +
+                    "'; log a fingerprint or a size instead"});
+          break;
+        }
+      }
+
+      // --- GKA201: tainted value into a raw byte/string local ------------
+      std::string type;
+      const LineTok* name = nullptr;
+      std::size_t init_begin = 0;
+      if (parse_decl(c, ids, &type, &name, &init_begin)) {
+        const auto hits = taint_hits(c, ids, tainted, init_begin, c.size());
+        if (!hits.empty()) {
+          const bool is_auto = type.find("auto") != std::string::npos;
+          const bool reveal_init =
+              std::any_of(hits.begin(), hits.end(),
+                          [](const TaintHit& h) { return h.via_reveal; });
+          if (raw_byte_type(type) || (is_auto && reveal_init)) {
+            sink({"GKA201", m.path, line,
+                  "secret-derived value escapes into raw '" +
+                      (is_auto ? std::string("auto (reveal)")
+                               : type.substr(type.find_first_not_of(" \t"))) +
+                      "' local '" + name->text +
+                      "'; keep it in Secure* storage or wrap the use in an "
+                      "approved boundary"});
+            tainted.insert(name->text);  // follow the laundered copy
+          } else if (is_auto) {
+            tainted.insert(name->text);  // auto from tainted expr: propagate
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gka_lint
