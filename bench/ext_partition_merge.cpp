@@ -13,16 +13,17 @@
 //    n members re-keys. GDH's merge takes m+3 rounds so it should scale
 //    worst in rounds; BD restarts from scratch; TGDH/STR merge trees.
 //
-// Usage: ext_partition_merge [n]
+// Usage: ext_partition_merge [n] [--seed <n>]
 #include <iomanip>
 #include <iostream>
 
+#include "harness/bench_io.h"
 #include "harness/experiment.h"
 
 namespace sgk {
 namespace {
 
-void run(std::size_t n) {
+void run(std::size_t n, std::uint64_t seed) {
   std::cout << "Partition & merge, LAN, DH-512, group of " << n << " members\n";
   std::cout << std::left << std::setw(8) << "proto" << std::setw(18)
             << "split l=n/4 (ms)" << std::setw(18) << "merge back (ms)"
@@ -37,7 +38,7 @@ void run(std::size_t n) {
       // One member per machine so machine partitions == member partitions.
       ec.topology = lan_testbed(static_cast<int>(n));
       ec.protocol = kind;
-      ec.seed = 11;
+      ec.seed = seed;
       Experiment exp(ec);
       exp.grow_to(n);
       std::vector<std::vector<MachineId>> parts(2);
@@ -57,9 +58,16 @@ void run(std::size_t n) {
 }  // namespace sgk
 
 int main(int argc, char** argv) {
+  sgk::BenchOptions opts;
+  std::string err;
+  if (!sgk::BenchOptions::parse(argc, argv, opts, err)) {
+    std::cerr << "error: " << err << "\n";
+    return 1;
+  }
   std::size_t n = 24;
-  if (argc > 1) n = std::stoul(argv[1]);
-  sgk::run(n);
+  if (!opts.rest.empty()) n = std::stoul(opts.rest[0]);
+  const std::uint64_t seed = opts.seed_set ? opts.seed : 11;
+  sgk::run(n, seed);
   std::cout << "\nSame experiment on the WAN testbed (13 machines; the split "
                "separates the two remote sites):\n";
   using namespace sgk;
@@ -71,7 +79,7 @@ int main(int argc, char** argv) {
     ExperimentConfig ec;
     ec.topology = wan_testbed();
     ec.protocol = kind;
-    ec.seed = 11;
+    ec.seed = seed;
     Experiment exp(ec);
     exp.grow_to(26);
     // JHU machines 0..10 vs {UCI, ICU} machines 11, 12.

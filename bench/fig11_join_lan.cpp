@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     sgk::SweepConfig cfg;
     cfg.dh_bits = bits;
     cfg.max_size = max_size;
+    cfg.seed_base = opts.seed;
     sgk::SweepResult result = sgk::sweep_join(cfg);
     sgk::print_sweep_table(std::cout,
                            std::string("Figure 11: join, LAN, DH ") + label +

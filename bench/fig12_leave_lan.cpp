@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
     cfg.dh_bits = bits;
     cfg.max_size = max_size;
     cfg.seeds = seeds;
+    cfg.seed_base = opts.seed;
     sgk::SweepResult result = sgk::sweep_leave(cfg);
     sgk::print_sweep_table(std::cout,
                            std::string("Figure 12: leave, LAN, DH ") + label +

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   sgk::SweepConfig cfg;
   cfg.topology = topo;
   cfg.max_size = max_size;
+  cfg.seed_base = opts.seed;
   if (dh1024) cfg.dh_bits = sgk::DhBits::k1024;
   const char* bits_label = dh1024 ? "1024" : "512";
 

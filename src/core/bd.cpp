@@ -19,7 +19,7 @@ ProcessId BdProtocol::at_offset(std::size_t i, std::ptrdiff_t delta) const {
   return view_.members[static_cast<std::size_t>(j)];
 }
 
-void BdProtocol::on_view(const View& view, const ViewDelta& /*delta*/) {
+void BdProtocol::handle_view(const View& view, const ViewDelta& /*delta*/) {
   // BD restarts from scratch on any membership change.
   view_ = view;
   z_.clear();
@@ -76,7 +76,7 @@ void BdProtocol::maybe_finish() {
   host_.deliver_key(key);
 }
 
-void BdProtocol::on_message(ProcessId sender, const Bytes& body) {
+void BdProtocol::handle_message(ProcessId sender, const Bytes& body) {
   Reader r(body);
   const std::uint8_t type = r.u8();
   switch (type) {

@@ -24,8 +24,8 @@ class BdProtocol final : public KeyAgreement {
  public:
   explicit BdProtocol(ProtocolHost& host) : KeyAgreement(host) {}
 
-  void on_view(const View& view, const ViewDelta& delta) override;
-  void on_message(ProcessId sender, const Bytes& body) override;
+  void handle_view(const View& view, const ViewDelta& delta) override;
+  void handle_message(ProcessId sender, const Bytes& body) override;
   ProtocolKind kind() const override { return ProtocolKind::kBd; }
 
  private:

@@ -13,9 +13,10 @@ std::vector<ProcessId> sorted_copy(std::vector<ProcessId> v) {
 }
 }  // namespace
 
-void CkdProtocol::on_view(const View& view, const ViewDelta& delta) {
+void CkdProtocol::handle_view(const View& view, const ViewDelta& delta) {
   view_ = view;
   awaiting_.clear();
+  has_pending_key_ = false;  // a broadcast the view change killed
 
   if (view.members.size() == 1) {
     order_ = {self()};
@@ -35,12 +36,16 @@ void CkdProtocol::on_view(const View& view, const ViewDelta& delta) {
 
   if (!i_am_new && sorted_copy(pruned) != *core) {
     // Cascade fallback: no established state on this side; the lowest id
-    // deterministically becomes the controller of a fresh session.
-    const ProcessId seed = view.members.front();
+    // OF THE CORE SIDE deterministically becomes the controller of a fresh
+    // session. Only core members execute this branch, so a seed drawn from
+    // the whole view could be a member that never learns it should act.
+    const ProcessId seed = core->front();
     if (self() == seed) {
       order_ = {self()};
       pairwise_.clear();
-      std::vector<ProcessId> need(view.members.begin() + 1, view.members.end());
+      std::vector<ProcessId> need;
+      for (ProcessId p : view.members)
+        if (p != seed) need.push_back(p);
       for (ProcessId p : need) order_.push_back(p);
       begin_controller_round(need);
     } else {
@@ -114,10 +119,12 @@ void CkdProtocol::rekey() {
   }
   host_.send_multicast(w.take());
   // Group secret: g^(x_c * s), which every member recovers from its wrap.
-  host_.deliver_key(crypto().exp(my_pub_, s));
+  // Installed when the broadcast self-delivers, not now (see pending_key_).
+  pending_key_ = SecureBigInt(crypto().exp(my_pub_, s));
+  has_pending_key_ = true;
 }
 
-void CkdProtocol::on_message(ProcessId sender, const Bytes& body) {
+void CkdProtocol::handle_message(ProcessId sender, const Bytes& body) {
   Reader r(body);
   const std::uint8_t type = r.u8();
   switch (type) {
@@ -157,11 +164,23 @@ void CkdProtocol::on_message(ProcessId sender, const Bytes& body) {
       return;
     }
     case kKeyBcast: {
-      if (sender == self()) return;
       mark_phase("key_distribution");
+      // Everyone — the broadcasting controller included — adopts the order
+      // carried by the broadcast as it is delivered, so concurrent
+      // controllers (possible transiently under cascades) converge on the
+      // last stamped one.
       const std::uint32_t order_len = r.u32();
       order_.clear();
       for (std::uint32_t i = 0; i < order_len; ++i) order_.push_back(r.u32());
+      if (sender == self()) {
+        // My own broadcast came back through the agreed stream: it is now
+        // part of the group's total order, so the key is safe to install.
+        if (has_pending_key_) {
+          has_pending_key_ = false;
+          host_.deliver_key(pending_key_);
+        }
+        return;
+      }
       const std::uint32_t count = r.u32();
       BigInt my_wrap;
       bool found = false;

@@ -28,8 +28,8 @@ class CkdProtocol final : public KeyAgreement {
  public:
   explicit CkdProtocol(ProtocolHost& host) : KeyAgreement(host) {}
 
-  void on_view(const View& view, const ViewDelta& delta) override;
-  void on_message(ProcessId sender, const Bytes& body) override;
+  void handle_view(const View& view, const ViewDelta& delta) override;
+  void handle_message(ProcessId sender, const Bytes& body) override;
   ProtocolKind kind() const override { return ProtocolKind::kCkd; }
 
   ProcessId controller() const { return order_.empty() ? kNoProcess : order_.front(); }
@@ -53,6 +53,15 @@ class CkdProtocol final : public KeyAgreement {
 
   // Member state.
   ProcessId controller_seen_ = kNoProcess;  // sender of the last challenge
+
+  // Group secret the controller broadcast but has not yet seen come back
+  // through the agreed stream. The controller installs it only at that
+  // self-delivery: under a cascade two members can transiently both act as
+  // controller, and taking the key at send time would leave each of them on
+  // its own key while the totally-ordered stream hands every other member
+  // whichever broadcast was stamped last.
+  SecureBigInt pending_key_;
+  bool has_pending_key_ = false;
 };
 
 }  // namespace sgk

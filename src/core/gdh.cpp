@@ -13,7 +13,7 @@ std::vector<ProcessId> sorted_copy(std::vector<ProcessId> v) {
 }
 }  // namespace
 
-void GdhProtocol::on_view(const View& view, const ViewDelta& delta) {
+void GdhProtocol::handle_view(const View& view, const ViewDelta& delta) {
   view_ = view;
   // Discard transient state from any interrupted instance.
   factors_.clear();
@@ -21,10 +21,12 @@ void GdhProtocol::on_view(const View& view, const ViewDelta& delta) {
   new_members_.clear();
   new_controller_ = kNoProcess;
   i_am_new_ = false;
+  pending_gen_ = -1;  // a list the view change killed is dead at everyone
 
   // Singleton group: re-key locally (fresh contribution, K = g^r).
   if (view.members.size() == 1) {
     r_ = crypto().random_exponent();
+    ++my_gen_;
     order_ = {self()};
     partials_.clear();
     partials_[self()] = crypto().group().g();
@@ -44,22 +46,30 @@ void GdhProtocol::on_view(const View& view, const ViewDelta& delta) {
     std::vector<ProcessId> pruned;
     for (ProcessId p : order_)
       if (view.contains(p)) pruned.push_back(p);
-    if (sorted_copy(pruned) != *core) {
-      const ProcessId seed = view.members.front();
+    // An interrupted factor-out round can leave a member (the would-be new
+    // controller) with a current-looking order but no partial keys; it has
+    // no established state to act from and must fall back too.
+    if (sorted_copy(pruned) != *core || partials_.count(self()) == 0) {
+      // The seed must come from the core side: only core members execute
+      // this branch, and a seed that does not know a fallback is happening
+      // would leave the whole view waiting for a token nobody sends.
+      const ProcessId seed = core->front();
+      std::vector<ProcessId> chain;
+      for (ProcessId p : view.members)
+        if (p != seed) chain.push_back(p);
+      new_members_ = std::move(chain);
+      new_controller_ = new_members_.back();
       if (self() == seed) {
         r_ = crypto().random_exponent();
+        ++my_gen_;
         order_ = {self()};
         partials_.clear();
         partials_[self()] = crypto().group().g();
-        new_members_.assign(view.members.begin() + 1, view.members.end());
-        new_controller_ = new_members_.back();
         start_merge();
       } else {
         i_am_new_ = true;
         order_.clear();
         partials_.clear();
-        new_members_.assign(view.members.begin() + 1, view.members.end());
-        new_controller_ = new_members_.back();
       }
       return;
     }
@@ -98,15 +108,23 @@ void GdhProtocol::start_merge() {
   r_ = crypto().random_exponent();
   SGK_CHECK(partials_.count(self()) == 1);
   BigInt token = crypto().exp(partials_[self()], r_);
+  // The robust GDH implementation sends the token in agreed order with
+  // respect to group messages (section 6.2.2), like the factor-out round.
+  host_.send_ordered(new_members_.front(),
+                     encode_token(token, order_, new_members_));
+}
 
+Bytes GdhProtocol::encode_token(const BigInt& token,
+                                const std::vector<ProcessId>& done,
+                                const std::vector<ProcessId>& chain) const {
   Writer w;
   w.u8(kToken);
   put_bigint(w, token);
-  w.u32(static_cast<std::uint32_t>(order_.size()));
-  for (ProcessId p : order_) w.u32(p);
-  // The robust GDH implementation sends the token in agreed order with
-  // respect to group messages (section 6.2.2), like the factor-out round.
-  host_.send_ordered(new_members_.front(), w.take());
+  w.u32(static_cast<std::uint32_t>(done.size()));
+  for (ProcessId p : done) w.u32(p);
+  w.u32(static_cast<std::uint32_t>(chain.size()));
+  for (ProcessId p : chain) w.u32(p);
+  return w.take();
 }
 
 void GdhProtocol::handle_leave(const ViewDelta& delta) {
@@ -117,12 +135,14 @@ void GdhProtocol::handle_leave(const ViewDelta& delta) {
   // own stays (it excludes my contribution by construction).
   const SecureBigInt f = crypto().random_exponent();
   r_ = r_.get() * f % crypto().group().q();
+  ++my_gen_;
   for (auto& [member, partial] : partials_) {
     if (member == self()) continue;
     partial = crypto().exp(partial, f);
   }
   broadcast_partials();
-  host_.deliver_key(crypto().exp(partials_[self()], r_));
+  // Installed when the list self-delivers, not now (see pending_gen_).
+  pending_gen_ = my_gen_;
 }
 
 Bytes GdhProtocol::encode_partials() const {
@@ -142,36 +162,52 @@ void GdhProtocol::broadcast_partials() { host_.send_multicast(encode_partials())
 
 void GdhProtocol::adopt_partials(Reader& r, ProcessId /*sender*/) {
   const std::uint32_t order_len = r.u32();
-  order_.clear();
-  for (std::uint32_t i = 0; i < order_len; ++i) order_.push_back(r.u32());
+  std::vector<ProcessId> order;
+  for (std::uint32_t i = 0; i < order_len; ++i) order.push_back(r.u32());
   const std::uint32_t count = r.u32();
-  partials_.clear();
+  std::map<ProcessId, BigInt> partials;
   for (std::uint32_t i = 0; i < count; ++i) {
     ProcessId member = r.u32();
-    partials_[member] = get_bigint(r);
+    partials[member] = get_bigint(r);
   }
-  auto it = partials_.find(self());
-  SGK_CHECK(it != partials_.end());
-  host_.deliver_key(crypto().exp(it->second, r_));
+  // A stale controller (possible transiently under cascades) can broadcast
+  // a list that omits me; that list is not mine to adopt — keep waiting for
+  // the one produced by the instance I contributed to.
+  auto it = partials.find(self());
+  if (it == partials.end()) return;
+  const BigInt mine = it->second;
+  order_ = std::move(order);
+  partials_ = std::move(partials);
+  host_.deliver_key(crypto().exp(mine, r_));
 }
 
-void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
+void GdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
   Reader r(body);
   const std::uint8_t type = r.u8();
   switch (type) {
     case kToken: {
-      if (!i_am_new_) return;
       BigInt token = get_bigint(r);
-      const std::uint32_t order_len = r.u32();
-      std::vector<ProcessId> chain_order;
-      for (std::uint32_t i = 0; i < order_len; ++i) chain_order.push_back(r.u32());
-      auto pos = std::find(new_members_.begin(), new_members_.end(), self());
-      SGK_CHECK(pos != new_members_.end());
-      if (self() == new_controller_) {
-        // Last new member: broadcast the accumulated value unchanged.
+      const std::uint32_t done_len = r.u32();
+      std::vector<ProcessId> done;
+      for (std::uint32_t i = 0; i < done_len; ++i) done.push_back(r.u32());
+      const std::uint32_t chain_len = r.u32();
+      std::vector<ProcessId> chain;
+      for (std::uint32_t i = 0; i < chain_len; ++i) chain.push_back(r.u32());
+      // The chain carried by the token is authoritative: after a fallback
+      // restart only core-side members know the real chain, so a locally
+      // computed new_members_ (or even i_am_new_ itself — a member whose
+      // completed state survived a cascade may be drafted into a fallback
+      // chain started by members whose state did not) may disagree with the
+      // sender's. Membership in the chain is the only test.
+      auto pos = std::find(chain.begin(), chain.end(), self());
+      if (pos == chain.end()) return;  // stale token, not addressed to me
+      if (pos + 1 == chain.end()) {
+        // Last chain member: the new controller; broadcast the accumulated
+        // value unchanged.
         mark_phase("broadcast");
+        new_controller_ = self();
         accum_ = token;
-        order_ = std::move(chain_order);
+        order_ = std::move(done);
         order_.push_back(self());
         Writer w;
         w.u8(kAccum);
@@ -181,20 +217,19 @@ void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
         // Add my contribution and forward along the chain.
         mark_phase("token_accumulation");
         r_ = crypto().random_exponent();
+        ++my_gen_;
         BigInt next_token = crypto().exp(token, r_);
-        chain_order.push_back(self());
-        Writer w;
-        w.u8(kToken);
-        put_bigint(w, next_token);
-        w.u32(static_cast<std::uint32_t>(chain_order.size()));
-        for (ProcessId p : chain_order) w.u32(p);
-        host_.send_ordered(*(pos + 1), w.take());
+        done.push_back(self());
+        host_.send_ordered(*(pos + 1), encode_token(next_token, done, chain));
       }
       return;
     }
     case kAccum: {
       if (sender == self()) return;  // own broadcast
       mark_phase("factor_out");
+      // The broadcaster is the actual controller — trust the message, not
+      // the locally computed new_controller_ (see the kToken chain note).
+      new_controller_ = sender;
       accum_ = get_bigint(r);
       // Factor out my contribution and return it to the new controller.
       BigInt factored = crypto().exp(accum_, crypto().inverse_q(r_));
@@ -211,20 +246,33 @@ void GdhProtocol::on_message(ProcessId sender, const Bytes& body) {
       // All factor-out tokens collected: become the controller.
       mark_phase("key_distribution");
       r_ = crypto().random_exponent();
+      ++my_gen_;
       partials_.clear();
       for (const auto& [member, factored] : factors_) {
         partials_[member] = crypto().exp(factored, r_);
       }
       partials_[self()] = accum_;
       broadcast_partials();
-      host_.deliver_key(crypto().exp(accum_, r_));
+      // Installed when the list self-delivers, not now (see pending_gen_).
+      pending_gen_ = my_gen_;
       // From now on I am an established member.
       i_am_new_ = false;
       return;
     }
     case kPartials: {
-      if (sender == self()) return;  // I built this list
       mark_phase("key_distribution");
+      if (sender == self()) {
+        // My own list came back through the agreed stream: it is part of
+        // the group's total order, so the key is safe to install — unless
+        // r_ was refreshed since (the instance the list belonged to died).
+        if (pending_gen_ == my_gen_) {
+          auto it = partials_.find(self());
+          if (it != partials_.end())
+            host_.deliver_key(crypto().exp(it->second, r_));
+        }
+        pending_gen_ = -1;
+        return;
+      }
       adopt_partials(r, sender);
       i_am_new_ = false;
       return;

@@ -29,8 +29,8 @@ class GdhProtocol final : public KeyAgreement {
  public:
   explicit GdhProtocol(ProtocolHost& host) : KeyAgreement(host) {}
 
-  void on_view(const View& view, const ViewDelta& delta) override;
-  void on_message(ProcessId sender, const Bytes& body) override;
+  void handle_view(const View& view, const ViewDelta& delta) override;
+  void handle_message(ProcessId sender, const Bytes& body) override;
   ProtocolKind kind() const override { return ProtocolKind::kGdh; }
 
   /// Exposed for white-box tests: the current controller and join order.
@@ -43,6 +43,8 @@ class GdhProtocol final : public KeyAgreement {
   void start_merge();
   void handle_leave(const ViewDelta& delta);
   void broadcast_partials();
+  Bytes encode_token(const BigInt& token, const std::vector<ProcessId>& done,
+                     const std::vector<ProcessId>& chain) const;
   Bytes encode_partials() const;
   void adopt_partials(Reader& r, ProcessId sender);
 
@@ -59,6 +61,14 @@ class GdhProtocol final : public KeyAgreement {
   bool i_am_new_ = false;
   BigInt accum_;
   std::map<ProcessId, BigInt> factors_;  // at the new controller
+
+  // Generation counter for r_: bumped on every refresh. A controller that
+  // broadcast a partial-key list installs its own key only when the list
+  // self-delivers through the agreed stream, and only if r_ has not been
+  // refreshed since (a token from a concurrent fallback chain supersedes
+  // the instance the list belonged to).
+  int my_gen_ = 0;
+  int pending_gen_ = -1;  // generation of the in-flight list, -1 = none
 };
 
 }  // namespace sgk

@@ -24,17 +24,44 @@ const char* to_string(ProtocolKind kind) {
   return "?";
 }
 
+void KeyAgreement::on_view(const View& view, const ViewDelta& delta) {
+  restarting_ = in_flight_;
+  if (in_flight_) {
+    // Secure Spread rule: the membership changed under a running agreement.
+    // Abort it (handle_view discards transient state) and restart on the
+    // newest view.
+    ++restarts_;
+    host_.mark_point("agreement_restart");
+  }
+  in_flight_ = true;
+  ++started_;
+  handle_view(view, delta);
+}
+
+void KeyAgreement::on_message(ProcessId sender, const Bytes& body) {
+  handle_message(sender, body);
+}
+
+void KeyAgreement::note_key_delivered() {
+  if (in_flight_) {
+    in_flight_ = false;
+    ++completed_;
+  }
+}
+
 namespace {
 /// The null protocol: completes instantly with a fixed key. Measures the
 /// bare membership service (the baseline series in the paper's figures).
 class NullProtocol final : public KeyAgreement {
  public:
   explicit NullProtocol(ProtocolHost& host) : KeyAgreement(host) {}
-  void on_view(const View& view, const ViewDelta&) override {
+  ProtocolKind kind() const override { return ProtocolKind::kNone; }
+
+ protected:
+  void handle_view(const View& view, const ViewDelta&) override {
     host_.deliver_key(BigInt(view.view_id + 1));
   }
-  void on_message(ProcessId, const Bytes&) override {}
-  ProtocolKind kind() const override { return ProtocolKind::kNone; }
+  void handle_message(ProcessId, const Bytes&) override {}
 };
 }  // namespace
 

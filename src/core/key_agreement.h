@@ -6,6 +6,7 @@
 // goes through the host, which signs, frames and (virtually) prices it.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -76,21 +77,52 @@ class KeyAgreement {
   explicit KeyAgreement(ProtocolHost& host) : host_(host) {}
   virtual ~KeyAgreement() = default;
 
-  /// A new view was installed; begin re-keying for it. Transient state from
-  /// a previous (interrupted) instance must be discarded.
-  virtual void on_view(const View& view, const ViewDelta& delta) = 0;
+  /// A new view was installed; begin re-keying for it. Non-virtual on
+  /// purpose: if the previous instance is still in flight this is the
+  /// Secure Spread abort-and-restart rule in action (the new membership
+  /// supersedes the interrupted agreement), and the wrapper keeps the
+  /// restart bookkeeping that robustness tests and chaos reports read.
+  /// Implementations override handle_view and must discard all transient
+  /// state from the interrupted instance there.
+  void on_view(const View& view, const ViewDelta& delta);
 
   /// A protocol message (already verified, current epoch) arrived.
-  virtual void on_message(ProcessId sender, const Bytes& body) = 0;
+  void on_message(ProcessId sender, const Bytes& body);
 
   virtual ProtocolKind kind() const = 0;
 
+  /// Host callback: deliver_key for this instance landed, the agreement is
+  /// complete. SecureGroupMember calls this; protocols never do.
+  void note_key_delivered();
+
+  /// True between a view install and the matching key delivery.
+  bool in_flight() const { return in_flight_; }
+  std::uint64_t started() const { return started_; }
+  std::uint64_t completed() const { return completed_; }
+  /// Agreements aborted by a newer view before completing.
+  std::uint64_t restarts() const { return restarts_; }
+
  protected:
+  virtual void handle_view(const View& view, const ViewDelta& delta) = 0;
+  virtual void handle_message(ProcessId sender, const Bytes& body) = 0;
+
+  /// True while handling a view that aborted an in-flight agreement.
+  /// Protocols use this to re-publish state whose broadcasts died with the
+  /// interrupted instance (receivers discarded them as stale-epoch frames).
+  bool restarting() const { return restarting_; }
+
   ProtocolHost& host_;
   CryptoContext& crypto() { return host_.crypto(); }
   ProcessId self() const { return host_.self(); }
   void mark_phase(const char* phase_name) { host_.mark_phase(phase_name); }
   void mark_point(const char* point_name) { host_.mark_point(point_name); }
+
+ private:
+  bool in_flight_ = false;
+  bool restarting_ = false;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t restarts_ = 0;
 };
 
 /// Factory for the protocol implementations.

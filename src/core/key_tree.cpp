@@ -314,6 +314,13 @@ void KeyTree::mark_bkeys_published() {
   }
 }
 
+void KeyTree::mark_bkeys_unpublished() {
+  for (TreeNode& n : nodes_) {
+    if (n.parent == -2) continue;
+    n.bkey_published = false;
+  }
+}
+
 namespace {
 int build_balanced_rec(std::vector<TreeNode>& nodes,
                        const std::vector<TreeNode>& leaves, std::size_t lo,

@@ -95,6 +95,12 @@ class KeyTree {
   /// Marks every present blinded key as published (after broadcasting).
   void mark_bkeys_published();
 
+  /// Marks every present blinded key as unpublished. Used when a view
+  /// change aborts an agreement: broadcasts of the interrupted instance were
+  /// discarded as stale at the receivers, so the restarted instance must be
+  /// willing to re-announce everything it holds.
+  void mark_bkeys_unpublished();
+
   /// Rebuilds this tree as a complete (height-minimal) binary tree over the
   /// same members in the same left-to-right order. Leaf state (keys, blinded
   /// keys, published flags) is preserved; every internal node is fresh and

@@ -63,8 +63,13 @@ void StrProtocol::compute_chain(bool as_sponsor) {
       }
     }
     if (as_sponsor && j + 1 < members_.size() && bk_.count(m) == 0) {
-      bk_[m] = j == 0 ? br_.at(m)
-                      : crypto().exp_g(crypto().to_exponent(keys_.at(m)));
+      if (j == 0) {
+        auto brm = br_.find(m);
+        if (brm == br_.end()) return;  // blocked: bottom blinded random lost
+        bk_[m] = brm->second;
+      } else {
+        bk_[m] = crypto().exp_g(crypto().to_exponent(keys_.at(m)));
+      }
     } else if (!as_sponsor && j > 0 && j + 1 < members_.size() &&
                bk_.count(m) != 0 && computed_here && host_.key_confirmation()) {
       // Key confirmation: re-derive the sponsor's blinded key. Compared in
@@ -90,9 +95,16 @@ void StrProtocol::broadcast(MsgType type) {
   w.u32(static_cast<std::uint32_t>(members_.size()));
   for (ProcessId m : members_) {
     w.u32(m);
+    // Both maps may have holes after a cascade (a value erased while the
+    // broadcast that would have replaced it died with a view change), so
+    // every entry is optional; holes are filled by repair re-broadcasts.
     auto br = br_.find(m);
-    SGK_CHECK(br != br_.end());
-    put_bigint(w, br->second);
+    if (br != br_.end()) {
+      w.u8(1);
+      put_bigint(w, br->second);
+    } else {
+      w.u8(0);
+    }
     auto bk = bk_.find(m);
     if (bk != bk_.end()) {
       w.u8(1);
@@ -102,14 +114,22 @@ void StrProtocol::broadcast(MsgType type) {
     }
   }
   host_.send_multicast(w.take());
+  ++unconfirmed_bcasts_;
 }
 
-void StrProtocol::on_view(const View& view, const ViewDelta& delta) {
+void StrProtocol::handle_view(const View& view, const ViewDelta& delta) {
   view_ = view;
   delivered_ = false;
   collecting_ = false;
   announced_.clear();
   covered_.clear();
+  chain_sponsor_ = kNoProcess;
+  rebroadcast_pending_ = false;
+  // A non-zero counter means my last broadcast was stamped after this view
+  // and stale-dropped at every member: values only I hold (my own blinded
+  // session random) never reached the group and must be re-sent.
+  const bool lost_broadcast = unconfirmed_bcasts_ > 0;
+  unconfirmed_bcasts_ = 0;
 
   if (view.members.size() == 1) {
     reset_to_singleton();
@@ -124,6 +144,13 @@ void StrProtocol::on_view(const View& view, const ViewDelta& delta) {
   } else {
     start_merge(delta);
   }
+
+  // Repair: unless this view's dispatch already put a fresh broadcast of
+  // mine in flight, re-send my current state so the holes only I can fill
+  // are closed. Post-erase state is uniform across members, so receivers
+  // adopting it cannot be poisoned by stale values.
+  if (lost_broadcast && unconfirmed_bcasts_ == 0)
+    broadcast(collecting_ ? kAnnounce : kUpdate);
 }
 
 void StrProtocol::start_subtractive(const ViewDelta& delta) {
@@ -162,6 +189,7 @@ void StrProtocol::start_subtractive(const ViewDelta& delta) {
   // the new bottom member when the bottom itself departed.
   const std::size_t sponsor_pos = lowest == 0 ? 0 : lowest - 1;
   const ProcessId sponsor = members_.at(sponsor_pos);
+  chain_sponsor_ = sponsor;
 
   // Everything from the sponsor's node upward will be refreshed; stale
   // values must not be used by anyone.
@@ -205,7 +233,10 @@ void StrProtocol::start_merge(const ViewDelta& delta) {
   }
 
   collecting_ = true;
-  covered_ = sorted_copy(members_);
+  // covered_ stays empty until sponsor announcements are DELIVERED — my own
+  // side's included (it self-delivers). Counting my own side as covered at
+  // send time would let different sides fold at different points in the
+  // agreed stream, and their merged chains would disagree.
 
   const ProcessId sponsor1 = members_.back();
   if (sponsor1 == self()) {
@@ -228,7 +259,16 @@ void StrProtocol::try_fold() {
   // Deterministic stacking: the largest side (ties: smallest min id) stays
   // at the bottom; the rest stack on top in the same order.
   std::vector<SideInfo> sides;
-  sides.push_back(SideInfo{members_, br_, bk_});
+  // Only entries for my own side's members: the full maps can hold stale
+  // values for other sides' members, which would shadow the fresh ones from
+  // their announcements differently at different members.
+  SideInfo local;
+  local.members = members_;
+  for (ProcessId m : members_) {
+    if (auto it = br_.find(m); it != br_.end()) local.br.emplace(m, it->second);
+    if (auto it = bk_.find(m); it != bk_.end()) local.bk.emplace(m, it->second);
+  }
+  sides.push_back(std::move(local));
   for (SideInfo& s : announced_) sides.push_back(std::move(s));
   std::sort(sides.begin(), sides.end(), [](const SideInfo& a, const SideInfo& b) {
     if (a.members.size() != b.members.size())
@@ -274,13 +314,14 @@ void StrProtocol::try_fold() {
   collecting_ = false;
   announced_.clear();
 
+  chain_sponsor_ = sponsor2;
   const bool sponsor = self() == sponsor2;
   compute_chain(sponsor);
   if (sponsor) broadcast(kUpdate);
   deliver_if_complete();
 }
 
-void StrProtocol::on_message(ProcessId sender, const Bytes& body) {
+void StrProtocol::handle_message(ProcessId sender, const Bytes& body) {
   Reader r(body);
   const std::uint8_t type = r.u8();
   const std::uint32_t count = r.u32();
@@ -288,26 +329,57 @@ void StrProtocol::on_message(ProcessId sender, const Bytes& body) {
   for (std::uint32_t i = 0; i < count; ++i) {
     const ProcessId m = r.u32();
     info.members.push_back(m);
-    info.br[m] = get_bigint(r);
+    if (r.u8() == 1) info.br[m] = get_bigint(r);
     if (r.u8() == 1) info.bk[m] = get_bigint(r);
   }
 
+  // Coverage counts only sponsor announcements — the sender must be the
+  // announced chain's own top member. Every member applies this test to the
+  // same delivered stream (self-deliveries included), so all sides reach
+  // the fold threshold at the same message and fold identical chains.
+  const bool sponsor_announce = type == kAnnounce && !info.members.empty() &&
+                                info.members.back() == sender;
+
+  if (sender == self()) {
+    // My own broadcast looped back through the agreed stream: the group has
+    // it, so it no longer needs repairing. If a hole-filling rebroadcast was
+    // deferred while this one was in flight, send it now.
+    if (unconfirmed_bcasts_ > 0) --unconfirmed_bcasts_;
+    if (unconfirmed_bcasts_ == 0 && rebroadcast_pending_) {
+      rebroadcast_pending_ = false;
+      broadcast(kUpdate);
+    }
+    if (collecting_ && sponsor_announce && info.members == members_) {
+      cover(info.members);
+      try_fold();
+    }
+    return;
+  }
+
   if (type == kAnnounce) {
-    if (sender == self()) return;
     mark_phase("tree_update");
     if (collecting_ && info.members == members_) {
-      // My own side's sponsor announcement: adopt its fresh values.
+      // An announcement for my own side: adopt its fresh values.
       for (const auto& [m, v] : info.br) br_[m] = v;
       for (const auto& [m, v] : info.bk) bk_[m] = v;
+      if (sponsor_announce) cover(info.members);
       try_fold();
       return;
     }
     if (collecting_) {
-      for (ProcessId p : info.members) {
-        auto it = std::lower_bound(covered_.begin(), covered_.end(), p);
-        if (it == covered_.end() || *it != p) covered_.insert(it, p);
+      if (sponsor_announce) cover(info.members);
+      // A repair announcement and the side sponsor's announcement can both
+      // arrive for the same side; merge them into one entry — stashing a
+      // duplicate would fold that side's members into the chain twice.
+      auto same = std::find_if(
+          announced_.begin(), announced_.end(),
+          [&](const SideInfo& s) { return s.members == info.members; });
+      if (same != announced_.end()) {
+        for (auto& [m, v] : info.br) same->br[m] = std::move(v);
+        for (auto& [m, v] : info.bk) same->bk[m] = std::move(v);
+      } else {
+        announced_.push_back(std::move(info));
       }
-      announced_.push_back(std::move(info));
       try_fold();
       return;
     }
@@ -319,22 +391,55 @@ void StrProtocol::on_message(ProcessId sender, const Bytes& body) {
     for (const auto& [m, v] : info.br) br_.emplace(m, v);
     if (is_prefix)
       for (const auto& [m, v] : info.bk) bk_.emplace(m, v);
-    compute_chain(false);
-    deliver_if_complete();
+    recompute_and_publish();
     return;
   }
 
   if (type == kUpdate) {
-    if (sender == self()) return;
     mark_phase("tree_update");
     if (sorted_copy(info.members) != view_.members) return;  // stale epoch
     members_ = info.members;
     for (const auto& [m, v] : info.br) br_[m] = v;
     for (const auto& [m, v] : info.bk) bk_[m] = v;
-    compute_chain(false);
-    deliver_if_complete();
+    recompute_and_publish();
     return;
   }
+}
+
+void StrProtocol::cover(const std::vector<ProcessId>& members) {
+  for (ProcessId p : members) {
+    auto it = std::lower_bound(covered_.begin(), covered_.end(), p);
+    if (it == covered_.end() || *it != p) covered_.insert(it, p);
+  }
+}
+
+void StrProtocol::recompute_and_publish() {
+  // A repair message may have just filled a blinded-random hole that was
+  // blocking the chain. Blinded node keys are deterministic functions of
+  // the blinded randoms, so anyone able to mint a missing one mints the
+  // same value; the sponsor can only mint from its own position upward,
+  // which is not enough when the hole sits below it. The member AT the
+  // lowest hole can always mint it (it needs only the bk below and its own
+  // random), so it acts as the designated repairer for that stretch. When
+  // minting produced values the group has not seen, broadcast them
+  // (deferred if a broadcast of mine is still in flight — its
+  // self-delivery sends it).
+  bool sponsor = self() == chain_sponsor_;
+  for (std::size_t j = 0; j + 1 < members_.size(); ++j)
+    if (bk_.count(members_[j]) == 0) {
+      if (members_[j] == self()) sponsor = true;
+      break;
+    }
+  const std::size_t bk_before = bk_.size();
+  compute_chain(sponsor);
+  if (sponsor && bk_.size() > bk_before) {
+    if (unconfirmed_bcasts_ == 0) {
+      broadcast(kUpdate);
+    } else {
+      rebroadcast_pending_ = true;
+    }
+  }
+  deliver_if_complete();
 }
 
 }  // namespace sgk

@@ -30,8 +30,8 @@ class StrProtocol final : public KeyAgreement {
  public:
   explicit StrProtocol(ProtocolHost& host) : KeyAgreement(host) {}
 
-  void on_view(const View& view, const ViewDelta& delta) override;
-  void on_message(ProcessId sender, const Bytes& body) override;
+  void handle_view(const View& view, const ViewDelta& delta) override;
+  void handle_message(ProcessId sender, const Bytes& body) override;
   ProtocolKind kind() const override { return ProtocolKind::kStr; }
 
   /// Chain order, bottom first (tests).
@@ -57,6 +57,11 @@ class StrProtocol final : public KeyAgreement {
   void start_subtractive(const ViewDelta& delta);
   void try_fold();
   void deliver_if_complete();
+  /// Recomputes the chain after new blinded values arrived; the chain
+  /// sponsor additionally publishes any blinded node keys it minted.
+  void recompute_and_publish();
+  /// Marks members as covered by a delivered sponsor announcement.
+  void cover(const std::vector<ProcessId>& members);
 
   View view_;
   std::vector<ProcessId> members_;       // chain order, bottom first
@@ -71,6 +76,23 @@ class StrProtocol final : public KeyAgreement {
   bool collecting_ = false;
   std::vector<SideInfo> announced_;
   std::vector<ProcessId> covered_;
+
+  // The member responsible for (re)computing and broadcasting blinded node
+  // keys in the current epoch: the restack sponsor after a fold, the refresh
+  // sponsor after a subtractive event. Chosen deterministically from the
+  // delivered stream, so every member agrees on it.
+  ProcessId chain_sponsor_ = kNoProcess;
+
+  // Broadcasts sent but not yet delivered back through the agreed stream.
+  // A broadcast stamped after the next membership view is discarded at every
+  // receiver while the sender has already applied its refresh locally; if
+  // the counter is still non-zero when a view installs, the sender knows the
+  // group never saw its values and re-broadcasts its (post-erase) state.
+  int unconfirmed_bcasts_ = 0;
+
+  // A sponsor rebroadcast became necessary while another broadcast of mine
+  // was still in flight; sent when that broadcast self-delivers.
+  bool rebroadcast_pending_ = false;
 };
 
 }  // namespace sgk

@@ -51,12 +51,16 @@ void TgdhProtocol::invalidate_sponsor_path(ProcessId sponsor) {
   }
 }
 
-void TgdhProtocol::on_view(const View& view, const ViewDelta& delta) {
+void TgdhProtocol::handle_view(const View& view, const ViewDelta& delta) {
   view_ = view;
   delivered_ = false;
   collecting_ = false;
   announced_.clear();
   covered_.clear();
+  unconfirmed_bcasts_ = 0;  // broadcasts of the aborted instance are dead
+  // Blinded keys broadcast by an instance this view just aborted were
+  // discarded as stale at the receivers; be willing to re-announce them.
+  if (restarting()) tree_.mark_bkeys_unpublished();
 
   if (view.members.size() == 1) {
     reset_to_singleton();
@@ -154,7 +158,11 @@ void TgdhProtocol::start_merge(const ViewDelta& delta) {
   std::sort(covered_.begin(), covered_.end());
 
   const ProcessId sponsor1 = tree_.rightmost_member(tree_.root());
-  own_side_announced_ = sponsor1 == self();
+  // Even the sponsor waits for its own announcement to come back through
+  // the agreed stream before treating its side as announced: if the send is
+  // stamped after the next membership change it is discarded everywhere,
+  // and a sponsor that folded on a send nobody received would diverge.
+  own_side_announced_ = false;
   invalidate_sponsor_path(sponsor1);
   if (sponsor1 == self()) {
     refresh_my_leaf();
@@ -169,7 +177,6 @@ void TgdhProtocol::start_merge(const ViewDelta& delta) {
     }
     broadcast_tree(kAnnounce);
   }
-  try_fold();  // a singleton side containing only me is already covered
 }
 
 void TgdhProtocol::broadcast_tree(MsgType type) {
@@ -177,7 +184,10 @@ void TgdhProtocol::broadcast_tree(MsgType type) {
   w.u8(type);
   tree_.serialize(w);
   host_.send_multicast(w.take());
-  tree_.mark_bkeys_published();
+  // Published flags are set when the broadcast is delivered back (self
+  // messages loop through the agreed stream), not here; the counter keeps
+  // iterate() from re-sending while a broadcast is in flight.
+  ++unconfirmed_bcasts_;
 }
 
 void TgdhProtocol::try_fold() {
@@ -269,7 +279,9 @@ void TgdhProtocol::iterate() {
       break;
     }
   }
-  if (should_broadcast) broadcast_tree(kUpdate);
+  // At most one broadcast in flight: the pending one returns through the
+  // stream and re-runs iterate(), which then covers anything still unsent.
+  if (should_broadcast && unconfirmed_bcasts_ == 0) broadcast_tree(kUpdate);
 
   const TreeNode& root = tree_.node(tree_.root());
   if (root.has_key && !delivered_) {
@@ -278,11 +290,15 @@ void TgdhProtocol::iterate() {
   }
 }
 
-void TgdhProtocol::on_message(ProcessId sender, const Bytes& body) {
+void TgdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
   Reader r(body);
   const std::uint8_t type = r.u8();
+  // My own broadcasts loop back through the agreed stream and are processed
+  // like anyone else's: that self-delivery — not the send — is what marks
+  // blinded keys published and the side announced, so a broadcast stamped
+  // after the next view change has no effect anywhere, sender included.
+  if (sender == self() && unconfirmed_bcasts_ > 0) --unconfirmed_bcasts_;
   if (type == kAnnounce) {
-    if (sender == self()) return;
     mark_phase("tree_update");
     KeyTree announced = KeyTree::deserialize(r);
     if (!collecting_) {
@@ -293,24 +309,21 @@ void TgdhProtocol::on_message(ProcessId sender, const Bytes& body) {
       }
       return;
     }
-    if (collecting_) {
-      // During collection: absorb my own side's announcement, stash others.
-      if (announced.same_structure(tree_)) {
-        tree_.absorb_bkeys(announced);
-        own_side_announced_ = true;
-      } else {
-        for (ProcessId p : announced.members()) {
-          auto it = std::lower_bound(covered_.begin(), covered_.end(), p);
-          if (it == covered_.end() || *it != p) covered_.insert(it, p);
-        }
-        announced_.push_back(std::move(announced));
+    // During collection: absorb my own side's announcement, stash others.
+    if (announced.same_structure(tree_)) {
+      tree_.absorb_bkeys(announced);
+      own_side_announced_ = true;
+    } else if (sender != self()) {
+      for (ProcessId p : announced.members()) {
+        auto it = std::lower_bound(covered_.begin(), covered_.end(), p);
+        if (it == covered_.end() || *it != p) covered_.insert(it, p);
       }
-      try_fold();
+      announced_.push_back(std::move(announced));
     }
+    try_fold();
     return;
   }
   if (type == kUpdate) {
-    if (sender == self()) return;
     mark_phase("tree_update");
     KeyTree update = KeyTree::deserialize(r);
     if (!update.same_structure(tree_)) return;  // stale or foreign

@@ -27,8 +27,8 @@ class TgdhProtocol final : public KeyAgreement {
   explicit TgdhProtocol(ProtocolHost& host, bool eager_balance = false)
       : KeyAgreement(host), eager_balance_(eager_balance) {}
 
-  void on_view(const View& view, const ViewDelta& delta) override;
-  void on_message(ProcessId sender, const Bytes& body) override;
+  void handle_view(const View& view, const ViewDelta& delta) override;
+  void handle_message(ProcessId sender, const Bytes& body) override;
   ProtocolKind kind() const override {
     return eager_balance_ ? ProtocolKind::kTgdhBalanced : ProtocolKind::kTgdh;
   }
@@ -62,6 +62,14 @@ class TgdhProtocol final : public KeyAgreement {
   bool own_side_announced_ = false;
   std::vector<KeyTree> announced_;
   std::vector<ProcessId> covered_;
+
+  // Broadcasts sent but not yet delivered back through the agreed stream.
+  // All tree-state transitions (published flags, fold readiness) happen at
+  // self-delivery, never at send time: a broadcast stamped after the next
+  // membership view dies at every member — including the sender — so every
+  // member's tree evolves through the identical message prefix. Acting at
+  // send time is exactly the asymmetry that wedged cascaded merges.
+  int unconfirmed_bcasts_ = 0;
 };
 
 }  // namespace sgk

@@ -1,0 +1,42 @@
+// Wire-level fault hook points consumed by the simulated transport.
+//
+// The GCS (src/gcs) consults an installed WireFaultHook at the two places a
+// real deployment loses or reorders traffic: the daemon-to-daemon copies of
+// a stamped (total-order) message, and direct FIFO unicasts between
+// clients. Spread's links are reliable — a lost packet is retransmitted by
+// the transport — so at this abstraction a "drop" surfaces as added latency
+// (the retransmission timeout), never as silent loss; that is what keeps
+// the agreed stream's delivery guarantees intact under injection. Duplicates
+// are delivered for real and the receiving daemon must deduplicate them.
+#pragma once
+
+#include <cstdint>
+
+#include "core/view.h"
+
+namespace sgk::fault {
+
+/// Verdict for one wire copy. `copies == 1` and `extra_delay_ms == 0` is a
+/// clean delivery. `copies` must stay >= 1: links are reliable, so faults
+/// delay or duplicate traffic but never erase it.
+struct WireFault {
+  double extra_delay_ms = 0.0;
+  int copies = 1;
+};
+
+class WireFaultHook {
+ public:
+  virtual ~WireFaultHook() = default;
+
+  /// Consulted once per daemon-to-daemon copy of a stamped message
+  /// (machine ids; `seq` is the message's total-order sequence number).
+  virtual WireFault on_daemon_copy(int from_machine, int to_machine,
+                                   std::uint64_t seq) = 0;
+
+  /// Consulted once per client-to-client FIFO unicast. Duplicate counts are
+  /// ignored here (the client layer has no sequence numbers to dedupe on);
+  /// only `extra_delay_ms` applies.
+  virtual WireFault on_unicast(ProcessId from, ProcessId to) = 0;
+};
+
+}  // namespace sgk::fault

@@ -1,0 +1,57 @@
+#include "fault/invariants.h"
+
+#include <map>
+
+namespace sgk::fault {
+
+void InvariantChecker::observe_epoch(ProcessId member, std::uint64_t epoch) {
+  auto [it, inserted] = last_epoch_.emplace(member, epoch);
+  if (!inserted) {
+    if (epoch < it->second) {
+      violations_.push_back("epoch regression at member " +
+                            std::to_string(member) + ": " +
+                            std::to_string(it->second) + " -> " +
+                            std::to_string(epoch));
+    }
+    it->second = epoch;
+  }
+}
+
+void InvariantChecker::check_convergence(const std::vector<KeyProbe>& probes) {
+  // First probe of each component anchors the comparison.
+  std::map<int, const KeyProbe*> anchor;
+  for (const KeyProbe& p : probes) {
+    if (!p.has_key || !p.key) {
+      violations_.push_back("member " + std::to_string(p.member) +
+                            " has no key (component " +
+                            std::to_string(p.component) + ")");
+      continue;
+    }
+    auto [it, inserted] = anchor.emplace(p.component, &p);
+    if (inserted) continue;
+    const KeyProbe& a = *it->second;
+    if (p.epoch != a.epoch) {
+      violations_.push_back("epoch divergence in component " +
+                            std::to_string(p.component) + ": member " +
+                            std::to_string(p.member) + " at " +
+                            std::to_string(p.epoch) + ", member " +
+                            std::to_string(a.member) + " at " +
+                            std::to_string(a.epoch));
+      continue;
+    }
+    if (!ct_equal(*p.key, *a.key)) {
+      // Key material never appears in violation text (gka_lint GKA002).
+      violations_.push_back("key divergence in component " +
+                            std::to_string(p.component) + " at epoch " +
+                            std::to_string(p.epoch) + ": members " +
+                            std::to_string(p.member) + " and " +
+                            std::to_string(a.member));
+    }
+  }
+}
+
+void InvariantChecker::flag_timeout(const std::string& what) {
+  violations_.push_back("liveness: " + what);
+}
+
+}  // namespace sgk::fault

@@ -1,0 +1,59 @@
+// Chaos invariants: what must hold no matter which faults fired.
+//
+// Two properties define correctness under churn (the Secure Spread rule
+// set the paper's section 3 sketches, stressed by related work on dynamic
+// groups — AGDH, TGDH-in-ICN):
+//
+//  1. Safety — every surviving member of a network component converges to
+//     the same group key at the same epoch. Keys are compared with
+//     ct_equal only; violation messages carry fingerprint-free context
+//     (member ids, epochs), never key material.
+//  2. Monotonicity — a member's key epoch never goes backwards; a stale
+//     protocol instance must be discarded, not installed.
+//
+// Liveness ("no agreement runs forever") is bounded by the driver: a run
+// that has not converged by its deadline records a timeout violation here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+#include "util/secure_bytes.h"
+
+namespace sgk::fault {
+
+/// One member's key state at check time. `key` may be null iff !has_key;
+/// `component` groups members that can currently reach each other.
+struct KeyProbe {
+  ProcessId member = kNoProcess;
+  int component = 0;
+  bool has_key = false;
+  std::uint64_t epoch = 0;
+  const SecureBytes* key = nullptr;
+};
+
+class InvariantChecker {
+ public:
+  /// Records a key-install observation; flags a violation if `epoch` is
+  /// older than the member's previous key epoch.
+  void observe_epoch(ProcessId member, std::uint64_t epoch);
+
+  /// Verifies that within each component every probe holds a key and all
+  /// keys/epochs of a component match (constant-time comparison).
+  void check_convergence(const std::vector<KeyProbe>& probes);
+
+  /// Driver-side liveness bound: the run hit its deadline un-converged.
+  void flag_timeout(const std::string& what);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  std::map<ProcessId, std::uint64_t> last_epoch_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace sgk::fault

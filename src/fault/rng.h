@@ -1,0 +1,67 @@
+// Deterministic, seedable randomness for fault decisions.
+//
+// Fault injection must be replayable from a single 64-bit seed: the same
+// seed must produce the same churn schedule and the same per-message wire
+// faults on every platform, regardless of the order in which hook sites
+// happen to fire. Two tools provide that:
+//
+//  * FaultRng — a splitmix64 stream for schedule generation, where calls
+//    happen in one deterministic place (FaultPlan::randomize);
+//  * fault_hash / fault_unit — a stateless mix of (seed, a, b, c) for
+//    per-message decisions, so the verdict for a given wire copy does not
+//    depend on how many other hook sites fired before it.
+//
+// This is simulation noise, not cryptography; the sanctioned DRBG in
+// src/crypto stays the only randomness source for key material.
+#pragma once
+
+#include <cstdint>
+
+namespace sgk::fault {
+
+namespace detail {
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+/// Sequential splitmix64 stream; used where the call order is fixed.
+class FaultRng {
+ public:
+  explicit FaultRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() { return detail::mix64(state_++); }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n) (n > 0).
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Order-independent decision hash: the same (seed, a, b, c) always yields
+/// the same value, no matter when or how often it is consulted.
+inline std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t a,
+                                std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = detail::mix64(seed);
+  h = detail::mix64(h ^ a);
+  h = detail::mix64(h ^ (b + 0x632be59bd9b4e019ULL));
+  h = detail::mix64(h ^ (c + 0x2545f4914f6cdd1dULL));
+  return h;
+}
+
+/// fault_hash mapped to [0, 1).
+inline double fault_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c) {
+  return static_cast<double>(fault_hash(seed, a, b, c) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace sgk::fault

@@ -3,6 +3,7 @@
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -119,6 +120,7 @@ void SecureGroupMember::deliver_key(const BigInt& group_secret) {
       hkdf_sha256(material, str_bytes("sgk-group-key"), info.take(), 64));
   secure_zero(material.data(), material.size());
   crypto_.charge_symmetric(material_size + 64);
+  protocol_->note_key_delivered();
 }
 
 void SecureGroupMember::end_handler() {
@@ -177,11 +179,31 @@ void SecureGroupMember::end_handler() {
 void SecureGroupMember::on_view(const std::string& group, const View& view,
                                 const ViewDelta& delta) {
   if (group != config_.group) return;
+  // The agreed stream delivers views in increasing id order; anything else
+  // is a stale straggler and must not roll the epoch back.
+  if (view_ && view.view_id <= epoch_) {
+    ++stale_dropped_;
+    return;
+  }
+  if (protocol_->in_flight()) {
+    // Cascaded membership event: this view interrupts a running agreement.
+    // The protocol wrapper aborts and restarts it on the new membership.
+    if (obs::MetricsRegistry* mr = obs::metrics())
+      mr->counter("member/agreement_restarts").add();
+  }
   view_ = view;
   view_time_ = net_.simulator().now();
   epoch_ = view.view_id;
   protocol_->on_view(view, delta);
   end_handler();
+
+  // Replay protocol frames that raced ahead of this view install, then drop
+  // anything at or below the now-current epoch.
+  std::vector<std::pair<ProcessId, Bytes>> replay;
+  auto it = future_.find(epoch_);
+  if (it != future_.end()) replay = std::move(it->second);
+  future_.erase(future_.begin(), future_.upper_bound(epoch_));
+  for (auto& [sender, payload] : replay) on_message(group, sender, payload);
 }
 
 void SecureGroupMember::on_message(const std::string& group, ProcessId sender,
@@ -195,9 +217,24 @@ void SecureGroupMember::on_message(const std::string& group, ProcessId sender,
     Bytes body = outer.bytes();
 
     if (kind == WireKind::kProtocol) {
-      if (msg_epoch != epoch_) {
+      if (msg_epoch > epoch_) {
+        // The sender already installed a newer view. Buffer the frame until
+        // our own install lands (signature is verified at replay).
+        std::size_t buffered = 0;
+        for (const auto& [e, v] : future_) buffered += v.size();
+        if (buffered < kMaxFutureBuffered)
+          future_[msg_epoch].emplace_back(sender, payload);
         end_handler();
-        return;  // stale instance
+        return;
+      }
+      if (msg_epoch < epoch_) {
+        // Stale instance: a view change aborted the agreement this frame
+        // belongs to. Discarding it is the other half of the restart rule.
+        ++stale_dropped_;
+        if (obs::MetricsRegistry* mr = obs::metrics())
+          mr->counter("member/stale_dropped").add();
+        end_handler();
+        return;
       }
       if (claimed_sender != sender) {
         end_handler();

@@ -16,6 +16,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/crypto_context.h"
 #include "core/key_agreement.h"
@@ -112,6 +114,13 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
   const OpCounters& counters() const { return crypto_.counters(); }
   CryptoContext& crypto_context() { return crypto_; }
   KeyAgreement& protocol() { return *protocol_; }
+  /// Agreements aborted by a cascaded view change before completing (the
+  /// Secure Spread restart rule firing; see KeyAgreement::restarts).
+  std::uint64_t agreement_restarts() const { return protocol_->restarts(); }
+  /// True while a key agreement is running for the current view.
+  bool agreement_in_flight() const { return protocol_->in_flight(); }
+  /// Stale protocol frames discarded (epoch older than the installed view).
+  std::uint64_t stale_dropped() const { return stale_dropped_; }
   const View* view() const { return view_ ? &*view_ : nullptr; }
   ProcessId id() const { return self_; }
   const std::string& group_name() const { return config_.group; }
@@ -158,6 +167,15 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
 
   std::optional<View> view_;
   std::uint64_t epoch_ = 0;
+  std::uint64_t stale_dropped_ = 0;
+
+  // Protocol frames that arrived for a future epoch: their sender installed
+  // a view this member has not yet processed (possible when injected wire
+  // delays reorder a unicast around a view install). Replayed in arrival
+  // order once the matching view lands; entries at or below the installed
+  // epoch are pruned. Bounded so a buggy peer cannot grow it without limit.
+  std::map<std::uint64_t, std::vector<std::pair<ProcessId, Bytes>>> future_;
+  static constexpr std::size_t kMaxFutureBuffered = 256;
 
   // Handler-scoped buffers.
   std::vector<Outbound> outbound_;

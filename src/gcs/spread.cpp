@@ -182,7 +182,9 @@ void SpreadNetwork::unicast(const std::string& group, ProcessId sender,
   if (component_of(src_m) != component_of(dst_m)) return;  // partitioned away
   if (processes_.at(dest).client == nullptr || !processes_.at(dest).connected)
     return;
-  const double delay = topo_.latency(src_m, dst_m) + params_.deliver_ms;
+  double delay = topo_.latency(src_m, dst_m) + params_.deliver_ms;
+  if (fault_hook_ != nullptr)
+    delay += fault_hook_->on_unicast(sender, dest).extra_delay_ms;
   std::string g = group;
   Bytes data = std::move(payload);
   // Resolve the client at delivery time: it may detach before the message
@@ -220,6 +222,9 @@ void SpreadNetwork::schedule_token_arrival(int component_index, std::uint64_t ep
 }
 
 void SpreadNetwork::token_arrive(int component_index, std::uint64_t epoch, int pos) {
+  // A membership change may have rebuilt (or removed) the component between
+  // scheduling and arrival; a token from a dead ring generation is dropped.
+  if (static_cast<std::size_t>(component_index) >= components_.size()) return;
   Component& comp = components_.at(static_cast<std::size_t>(component_index));
   if (comp.epoch != epoch) return;  // ring was rebuilt; this token is dead
   comp.token_pos = pos;
@@ -268,6 +273,7 @@ void SpreadNetwork::token_arrive(int component_index, std::uint64_t epoch, int p
     if (payload.kind == Payload::kData && wire_tap_)
       wire_tap_(payload.group, payload.sender, payload.data);
     Stamped stamped{comp.next_seq++, machine, std::move(payload)};
+    comp.log.push_back(stamped);
     ++messages_stamped_;
     ++stamped_count;
     depart += params_.stamp_ms;
@@ -315,10 +321,26 @@ void SpreadNetwork::transmit(const Component& comp, MachineId origin,
   const std::uint64_t epoch = comp.epoch;
   for (MachineId dest : comp.ring) {
     SimTime arrive = depart + topo_.latency(origin, dest);
-    Stamped copy = stamped;
-    sim_.at(arrive, [this, dest, epoch, copy = std::move(copy)]() {
-      daemon_receive(dest, epoch, copy);
-    });
+    int copies = 1;
+    if (fault_hook_ != nullptr) {
+      const fault::WireFault f =
+          fault_hook_->on_daemon_copy(origin, dest, stamped.seq);
+      arrive += f.extra_delay_ms;
+      copies = f.copies;
+      if (obs::MetricsRegistry* mr = obs::metrics()) {
+        if (f.extra_delay_ms > 0) mr->counter("gcs/fault_copies_delayed").add();
+        if (f.copies > 1) mr->counter("gcs/fault_copies_duplicated").add();
+      }
+    }
+    for (int c = 0; c < copies; ++c) {
+      // Duplicate copies trail the original slightly; daemon_receive dedups
+      // by sequence number, so extras only cost receive-side work.
+      Stamped copy = stamped;
+      sim_.at(arrive + 0.25 * c,
+              [this, dest, epoch, copy = std::move(copy)]() {
+                daemon_receive(dest, epoch, copy);
+              });
+    }
   }
 }
 
@@ -326,6 +348,13 @@ void SpreadNetwork::daemon_receive(MachineId machine, std::uint64_t epoch,
                                    Stamped stamped) {
   Daemon& daemon = daemons_.at(static_cast<std::size_t>(machine));
   if (daemon.epoch != epoch) return;  // stale component
+  if (stamped.seq < daemon.expected_seq) {
+    // Already delivered: a duplicated wire copy (fault injection). Sequence
+    // dedup here is what makes daemon-level duplication safe to inject.
+    if (obs::MetricsRegistry* mr = obs::metrics())
+      mr->counter("gcs/duplicates_discarded").add();
+    return;
+  }
   daemon.pending.emplace(stamped.seq, std::move(stamped));
   // Deliver in sequence order.
   while (!daemon.pending.empty() &&
@@ -405,17 +434,48 @@ void SpreadNetwork::deliver_data(Daemon& daemon, const Payload& payload) {
 // partitions
 
 void SpreadNetwork::partition(const std::vector<std::vector<MachineId>>& components) {
-  // Validate: every machine in exactly one component.
+  // Validate loudly: every machine in exactly one component. A malformed
+  // split is a driver bug; each message names the offending machine so a
+  // failing chaos seed is diagnosable from the exception text alone.
   std::vector<int> assignment(topo_.machine_count(), -1);
   for (std::size_t c = 0; c < components.size(); ++c) {
-    SGK_CHECK(!components[c].empty());
+    if (components[c].empty())
+      throw CheckFailure("partition: component " + std::to_string(c) +
+                         " is empty");
     for (MachineId m : components[c]) {
-      SGK_CHECK(m >= 0 && static_cast<std::size_t>(m) < topo_.machine_count());
-      SGK_CHECK(assignment[static_cast<std::size_t>(m)] == -1);
+      if (m < 0 || static_cast<std::size_t>(m) >= topo_.machine_count())
+        throw CheckFailure("partition: unknown machine " + std::to_string(m) +
+                           " in component " + std::to_string(c));
+      if (assignment[static_cast<std::size_t>(m)] != -1)
+        throw CheckFailure(
+            "partition: machine " + std::to_string(m) +
+            " listed twice (components " +
+            std::to_string(assignment[static_cast<std::size_t>(m)]) + " and " +
+            std::to_string(c) + ")");
       assignment[static_cast<std::size_t>(m)] = static_cast<int>(c);
     }
   }
-  for (int a : assignment) SGK_CHECK(a != -1);
+  for (std::size_t m = 0; m < assignment.size(); ++m)
+    if (assignment[m] == -1)
+      throw CheckFailure("partition: machine " + std::to_string(m) +
+                         " missing from every component");
+
+  // Retransmission round of the membership protocol: before the old rings
+  // dissolve, catch every daemon up to its component's full stamped prefix.
+  // Daemons entering the same new view must have delivered identical message
+  // sequences — otherwise fault-delayed copies (still in flight or parked in
+  // a pending buffer with holes) would leave the secure layer's members with
+  // divergent protocol state, and the post-view agreement could never
+  // converge.
+  for (Daemon& d : daemons_) {
+    const Component& oc = components_.at(static_cast<std::size_t>(d.component));
+    while (d.expected_seq < oc.log.size()) {
+      const Stamped& missed = oc.log.at(static_cast<std::size_t>(d.expected_seq));
+      ++d.expected_seq;
+      daemon_deliver(d, missed);
+    }
+    d.pending.clear();
+  }
 
   std::vector<Component> old_components = std::move(components_);
   components_.clear();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/view.h"
+#include "fault/hooks.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
@@ -123,6 +124,18 @@ class SpreadNetwork {
     wire_tap_ = std::move(tap);
   }
 
+  /// Installs a wire-fault hook consulted for every daemon-to-daemon message
+  /// copy and every client unicast. Pass nullptr to remove. The hook only
+  /// perturbs timing and copy counts (links stay reliable — see
+  /// fault/hooks.h); total order and view synchrony are preserved.
+  void set_fault_hook(fault::WireFaultHook* hook) { fault_hook_ = hook; }
+
+  /// Component index `machine` currently belongs to (chaos drivers use this
+  /// to group surviving members for the convergence invariant).
+  int component_of_machine(MachineId machine) const {
+    return component_of(machine);
+  }
+
  private:
   struct Payload {
     enum Kind { kData, kView } kind = kData;
@@ -156,6 +169,10 @@ class SpreadNetwork {
     std::uint64_t epoch = 0;
     std::vector<MachineId> ring;  // ascending machine ids
     std::uint64_t next_seq = 0;
+    /// Every message stamped in this component, in order (log[i].seq == i).
+    /// Replayed to lagging daemons when a membership change dissolves the
+    /// component, so view synchrony survives fault-delayed copies.
+    std::vector<Stamped> log;
     bool token_parked = true;
     int token_pos = 0;   // current / parked ring position
     int idle_hops = 0;   // consecutive hops without stamping anything
@@ -211,6 +228,7 @@ class SpreadNetwork {
   std::uint64_t next_view_id_ = 1;
   std::uint64_t messages_stamped_ = 0;
   std::function<void(const std::string&, ProcessId, const Bytes&)> wire_tap_;
+  fault::WireFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace sgk

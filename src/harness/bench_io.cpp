@@ -9,15 +9,39 @@ namespace sgk {
 bool BenchOptions::parse(int argc, char** argv, BenchOptions& out,
                          std::string& error) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--trace") {
+    const std::string orig = argv[i];
+    std::string arg = orig;
+    std::string value;
+    bool has_value = false;
+    if (const std::size_t eq = arg.find('=');
+        arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    if (arg != "--json" && arg != "--trace" && arg != "--seed") {
+      out.rest.push_back(orig);
+      continue;
+    }
+    if (!has_value) {
       if (i + 1 >= argc) {
-        error = arg + " requires a file path argument";
+        error = arg + " requires an argument";
         return false;
       }
-      (arg == "--json" ? out.json_path : out.trace_path) = argv[++i];
+      value = argv[++i];
+    }
+    if (arg == "--json") {
+      out.json_path = value;
+    } else if (arg == "--trace") {
+      out.trace_path = value;
     } else {
-      out.rest.push_back(arg);
+      try {
+        out.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        error = "--seed requires an unsigned integer, got '" + value + "'";
+        return false;
+      }
+      out.seed_set = true;
     }
   }
   return true;
@@ -41,6 +65,8 @@ ObsSession::~ObsSession() {
 
 bool ObsSession::finish(obs::RunReport& report) {
   if (!opts_.observing()) return true;
+  // Stamp the run's base seed so any number in the file can be reproduced.
+  report.add_section("seed", obs::Json(opts_.seed));
   report.add_metrics(*metrics_);
   report.add_span_rollup(*tracer_);
   bool ok = true;

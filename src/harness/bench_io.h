@@ -4,6 +4,7 @@
 // chrome://tracing) through this header. See docs/observability.md.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,12 +20,18 @@ namespace sgk {
 struct BenchOptions {
   std::string json_path;   // --json <path>
   std::string trace_path;  // --trace <path>
+  /// --seed <n>: base seed for the bench's randomized choices. Recorded in
+  /// the RunReport ("seed" section) so a BENCH_*.json names the run it came
+  /// from and any result can be reproduced from the file alone.
+  std::uint64_t seed = 1;
+  bool seed_set = false;   // --seed was given explicitly
   std::vector<std::string> rest;
 
   bool observing() const { return !json_path.empty() || !trace_path.empty(); }
 
-  /// Parses argv (argv[0] is skipped). Returns false and fills `error` when a
-  /// recognized flag is missing its argument.
+  /// Parses argv (argv[0] is skipped). Recognized flags accept both
+  /// `--flag value` and `--flag=value`. Returns false and fills `error` when
+  /// a recognized flag is missing or has a malformed argument.
   static bool parse(int argc, char** argv, BenchOptions& out,
                     std::string& error);
 };

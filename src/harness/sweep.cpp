@@ -38,7 +38,7 @@ SweepResult sweep_join(const SweepConfig& config) {
       ec.protocol = kind;
       ec.dh_bits = config.dh_bits;
       ec.cost = config.cost;
-      ec.seed = static_cast<std::uint64_t>(seed + 1);
+      ec.seed = config.seed_base + static_cast<std::uint64_t>(seed);
       Experiment exp(ec);
       exp.grow_to(config.min_size - 1);
       for (std::size_t n = config.min_size; n <= config.max_size; ++n) {
@@ -68,7 +68,7 @@ SweepResult sweep_leave(const SweepConfig& config) {
       ec.protocol = kind;
       ec.dh_bits = config.dh_bits;
       ec.cost = config.cost;
-      ec.seed = static_cast<std::uint64_t>(seed + 1);
+      ec.seed = config.seed_base + static_cast<std::uint64_t>(seed);
       Experiment exp(ec);
       exp.grow_to(config.max_size);
       for (std::size_t n = config.max_size; n >= config.min_size; --n) {

@@ -33,6 +33,9 @@ struct SweepConfig {
   std::size_t min_size = 2;
   std::size_t max_size = 50;
   int seeds = 1;  // number of independent runs averaged
+  /// Run i (i in [0, seeds)) uses experiment seed seed_base + i; benches
+  /// thread --seed here so a sweep is reproducible from its RunReport.
+  std::uint64_t seed_base = 1;
   std::vector<ProtocolKind> protocols = {
       ProtocolKind::kBd,  ProtocolKind::kCkd, ProtocolKind::kGdh,
       ProtocolKind::kStr, ProtocolKind::kTgdh, ProtocolKind::kNone};

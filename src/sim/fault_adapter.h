@@ -1,0 +1,30 @@
+// Adapts the discrete-event Simulator to the fault subsystem's Scheduler
+// hook, so a FaultInjector can arm a churn schedule on virtual time. This is
+// the sim-side fault hook point (the gcs-side one is
+// SpreadNetwork::set_fault_hook); it lives here rather than in src/fault
+// because fault sits *below* sim in the layering DAG
+// (core -> fault -> {sim, gcs}).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "fault/injector.h"
+#include "sim/simulator.h"
+
+namespace sgk {
+
+class SimFaultScheduler final : public fault::Scheduler {
+ public:
+  explicit SimFaultScheduler(Simulator& sim) : sim_(sim) {}
+
+  double now() const override { return sim_.now(); }
+  void after(double dt_ms, std::function<void()> fn) override {
+    sim_.after(dt_ms, std::move(fn));
+  }
+
+ private:
+  Simulator& sim_;
+};
+
+}  // namespace sgk

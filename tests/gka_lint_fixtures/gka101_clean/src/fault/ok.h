@@ -1,0 +1,10 @@
+#pragma once
+
+#include "core/view.h"
+#include "util/check.h"
+
+namespace sgk::fault {
+
+inline int ok_layer() { return 0; }
+
+}  // namespace sgk::fault

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "fault/hooks.h"
+
+namespace sgk {
+
+inline int gcs_may_consume_fault() { return 0; }
+
+}  // namespace sgk

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "gcs/spread.h"
+
+namespace sgk::fault {
+
+inline int bad_layer() { return 1; }
+
+}  // namespace sgk::fault

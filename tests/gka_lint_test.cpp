@@ -332,6 +332,29 @@ TEST(GkaLintArch, Gka101FlagsDagViolationAndGka102FlagsCycles) {
   EXPECT_TRUE(lint_project(good).empty());
 }
 
+TEST(GkaLintArch, Gka101KnowsTheFaultLayer) {
+  // fault sits above core and below sim/gcs: consuming core is fine, and
+  // sim/gcs/harness may consume fault — but fault must not reach up.
+  const std::vector<SourceFile> good = {
+      {"src/fault/plan.h", "#include \"core/view.h\"\n"},
+      {"src/sim/fault_adapter.h", "#include \"fault/injector.h\"\n"},
+      {"src/gcs/spread.h", "#include \"fault/hooks.h\"\n"},
+      {"src/harness/chaos.h", "#include \"fault/plan.h\"\n"},
+  };
+  EXPECT_TRUE(lint_project(good).empty());
+
+  const std::vector<SourceFile> bad = {
+      {"src/fault/bad_sim.h", "#include \"sim/simulator.h\"\n"},
+      {"src/fault/bad_gcs.h", "#include \"gcs/spread.h\"\n"},
+      {"src/core/bad_core.h", "#include \"fault/plan.h\"\n"},
+  };
+  const auto fs = lint_project(bad);
+  int gka101 = 0;
+  for (const Finding& f : fs)
+    if (f.rule == "GKA101") ++gka101;
+  EXPECT_EQ(gka101, 3);
+}
+
 TEST(GkaLintProject, CrossFileTaintSeedsFollowIncludes) {
   // The SecureBytes field is declared in the header; the leak is in the
   // .cpp. Only project mode can connect the two.

@@ -3,11 +3,13 @@
 // The subsystem layering DAG this repo commits to (see DESIGN.md and
 // docs/static_analysis.md):
 //
-//     util -> bignum -> crypto -> core -> {sim, gcs} -> harness
+//     util -> bignum -> crypto -> core -> fault -> {sim, gcs} -> harness
 //
 // where "A -> B" means B may include A. The braces group sim and gcs above
-// core; within the group, gcs may include sim (the Spread model runs on the
-// simulator) but not vice versa. `obs` is a side layer includable from core
+// fault; within the group, gcs may include sim (the Spread model runs on the
+// simulator) but not vice versa. `fault` is pure policy (plans, hooks,
+// invariants) consumed by sim/gcs through interfaces, so it sits below both
+// and must not include either. `obs` is a side layer includable from core
 // upward only — the numeric/crypto layers below core must stay free of
 // observability hooks.
 //
@@ -51,10 +53,13 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"bignum", {"bignum", "util"}},
       {"crypto", {"crypto", "bignum", "util"}},
       {"core", {"core", "crypto", "bignum", "util", "obs"}},
-      {"sim", {"sim", "core", "crypto", "bignum", "util", "obs"}},
-      {"gcs", {"gcs", "sim", "core", "crypto", "bignum", "util", "obs"}},
+      {"fault", {"fault", "core", "crypto", "bignum", "util", "obs"}},
+      {"sim", {"sim", "fault", "core", "crypto", "bignum", "util", "obs"}},
+      {"gcs",
+       {"gcs", "sim", "fault", "core", "crypto", "bignum", "util", "obs"}},
       {"harness",
-       {"harness", "gcs", "sim", "core", "crypto", "bignum", "util", "obs"}},
+       {"harness", "gcs", "sim", "fault", "core", "crypto", "bignum", "util",
+        "obs"}},
   };
   return kAllowed;
 }
@@ -84,7 +89,8 @@ void run_arch_rules(const std::vector<FileModel>& files, const Sink& sink) {
               "include of \"" + inc.target + "\" makes '" + from +
                   "' depend on '" + to +
                   "', violating the layering DAG util -> bignum -> crypto "
-                  "-> core -> {sim, gcs} -> harness (obs from core up)"});
+                  "-> core -> fault -> {sim, gcs} -> harness (obs from core "
+                  "up)"});
       }
     }
   }
