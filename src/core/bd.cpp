@@ -1,6 +1,7 @@
 #include "core/bd.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -76,20 +77,50 @@ void BdProtocol::maybe_finish() {
   host_.deliver_key(key);
 }
 
+Decoded<BdProtocol::Wire> BdProtocol::validate_and_decode(const Bytes& body,
+                                                          const BigInt& p) {
+  using D = Decoded<Wire>;
+  Wire m;
+  try {
+    Reader r(body);
+    m.type = r.u8();
+    if (m.type != kZ && m.type != kX) return D::rejected(RejectReason::kBadTag);
+    m.value = get_bigint(r);
+    // z_i = g^(r_i) is a non-identity subgroup element, so the usual
+    // [2, p-2] band applies. X_i = (z_{i+1}/z_{i-1})^(r_i) is legitimately 1
+    // whenever the two neighbours coincide (any 2-member group), so only the
+    // degenerate 0 and >= p-1 values are hostile there.
+    const bool ok_range = m.type == kZ
+                              ? in_group_range(m.value, p)
+                              : m.value >= BigInt(1) && m.value <= p - BigInt(2);
+    if (!ok_range) return D::rejected(RejectReason::kBignumRange);
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const LengthError&) {
+    return D::rejected(RejectReason::kBadLength);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
+  }
+  return D::accepted(std::move(m));
+}
+
 void BdProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Reader r(body);
-  const std::uint8_t type = r.u8();
-  switch (type) {
+  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  if (!d.ok()) {
+    reject(d.reason);
+    return;
+  }
+  Wire& m = d.value;
+  switch (m.type) {
     case kZ:
-      if (sender != self()) z_[sender] = get_bigint(r);
+      if (sender != self()) z_[sender] = std::move(m.value);
       maybe_round2();
       return;
     case kX:
-      if (sender != self()) x_values_[sender] = get_bigint(r);
+      if (sender != self()) x_values_[sender] = std::move(m.value);
       maybe_finish();
       return;
     default:
-      return;
+      return;  // unreachable: validate_and_decode rejected unknown tags
   }
 }
 

@@ -28,8 +28,20 @@ class BdProtocol final : public KeyAgreement {
   void handle_message(ProcessId sender, const Bytes& body) override;
   ProtocolKind kind() const override { return ProtocolKind::kBd; }
 
- private:
   enum MsgType : std::uint8_t { kZ = 1, kX = 2 };
+
+  /// Fully decoded + validated wire message.
+  struct Wire {
+    std::uint8_t type = 0;
+    BigInt value;  // z_i (kZ) or X_i (kX)
+  };
+
+  /// The only entrypoint that touches raw BD wire bytes: structural decode
+  /// plus semantic validation (tag in {kZ, kX}, value in [2, p-2]). Never
+  /// throws; a hostile body comes back as a typed rejection.
+  static Decoded<Wire> validate_and_decode(const Bytes& body, const BigInt& p);
+
+ private:
 
   std::size_t index_of(ProcessId p) const;
   ProcessId at_offset(std::size_t i, std::ptrdiff_t delta) const;

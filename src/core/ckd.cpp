@@ -124,18 +124,66 @@ void CkdProtocol::rekey() {
   has_pending_key_ = true;
 }
 
+Decoded<CkdProtocol::Wire> CkdProtocol::validate_and_decode(const Bytes& body,
+                                                            const BigInt& p) {
+  using D = Decoded<Wire>;
+  Wire m;
+  try {
+    Reader r(body);
+    m.type = r.u8();
+    switch (m.type) {
+      case kChallenge: {
+        m.value = get_bigint(r);
+        if (!in_group_range(m.value, p)) return D::rejected(RejectReason::kBignumRange);
+        const std::uint32_t count = r.count(kMaxWireMembers);
+        for (std::uint32_t i = 0; i < count; ++i) m.targets.push_back(r.u32());
+        break;
+      }
+      case kResponse: {
+        m.value = get_bigint(r);
+        if (!in_group_range(m.value, p)) return D::rejected(RejectReason::kBignumRange);
+        break;
+      }
+      case kKeyBcast: {
+        const std::uint32_t order_len = r.count(kMaxWireMembers);
+        for (std::uint32_t i = 0; i < order_len; ++i) m.order.push_back(r.u32());
+        const std::uint32_t count = r.count(kMaxWireMembers);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const ProcessId member = r.u32();
+          BigInt wrap = get_bigint(r);
+          if (!in_group_range(wrap, p))
+            return D::rejected(RejectReason::kBignumRange);
+          m.wraps.emplace_back(member, std::move(wrap));
+        }
+        break;
+      }
+      default:
+        return D::rejected(RejectReason::kBadTag);
+    }
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const LengthError&) {
+    return D::rejected(RejectReason::kBadLength);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
+  }
+  return D::accepted(std::move(m));
+}
+
 void CkdProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Reader r(body);
-  const std::uint8_t type = r.u8();
-  switch (type) {
+  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  if (!d.ok()) {
+    reject(d.reason);
+    return;
+  }
+  Wire& m = d.value;
+  switch (m.type) {
     case kChallenge: {
       if (sender == self()) return;
       mark_phase("pairwise_channels");
-      BigInt controller_pub = get_bigint(r);
-      const std::uint32_t count = r.u32();
+      BigInt controller_pub = std::move(m.value);
       bool addressed = false;
-      for (std::uint32_t i = 0; i < count; ++i)
-        if (r.u32() == self()) addressed = true;
+      for (ProcessId t : m.targets)
+        if (t == self()) addressed = true;
       controller_seen_ = sender;
       if (!addressed) return;
       if (!have_pub_) {
@@ -159,46 +207,49 @@ void CkdProtocol::handle_message(ProcessId sender, const Bytes& body) {
       auto it = std::find(awaiting_.begin(), awaiting_.end(), sender);
       if (it == awaiting_.end()) return;
       awaiting_.erase(it);
-      pairwise_[sender] = crypto().exp(get_bigint(r), x_);
+      pairwise_[sender] = crypto().exp(m.value, x_);
       if (awaiting_.empty()) rekey();
       return;
     }
     case kKeyBcast: {
       mark_phase("key_distribution");
-      // Everyone — the broadcasting controller included — adopts the order
-      // carried by the broadcast as it is delivered, so concurrent
-      // controllers (possible transiently under cascades) converge on the
-      // last stamped one.
-      const std::uint32_t order_len = r.u32();
-      order_.clear();
-      for (std::uint32_t i = 0; i < order_len; ++i) order_.push_back(r.u32());
       if (sender == self()) {
         // My own broadcast came back through the agreed stream: it is now
         // part of the group's total order, so the key is safe to install.
+        order_ = std::move(m.order);
         if (has_pending_key_) {
           has_pending_key_ = false;
           host_.deliver_key(pending_key_);
         }
         return;
       }
-      const std::uint32_t count = r.u32();
       BigInt my_wrap;
       bool found = false;
-      for (std::uint32_t i = 0; i < count; ++i) {
-        ProcessId member = r.u32();
-        BigInt wrap = get_bigint(r);
+      for (auto& [member, wrap] : m.wraps) {
         if (member == self()) {
-          my_wrap = wrap;
+          my_wrap = std::move(wrap);
           found = true;
         }
       }
-      SGK_CHECK(found);
+      // A broadcast that does not wrap the group secret for me cannot be
+      // the one my instance is waiting for — a forgery, or a stale
+      // controller's list. Reject it without adopting its order; the
+      // quarantine policy re-keys if the agreement is left hanging.
+      if (!found) {
+        reject(RejectReason::kStateMismatch);
+        return;
+      }
+      // Everyone — the broadcasting controller included — adopts the order
+      // carried by the broadcast as it is delivered, so concurrent
+      // controllers (possible transiently under cascades) converge on the
+      // last stamped one.
+      order_ = std::move(m.order);
       controller_seen_ = sender;
       host_.deliver_key(crypto().exp(my_wrap, crypto().inverse_q(x_)));
       return;
     }
     default:
-      return;
+      return;  // unreachable: validate_and_decode rejected unknown tags
   }
 }
 

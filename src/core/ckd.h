@@ -35,8 +35,23 @@ class CkdProtocol final : public KeyAgreement {
   ProcessId controller() const { return order_.empty() ? kNoProcess : order_.front(); }
   const std::vector<ProcessId>& join_order() const { return order_; }
 
- private:
   enum MsgType : std::uint8_t { kChallenge = 1, kResponse = 2, kKeyBcast = 3 };
+
+  /// Fully decoded + validated wire message (union across the three types).
+  struct Wire {
+    std::uint8_t type = 0;
+    BigInt value;                      // kChallenge / kResponse public value
+    std::vector<ProcessId> targets;    // kChallenge: members owing a response
+    std::vector<ProcessId> order;      // kKeyBcast
+    std::vector<std::pair<ProcessId, BigInt>> wraps;  // kKeyBcast
+  };
+
+  /// The only entrypoint that touches raw CKD wire bytes: structural decode
+  /// plus semantic validation (tags, list caps, every bignum in [2, p-2]).
+  /// Never throws; a hostile body comes back as a typed rejection.
+  static Decoded<Wire> validate_and_decode(const Bytes& body, const BigInt& p);
+
+ private:
 
   void begin_controller_round(const std::vector<ProcessId>& need_channel);
   void rekey();

@@ -160,39 +160,82 @@ Bytes GdhProtocol::encode_partials() const {
 
 void GdhProtocol::broadcast_partials() { host_.send_multicast(encode_partials()); }
 
-void GdhProtocol::adopt_partials(Reader& r, ProcessId /*sender*/) {
-  const std::uint32_t order_len = r.u32();
-  std::vector<ProcessId> order;
-  for (std::uint32_t i = 0; i < order_len; ++i) order.push_back(r.u32());
-  const std::uint32_t count = r.u32();
-  std::map<ProcessId, BigInt> partials;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    ProcessId member = r.u32();
-    partials[member] = get_bigint(r);
+Decoded<GdhProtocol::Wire> GdhProtocol::validate_and_decode(const Bytes& body,
+                                                            const BigInt& p) {
+  using D = Decoded<Wire>;
+  Wire m;
+  try {
+    Reader r(body);
+    m.type = r.u8();
+    switch (m.type) {
+      case kToken: {
+        m.value = get_bigint(r);
+        if (!in_group_range(m.value, p)) return D::rejected(RejectReason::kBignumRange);
+        const std::uint32_t done_len = r.count(kMaxWireMembers);
+        for (std::uint32_t i = 0; i < done_len; ++i) m.done.push_back(r.u32());
+        const std::uint32_t chain_len = r.count(kMaxWireMembers);
+        if (chain_len == 0) return D::rejected(RejectReason::kBadLength);
+        for (std::uint32_t i = 0; i < chain_len; ++i) m.chain.push_back(r.u32());
+        break;
+      }
+      case kAccum:
+      case kFactorOut: {
+        m.value = get_bigint(r);
+        if (!in_group_range(m.value, p)) return D::rejected(RejectReason::kBignumRange);
+        break;
+      }
+      case kPartials: {
+        const std::uint32_t order_len = r.count(kMaxWireMembers);
+        for (std::uint32_t i = 0; i < order_len; ++i) m.order.push_back(r.u32());
+        const std::uint32_t count = r.count(kMaxWireMembers);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const ProcessId member = r.u32();
+          BigInt partial = get_bigint(r);
+          if (!in_group_range(partial, p))
+            return D::rejected(RejectReason::kBignumRange);
+          m.partials.emplace_back(member, std::move(partial));
+        }
+        break;
+      }
+      default:
+        return D::rejected(RejectReason::kBadTag);
+    }
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const LengthError&) {
+    return D::rejected(RejectReason::kBadLength);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
   }
+  return D::accepted(std::move(m));
+}
+
+void GdhProtocol::adopt_partials(Wire msg) {
+  std::map<ProcessId, BigInt> partials;
+  for (auto& [member, partial] : msg.partials)
+    partials[member] = std::move(partial);
   // A stale controller (possible transiently under cascades) can broadcast
   // a list that omits me; that list is not mine to adopt — keep waiting for
   // the one produced by the instance I contributed to.
   auto it = partials.find(self());
   if (it == partials.end()) return;
   const BigInt mine = it->second;
-  order_ = std::move(order);
+  order_ = std::move(msg.order);
   partials_ = std::move(partials);
   host_.deliver_key(crypto().exp(mine, r_));
 }
 
 void GdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Reader r(body);
-  const std::uint8_t type = r.u8();
-  switch (type) {
+  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  if (!d.ok()) {
+    reject(d.reason);
+    return;
+  }
+  Wire& m = d.value;
+  switch (m.type) {
     case kToken: {
-      BigInt token = get_bigint(r);
-      const std::uint32_t done_len = r.u32();
-      std::vector<ProcessId> done;
-      for (std::uint32_t i = 0; i < done_len; ++i) done.push_back(r.u32());
-      const std::uint32_t chain_len = r.u32();
-      std::vector<ProcessId> chain;
-      for (std::uint32_t i = 0; i < chain_len; ++i) chain.push_back(r.u32());
+      BigInt token = std::move(m.value);
+      std::vector<ProcessId> done = std::move(m.done);
+      std::vector<ProcessId> chain = std::move(m.chain);
       // The chain carried by the token is authoritative: after a fallback
       // restart only core-side members know the real chain, so a locally
       // computed new_members_ (or even i_am_new_ itself — a member whose
@@ -230,7 +273,7 @@ void GdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
       // The broadcaster is the actual controller — trust the message, not
       // the locally computed new_controller_ (see the kToken chain note).
       new_controller_ = sender;
-      accum_ = get_bigint(r);
+      accum_ = std::move(m.value);
       // Factor out my contribution and return it to the new controller.
       BigInt factored = crypto().exp(accum_, crypto().inverse_q(r_));
       Writer w;
@@ -241,7 +284,7 @@ void GdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
     }
     case kFactorOut: {
       if (self() != new_controller_) return;
-      factors_[sender] = get_bigint(r);
+      factors_[sender] = std::move(m.value);
       if (factors_.size() + 1 < view_.members.size()) return;
       // All factor-out tokens collected: become the controller.
       mark_phase("key_distribution");
@@ -273,12 +316,12 @@ void GdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
         pending_gen_ = -1;
         return;
       }
-      adopt_partials(r, sender);
+      adopt_partials(std::move(m));
       i_am_new_ = false;
       return;
     }
     default:
-      return;  // unknown message: ignore
+      return;  // unreachable: validate_and_decode rejected unknown tags
   }
 }
 

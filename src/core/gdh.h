@@ -37,8 +37,24 @@ class GdhProtocol final : public KeyAgreement {
   ProcessId controller() const { return order_.empty() ? kNoProcess : order_.back(); }
   const std::vector<ProcessId>& join_order() const { return order_; }
 
- private:
   enum MsgType : std::uint8_t { kToken = 1, kAccum = 2, kFactorOut = 3, kPartials = 4 };
+
+  /// Fully decoded + validated wire message (union across the four types).
+  struct Wire {
+    std::uint8_t type = 0;
+    BigInt value;                    // token / accumulated / factored-out
+    std::vector<ProcessId> done;     // kToken
+    std::vector<ProcessId> chain;    // kToken
+    std::vector<ProcessId> order;    // kPartials
+    std::vector<std::pair<ProcessId, BigInt>> partials;  // kPartials
+  };
+
+  /// The only entrypoint that touches raw GDH wire bytes: structural decode
+  /// plus semantic validation (tags, list caps, every bignum in [2, p-2]).
+  /// Never throws; a hostile body comes back as a typed rejection.
+  static Decoded<Wire> validate_and_decode(const Bytes& body, const BigInt& p);
+
+ private:
 
   void start_merge();
   void handle_leave(const ViewDelta& delta);
@@ -46,7 +62,7 @@ class GdhProtocol final : public KeyAgreement {
   Bytes encode_token(const BigInt& token, const std::vector<ProcessId>& done,
                      const std::vector<ProcessId>& chain) const;
   Bytes encode_partials() const;
-  void adopt_partials(Reader& r, ProcessId sender);
+  void adopt_partials(Wire msg);
 
   View view_;
   // Join order, oldest first; controller == order_.back().

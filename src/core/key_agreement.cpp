@@ -96,4 +96,8 @@ void put_bigint(Writer& w, const BigInt& v) { w.bytes(v.to_bytes()); }
 
 BigInt get_bigint(Reader& r) { return BigInt::from_bytes(r.bytes()); }
 
+bool in_group_range(const BigInt& v, const BigInt& p) {
+  return v >= BigInt(2) && v <= p - BigInt(2);
+}
+
 }  // namespace sgk

@@ -12,6 +12,7 @@
 
 #include "bignum/bigint.h"
 #include "core/crypto_context.h"
+#include "core/reject.h"
 #include "core/view.h"
 #include "util/bytes.h"
 #include "util/serde.h"
@@ -70,6 +71,12 @@ class ProtocolHost {
   /// Marks a zero-width point of interest (e.g. a key-confirmation check)
   /// on the observability timeline. Same GKA006 rules as mark_phase.
   virtual void mark_point(const char* point_name) { (void)point_name; }
+
+  /// The protocol refused to act on a frame (validate_and_decode failure or
+  /// a semantic check against protocol state). Hosts count the rejection
+  /// and, when corruption of the agreed stream is indicated, run their
+  /// quarantine/recovery policy. Default no-op keeps bare test hosts small.
+  virtual void note_frame_rejected(RejectReason reason) { (void)reason; }
 };
 
 class KeyAgreement {
@@ -116,6 +123,8 @@ class KeyAgreement {
   ProcessId self() const { return host_.self(); }
   void mark_phase(const char* phase_name) { host_.mark_phase(phase_name); }
   void mark_point(const char* point_name) { host_.mark_point(point_name); }
+  /// Routes a refusal through the host's typed-reject path.
+  void reject(RejectReason reason) { host_.note_frame_rejected(reason); }
 
  private:
   bool in_flight_ = false;
@@ -138,5 +147,16 @@ const std::vector<ProcessId>* core_side(const ViewDelta& delta);
 /// Serialization of big integers inside protocol messages.
 void put_bigint(Writer& w, const BigInt& v);
 BigInt get_bigint(Reader& r);
+
+/// True iff `v` is a plausible group element: v in [2, p-2]. Excludes the
+/// degenerate values (0, 1, p-1, anything >= p) an attacker substitutes to
+/// collapse or bias a DH exchange; every validated decoder applies this to
+/// every wire bignum.
+bool in_group_range(const BigInt& v, const BigInt& p);
+
+/// Upper bound on member-list lengths in protocol messages. Far above any
+/// realistic group (the paper evaluates up to ~100) yet small enough that a
+/// hostile length prefix cannot drive memory or CPU blow-ups.
+inline constexpr std::uint32_t kMaxWireMembers = 4096;
 
 }  // namespace sgk

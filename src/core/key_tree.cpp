@@ -222,17 +222,25 @@ void KeyTree::serialize(Writer& w) const {
   serialize_node(w, root_);
 }
 
-int KeyTree::deserialize_node(Reader& r, KeyTree& tree) {
+int KeyTree::deserialize_node(Reader& r, KeyTree& tree, int depth) {
+  // Untrusted input: a lying encoding must die here with a typed error, not
+  // recurse to a stack overflow or allocate without bound.
+  if (depth > kMaxDepth) throw TreeShapeError("tree exceeds depth limit");
+  if (tree.nodes_.size() >= kMaxNodes)
+    throw TreeShapeError("tree exceeds node limit");
   const std::uint8_t node_type = r.u8();
+  if (node_type > 1) throw TreeShapeError("invalid tree node tag");
   TreeNode n;
   int left = -1, right = -1;
   if (node_type == 0) {
     n.member = r.u32();
   } else {
-    left = deserialize_node(r, tree);
-    right = deserialize_node(r, tree);
+    left = deserialize_node(r, tree, depth + 1);
+    right = deserialize_node(r, tree, depth + 1);
   }
-  if (r.u8() == 1) {
+  const std::uint8_t bkey_flag = r.u8();
+  if (bkey_flag > 1) throw TreeShapeError("invalid bkey presence flag");
+  if (bkey_flag == 1) {
     n.bkey = get_bigint(r);
     n.has_bkey = true;
     n.bkey_published = true;
@@ -250,8 +258,18 @@ int KeyTree::deserialize_node(Reader& r, KeyTree& tree) {
 
 KeyTree KeyTree::deserialize(Reader& r) {
   KeyTree t;
-  t.root_ = deserialize_node(r, t);
+  t.root_ = deserialize_node(r, t, 0);
+  std::vector<ProcessId> members = t.members();
+  std::sort(members.begin(), members.end());
+  if (std::adjacent_find(members.begin(), members.end()) != members.end())
+    throw TreeShapeError("duplicate member in tree");
   return t;
+}
+
+bool KeyTree::bkeys_in_range(const BigInt& p) const {
+  for (const TreeNode& n : nodes_)
+    if (n.has_bkey && !in_group_range(n.bkey, p)) return false;
+  return true;
 }
 
 bool KeyTree::same_structure(const KeyTree& other) const {

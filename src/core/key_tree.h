@@ -25,6 +25,15 @@
 
 namespace sgk {
 
+/// Structural rejection of a hostile tree encoding: invalid node/flag tags,
+/// implausible depth or size, or duplicate members. A subclass of
+/// DecodeError so callers that only distinguish "malformed" keep working;
+/// validated decoders map it to RejectReason::kBadShape.
+class TreeShapeError : public DecodeError {
+ public:
+  explicit TreeShapeError(const std::string& what) : DecodeError(what) {}
+};
+
 struct TreeNode {
   int parent = -1;
   int left = -1;
@@ -83,7 +92,21 @@ class KeyTree {
 
   /// Serializes structure plus all *published* blinded keys.
   void serialize(Writer& w) const;
+  /// Strict inverse of serialize. Untrusted input: node and bkey-presence
+  /// tags must be exactly 0/1, nesting is capped at kMaxDepth, size at
+  /// kMaxNodes, and every leaf member must be unique — violations throw
+  /// TreeShapeError (truncation still throws plain DecodeError).
   static KeyTree deserialize(Reader& r);
+
+  /// True iff every present blinded key lies in [2, p-2]. Validated
+  /// decoders call this on deserialized trees before absorbing them.
+  bool bkeys_in_range(const BigInt& p) const;
+
+  /// Decode limits: a balanced tree of kMaxWireMembers leaves is ~12 deep;
+  /// a pathological STR-shaped chain reaches one level per member. kMaxNodes
+  /// bounds total allocation (leaves + internal nodes).
+  static constexpr int kMaxDepth = 4200;
+  static constexpr std::size_t kMaxNodes = 8500;
 
   /// Structural equality including member placement (ignores keys).
   bool same_structure(const KeyTree& other) const;
@@ -115,7 +138,7 @@ class KeyTree {
   int clone_from(const KeyTree& other, int other_node);
   void invalidate_up(int node);
   int serialize_node(Writer& w, int node) const;
-  static int deserialize_node(Reader& r, KeyTree& tree);
+  static int deserialize_node(Reader& r, KeyTree& tree, int depth);
   void collect_members(int node, std::vector<ProcessId>& out) const;
   /// Finds the graft position for a subtree of height `h`: the rightmost
   /// shallowest node where insertion does not increase the tree height; -1

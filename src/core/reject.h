@@ -1,0 +1,83 @@
+// Typed rejection taxonomy for untrusted wire input.
+//
+// Every frame a member refuses to act on is classified with a RejectReason,
+// counted under `frames_rejected/<protocol>/<reason>`, and — when the
+// rejection indicates corruption of the agreed stream — fed into the
+// quarantine/recovery policy in SecureGroupMember. Nothing in the receive
+// path may crash, wedge, or silently diverge on a hostile frame; the reason
+// codes below are the complete vocabulary for how such a frame dies.
+// See docs/adversarial_robustness.md for the threat model.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace sgk {
+
+enum class RejectReason : std::uint8_t {
+  kNone = 0,          // sentinel: frame accepted
+  kTruncated,         // ran out of bytes mid-field
+  kTrailingBytes,     // bytes left over after a complete decode
+  kBadTag,            // unknown message-type tag or invalid flag byte
+  kBadLength,         // length prefix inconsistent with the payload
+  kBignumRange,       // group element outside [2, p-2]
+  kBadShape,          // malformed key-tree / member-chain structure
+  kSenderMismatch,    // claimed sender differs from the transport sender
+  kUnknownSender,     // sender absent from the current view or PKI
+  kEpochStale,        // frame from an epoch this member already left
+  kEpochFarFuture,    // epoch beyond the plausible buffering window
+  kBadSignature,      // frame signature failed verification
+  kLoopbackMismatch,  // own multicast came back with different bytes
+  kReplay,            // data-plane sequence number already seen
+  kBadMac,            // data-plane authentication (MAC) failure
+  kStateMismatch,     // well-formed frame inconsistent with protocol state
+  kInternalCheck,     // an internal invariant check tripped on this frame
+};
+
+inline const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kTruncated: return "truncated";
+    case RejectReason::kTrailingBytes: return "trailing_bytes";
+    case RejectReason::kBadTag: return "bad_tag";
+    case RejectReason::kBadLength: return "bad_length";
+    case RejectReason::kBignumRange: return "bignum_range";
+    case RejectReason::kBadShape: return "bad_shape";
+    case RejectReason::kSenderMismatch: return "sender_mismatch";
+    case RejectReason::kUnknownSender: return "unknown_sender";
+    case RejectReason::kEpochStale: return "epoch_stale";
+    case RejectReason::kEpochFarFuture: return "epoch_far_future";
+    case RejectReason::kBadSignature: return "bad_signature";
+    case RejectReason::kLoopbackMismatch: return "loopback_mismatch";
+    case RejectReason::kReplay: return "replay";
+    case RejectReason::kBadMac: return "bad_mac";
+    case RejectReason::kStateMismatch: return "state_mismatch";
+    case RejectReason::kInternalCheck: return "internal_check";
+  }
+  return "unknown";
+}
+
+/// `expected`-style decode result: either a value or a typed reason. The
+/// validated-decode entrypoints (`validate_and_decode` in every protocol and
+/// in the secure group layer) return this instead of throwing, so no decode
+/// failure can propagate past a message handler.
+template <typename T>
+struct Decoded {
+  RejectReason reason = RejectReason::kNone;
+  T value{};
+
+  bool ok() const { return reason == RejectReason::kNone; }
+
+  static Decoded rejected(RejectReason why) {
+    Decoded d;
+    d.reason = why;
+    return d;
+  }
+  static Decoded accepted(T v) {
+    Decoded d;
+    d.value = std::move(v);
+    return d;
+  }
+};
+
+}  // namespace sgk

@@ -321,17 +321,54 @@ void StrProtocol::try_fold() {
   deliver_if_complete();
 }
 
-void StrProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Reader r(body);
-  const std::uint8_t type = r.u8();
-  const std::uint32_t count = r.u32();
-  SideInfo info;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const ProcessId m = r.u32();
-    info.members.push_back(m);
-    if (r.u8() == 1) info.br[m] = get_bigint(r);
-    if (r.u8() == 1) info.bk[m] = get_bigint(r);
+Decoded<StrProtocol::Wire> StrProtocol::validate_and_decode(const Bytes& body,
+                                                            const BigInt& p) {
+  using D = Decoded<Wire>;
+  Wire m;
+  try {
+    Reader r(body);
+    m.type = r.u8();
+    if (m.type != kAnnounce && m.type != kUpdate)
+      return D::rejected(RejectReason::kBadTag);
+    const std::uint32_t count = r.count(kMaxWireMembers);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const ProcessId id = r.u32();
+      if (std::find(m.info.members.begin(), m.info.members.end(), id) !=
+          m.info.members.end())
+        return D::rejected(RejectReason::kBadShape);
+      m.info.members.push_back(id);
+      const std::uint8_t has_br = r.u8();
+      if (has_br > 1) return D::rejected(RejectReason::kBadTag);
+      if (has_br == 1) {
+        BigInt br = get_bigint(r);
+        if (!in_group_range(br, p)) return D::rejected(RejectReason::kBignumRange);
+        m.info.br[id] = std::move(br);
+      }
+      const std::uint8_t has_bk = r.u8();
+      if (has_bk > 1) return D::rejected(RejectReason::kBadTag);
+      if (has_bk == 1) {
+        BigInt bk = get_bigint(r);
+        if (!in_group_range(bk, p)) return D::rejected(RejectReason::kBignumRange);
+        m.info.bk[id] = std::move(bk);
+      }
+    }
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const LengthError&) {
+    return D::rejected(RejectReason::kBadLength);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
   }
+  return D::accepted(std::move(m));
+}
+
+void StrProtocol::handle_message(ProcessId sender, const Bytes& body) {
+  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  if (!d.ok()) {
+    reject(d.reason);
+    return;
+  }
+  const std::uint8_t type = d.value.type;
+  SideInfo info = std::move(d.value.info);
 
   // Coverage counts only sponsor announcements — the sender must be the
   // announced chain's own top member. Every member applies this test to the

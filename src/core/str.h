@@ -37,7 +37,6 @@ class StrProtocol final : public KeyAgreement {
   /// Chain order, bottom first (tests).
   const std::vector<ProcessId>& chain() const { return members_; }
 
- private:
   enum MsgType : std::uint8_t { kAnnounce = 1, kUpdate = 2 };
 
   struct SideInfo {
@@ -45,6 +44,20 @@ class StrProtocol final : public KeyAgreement {
     std::map<ProcessId, BigInt> br;
     std::map<ProcessId, BigInt> bk;
   };
+
+  /// Fully decoded + validated wire message.
+  struct Wire {
+    std::uint8_t type = 0;
+    SideInfo info;
+  };
+
+  /// The only entrypoint that touches raw STR wire bytes: structural decode
+  /// (strict tags and presence flags, list cap, unique member ids) plus
+  /// semantic validation (every blinded value in [2, p-2]). Never throws; a
+  /// hostile body comes back as a typed rejection.
+  static Decoded<Wire> validate_and_decode(const Bytes& body, const BigInt& p);
+
+ private:
 
   void reset_to_singleton();
   std::size_t index_of(ProcessId p) const;

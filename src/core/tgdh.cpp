@@ -290,17 +290,43 @@ void TgdhProtocol::iterate() {
   }
 }
 
+Decoded<TgdhProtocol::Wire> TgdhProtocol::validate_and_decode(
+    const Bytes& body, const BigInt& p) {
+  using D = Decoded<Wire>;
+  Wire m;
+  try {
+    Reader r(body);
+    m.type = r.u8();
+    if (m.type != kAnnounce && m.type != kUpdate)
+      return D::rejected(RejectReason::kBadTag);
+    m.tree = KeyTree::deserialize(r);
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const TreeShapeError&) {
+    return D::rejected(RejectReason::kBadShape);
+  } catch (const LengthError&) {
+    return D::rejected(RejectReason::kBadLength);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
+  }
+  if (!m.tree.bkeys_in_range(p)) return D::rejected(RejectReason::kBignumRange);
+  return D::accepted(std::move(m));
+}
+
 void TgdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Reader r(body);
-  const std::uint8_t type = r.u8();
+  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  if (!d.ok()) {
+    reject(d.reason);
+    return;
+  }
+  Wire& m = d.value;
   // My own broadcasts loop back through the agreed stream and are processed
   // like anyone else's: that self-delivery — not the send — is what marks
   // blinded keys published and the side announced, so a broadcast stamped
   // after the next view change has no effect anywhere, sender included.
   if (sender == self() && unconfirmed_bcasts_ > 0) --unconfirmed_bcasts_;
-  if (type == kAnnounce) {
+  if (m.type == kAnnounce) {
     mark_phase("tree_update");
-    KeyTree announced = KeyTree::deserialize(r);
+    KeyTree announced = std::move(m.tree);
     if (!collecting_) {
       // Post-fold (or refresh) announcement: absorb if it matches my tree.
       if (announced.same_structure(tree_)) {
@@ -323,9 +349,9 @@ void TgdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
     try_fold();
     return;
   }
-  if (type == kUpdate) {
+  if (m.type == kUpdate) {
     mark_phase("tree_update");
-    KeyTree update = KeyTree::deserialize(r);
+    KeyTree update = std::move(m.tree);
     if (!update.same_structure(tree_)) return;  // stale or foreign
     tree_.absorb_bkeys(update);
     iterate();

@@ -35,8 +35,21 @@ class TgdhProtocol final : public KeyAgreement {
 
   const KeyTree& tree() const { return tree_; }
 
- private:
   enum MsgType : std::uint8_t { kAnnounce = 1, kUpdate = 2 };
+
+  /// Fully decoded + validated wire message.
+  struct Wire {
+    std::uint8_t type = 0;
+    KeyTree tree;
+  };
+
+  /// The only entrypoint that touches raw TGDH wire bytes: structural decode
+  /// (strict tags, tree shape/depth/node caps, unique members) plus semantic
+  /// validation (every blinded key in [2, p-2]). Never throws; a hostile
+  /// body comes back as a typed rejection.
+  static Decoded<Wire> validate_and_decode(const Bytes& body, const BigInt& p);
+
+ private:
 
   void reset_to_singleton();
   void refresh_my_leaf();

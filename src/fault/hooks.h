@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/view.h"
+#include "util/bytes.h"
 
 namespace sgk::fault {
 
@@ -23,6 +24,41 @@ struct WireFault {
   double extra_delay_ms = 0.0;
   int copies = 1;
 };
+
+/// Verdict for the content of one frame: what, if anything, the adversarial
+/// mutation layer did to the bytes in flight. kNone means untouched. The
+/// remaining kinds name the structure-aware corruptions FrameMutator applies;
+/// they double as metric labels (`gcs/frames_mutated/<kind>`).
+enum class MutationKind : std::uint8_t {
+  kNone = 0,
+  kBitFlip,      // one bit flipped anywhere in the frame
+  kTruncate,     // frame cut short at a random offset
+  kExtend,       // junk bytes appended past the original end
+  kLengthLie,    // body length prefix rewritten to a lying value
+  kTagSwap,      // message-type tag replaced
+  kBignumZero,   // an embedded group element zeroed (out of [2, p-2])
+  kBignumOverP,  // an embedded group element replaced with one >= p
+  kSenderSpoof,  // claimed-sender field rewritten
+  kEpochShift,   // epoch field shifted to a bogus value
+  kReplay,       // frame replaced wholesale with an earlier captured frame
+};
+
+inline const char* to_string(MutationKind k) {
+  switch (k) {
+    case MutationKind::kNone: return "none";
+    case MutationKind::kBitFlip: return "bit_flip";
+    case MutationKind::kTruncate: return "truncate";
+    case MutationKind::kExtend: return "extend";
+    case MutationKind::kLengthLie: return "length_lie";
+    case MutationKind::kTagSwap: return "tag_swap";
+    case MutationKind::kBignumZero: return "bignum_zero";
+    case MutationKind::kBignumOverP: return "bignum_over_p";
+    case MutationKind::kSenderSpoof: return "sender_spoof";
+    case MutationKind::kEpochShift: return "epoch_shift";
+    case MutationKind::kReplay: return "replay";
+  }
+  return "unknown";
+}
 
 class WireFaultHook {
  public:
@@ -37,6 +73,20 @@ class WireFaultHook {
   /// ignored here (the client layer has no sequence numbers to dedupe on);
   /// only `extra_delay_ms` applies.
   virtual WireFault on_unicast(ProcessId from, ProcessId to) = 0;
+
+  /// Consulted once per frame's content: once when a payload is stamped
+  /// (before copies fan out, so every receiver — the sender's own loopback
+  /// included — sees the same bytes) and once per client unicast. May mutate
+  /// `wire` in place; returns the mutation applied. `unit` is a stable
+  /// per-frame discriminator (the stamp sequence number, or a unicast
+  /// counter offset into a disjoint id space), so verdicts are deterministic
+  /// and order-independent. Defaulted: hooks that only delay/duplicate (the
+  /// plain FaultInjector) never touch content.
+  virtual MutationKind on_frame(Bytes& wire, std::uint64_t unit) {
+    (void)wire;
+    (void)unit;
+    return MutationKind::kNone;
+  }
 };
 
 }  // namespace sgk::fault

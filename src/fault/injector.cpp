@@ -35,4 +35,11 @@ WireFault FaultInjector::on_unicast(ProcessId from, ProcessId to) {
   return f;
 }
 
+MutationKind FaultInjector::on_frame(Bytes& wire, std::uint64_t unit) {
+  if (mutator_ == nullptr) return MutationKind::kNone;
+  const MutationKind kind = mutator_->mutate(wire, unit);
+  if (kind != MutationKind::kNone) ++stats_.frames_mutated;
+  return kind;
+}
+
 }  // namespace sgk::fault

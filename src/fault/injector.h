@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "fault/hooks.h"
+#include "fault/mutator.h"
 #include "fault/plan.h"
 
 namespace sgk::fault {
@@ -45,6 +46,11 @@ class FaultInjector final : public WireFaultHook {
   /// immediately). `target` must outlive the scheduled events. Call once.
   void arm(Scheduler& sched, ChurnTarget& target);
 
+  /// Attaches an adversarial frame mutator; on_frame verdicts delegate to
+  /// it. Without one (the default) frame content is never touched. The
+  /// mutator must outlive the injector's use.
+  void set_mutator(FrameMutator* mutator) { mutator_ = mutator; }
+
   /// Wire-fault tallies, for reports and tests.
   struct Stats {
     std::uint64_t daemon_copies = 0;    // hook consultations (transmit side)
@@ -54,6 +60,7 @@ class FaultInjector final : public WireFaultHook {
     std::uint64_t unicasts = 0;         // unicast consultations
     std::uint64_t unicasts_delayed = 0;
     std::uint64_t churn_applied = 0;    // ops delivered to the target
+    std::uint64_t frames_mutated = 0;   // content corruptions applied
   };
   const Stats& stats() const { return stats_; }
 
@@ -61,12 +68,14 @@ class FaultInjector final : public WireFaultHook {
   WireFault on_daemon_copy(int from_machine, int to_machine,
                            std::uint64_t seq) override;
   WireFault on_unicast(ProcessId from, ProcessId to) override;
+  MutationKind on_frame(Bytes& wire, std::uint64_t unit) override;
 
  private:
   FaultPlan plan_;
   Stats stats_;
   bool armed_ = false;
   std::uint64_t unicast_counter_ = 0;
+  FrameMutator* mutator_ = nullptr;
 };
 
 }  // namespace sgk::fault

@@ -54,4 +54,16 @@ void InvariantChecker::flag_timeout(const std::string& what) {
   violations_.push_back("liveness: " + what);
 }
 
+void InvariantChecker::flag_crash(const std::string& what) {
+  violations_.push_back("crash: " + what);
+}
+
+void InvariantChecker::check_no_wedge(ProcessId member,
+                                      bool agreement_in_flight) {
+  if (agreement_in_flight) {
+    violations_.push_back("wedge: member " + std::to_string(member) +
+                          " still mid-agreement at the probe point");
+  }
+}
+
 }  // namespace sgk::fault

@@ -48,6 +48,17 @@ class InvariantChecker {
   /// Driver-side liveness bound: the run hit its deadline un-converged.
   void flag_timeout(const std::string& what);
 
+  /// No-crash invariant: an exception escaped a member or the driver while
+  /// processing (possibly hostile) input. Any such escape is a violation —
+  /// hardened receive paths must reject, not throw.
+  void flag_crash(const std::string& what);
+
+  /// No-wedge invariant: at the probe point every member must have finished
+  /// its agreement; a member still in flight after the run's grace period is
+  /// wedged (e.g. a corrupted frame erased state it was waiting for and
+  /// recovery did not fire).
+  void check_no_wedge(ProcessId member, bool agreement_in_flight);
+
   bool ok() const { return violations_.empty(); }
   const std::vector<std::string>& violations() const { return violations_; }
 

@@ -77,7 +77,12 @@ Bytes SecureGroupMember::frame_and_sign(WireKind kind, const Bytes& body) {
   Writer w;
   w.raw(to_sign);
   w.bytes(sig);
-  return w.take();
+  Bytes wire = w.take();
+  // Record the pristine wire for the loopback-integrity check (see
+  // sent_wires_). Every protocol frame passes through here.
+  sent_wires_.emplace_back(epoch_, wire);
+  while (sent_wires_.size() > kMaxSentRecorded) sent_wires_.pop_front();
+  return wire;
 }
 
 void SecureGroupMember::queue(SendKind kind, ProcessId dest, Bytes wire) {
@@ -160,6 +165,7 @@ void SecureGroupMember::end_handler() {
           key_ = std::move(*key);
           key_epoch_ = epoch;
           key_time_ = net_.simulator().now();
+          recovery_attempts_ = 0;  // converged: refill the recovery budget
           SGK_TRACE(if (tr->event_active()) {
             obs::SpanId mark = tr->instant(
                 "key_install", key_time_,
@@ -194,8 +200,36 @@ void SecureGroupMember::on_view(const std::string& group, const View& view,
   view_ = view;
   view_time_ = net_.simulator().now();
   epoch_ = view.view_id;
+  // Loopback records from dead epochs can no longer loop back.
+  while (!sent_wires_.empty() && sent_wires_.front().first < epoch_)
+    sent_wires_.pop_front();
   protocol_->on_view(view, delta);
   end_handler();
+
+  // Watchdog arm: an adversary that erases a frame outright (e.g. replaces
+  // it with a replay) leaves the members that needed it with nothing to
+  // reject. If the agreement for this view is still in flight after the
+  // deadline, request a rekey. The watchdog deliberately bypasses the
+  // reject-path recovery budget: each view install arms exactly one shot,
+  // and a fired shot produces a fresh view that arms the next, so the retry
+  // chain is self-limiting and ends the moment an agreement completes. A
+  // finite budget here would be exhausted by a long enough corruption storm
+  // and leave the group wedged mid-agreement once the storm passed. The
+  // trade-off is that the chain retries as long as agreements keep failing —
+  // which is why the watchdog is opt-in (default off) and armed only by
+  // bounded-horizon harnesses like run_fuzz.
+  if (config_.recovery_watchdog_ms > 0) {
+    const std::uint64_t epoch = epoch_;
+    net_.simulator().after(config_.recovery_watchdog_ms,
+                           [this, alive = alive_, epoch] {
+                             if (!*alive || epoch_ != epoch) return;
+                             if (!protocol_->in_flight()) return;
+                             ++recoveries_;
+                             if (obs::MetricsRegistry* mr = obs::metrics())
+                               mr->counter("member/recoveries").add();
+                             request_rekey();
+                           });
+  }
 
   // Replay protocol frames that raced ahead of this view install, then drop
   // anything at or below the now-current epoch.
@@ -206,97 +240,253 @@ void SecureGroupMember::on_view(const std::string& group, const View& view,
   for (auto& [sender, payload] : replay) on_message(group, sender, payload);
 }
 
+Decoded<SecureGroupMember::OuterFrame> SecureGroupMember::validate_and_decode_frame(
+    const Bytes& payload) {
+  using D = Decoded<OuterFrame>;
+  OuterFrame f;
+  try {
+    Reader r(payload);
+    f.kind = r.u8();
+    if (f.kind != static_cast<std::uint8_t>(WireKind::kProtocol) &&
+        f.kind != static_cast<std::uint8_t>(WireKind::kData))
+      return D::rejected(RejectReason::kBadTag);
+    f.epoch = r.u64();
+    f.claimed_sender = r.u32();
+    f.body = r.bytes();
+    if (f.kind == static_cast<std::uint8_t>(WireKind::kProtocol)) f.sig = r.bytes();
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const LengthError&) {
+    return D::rejected(RejectReason::kBadLength);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
+  }
+  return D::accepted(std::move(f));
+}
+
+Decoded<SecureGroupMember::DataBody> SecureGroupMember::validate_and_decode_data(
+    const Bytes& body) {
+  using D = Decoded<DataBody>;
+  DataBody b;
+  try {
+    Reader r(body);
+    b.seq = r.u64();
+    b.sealed = r.bytes();
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const LengthError&) {
+    return D::rejected(RejectReason::kBadLength);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
+  }
+  return D::accepted(std::move(b));
+}
+
+Decoded<SecureGroupMember::SealedParts> SecureGroupMember::validate_and_decode_sealed(
+    const Bytes& sealed) {
+  using D = Decoded<SealedParts>;
+  SealedParts s;
+  try {
+    Reader r(sealed);
+    s.iv = r.bytes();
+    s.ct = r.bytes();
+    s.mac = r.bytes();
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const LengthError&) {
+    return D::rejected(RejectReason::kBadLength);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
+  }
+  return D::accepted(std::move(s));
+}
+
+void SecureGroupMember::reject_frame(RejectReason reason, std::size_t wire_size,
+                                     bool recoverable) {
+  ++frames_rejected_;
+  if (obs::MetricsRegistry* mr = obs::metrics()) {
+    const std::string proto = to_string(config_.protocol);
+    mr->counter("frames_rejected/" + proto + "/" + to_string(reason)).add();
+    mr->histogram("frames_rejected_bytes/" + proto)
+        .observe(static_cast<double>(wire_size));
+  }
+  if (recoverable) schedule_recovery();
+}
+
+void SecureGroupMember::schedule_recovery() {
+  // A rejected frame on the protocol path may have replaced an honest frame
+  // the agreement needed. Give the protocol recovery_delay_ms of virtual
+  // time to converge on its own; if it is still in flight at this epoch,
+  // request a rekey. One recovery per epoch: the rekey changes the epoch,
+  // so a repeat at the same epoch means this recovery is already pending.
+  if (!view_ || last_recovery_epoch_ == epoch_) return;
+  last_recovery_epoch_ = epoch_;
+  const std::uint64_t epoch = epoch_;
+  net_.simulator().after(config_.recovery_delay_ms, [this, alive = alive_, epoch] {
+    if (!*alive || epoch_ != epoch) return;
+    if (!protocol_->in_flight()) return;
+    if (recovery_attempts_ >= kMaxRecoveryAttempts) return;
+    ++recovery_attempts_;
+    ++recoveries_;
+    if (obs::MetricsRegistry* mr = obs::metrics())
+      mr->counter("member/recoveries").add();
+    request_rekey();
+  });
+}
+
+void SecureGroupMember::note_frame_rejected(RejectReason reason) {
+  // Protocol-level rejection (validate_and_decode or a semantic check inside
+  // the handler) for the frame currently in hand.
+  reject_frame(reason, current_frame_size_, /*recoverable=*/true);
+}
+
 void SecureGroupMember::on_message(const std::string& group, ProcessId sender,
                                    const Bytes& payload) {
   if (group != config_.group) return;
-  try {
-    Reader outer(payload);
-    const auto kind = static_cast<WireKind>(outer.u8());
-    const std::uint64_t msg_epoch = outer.u64();
-    const ProcessId claimed_sender = outer.u32();
-    Bytes body = outer.bytes();
+  Decoded<OuterFrame> decoded = validate_and_decode_frame(payload);
+  if (!decoded.ok()) {
+    reject_frame(decoded.reason, payload.size(), /*recoverable=*/true);
+    end_handler();
+    return;
+  }
+  OuterFrame& f = decoded.value;
+  const std::uint64_t msg_epoch = f.epoch;
 
-    if (kind == WireKind::kProtocol) {
-      if (msg_epoch > epoch_) {
-        // The sender already installed a newer view. Buffer the frame until
-        // our own install lands (signature is verified at replay).
-        std::size_t buffered = 0;
-        for (const auto& [e, v] : future_) buffered += v.size();
-        if (buffered < kMaxFutureBuffered)
-          future_[msg_epoch].emplace_back(sender, payload);
-        end_handler();
-        return;
-      }
-      if (msg_epoch < epoch_) {
-        // Stale instance: a view change aborted the agreement this frame
-        // belongs to. Discarding it is the other half of the restart rule.
-        ++stale_dropped_;
-        if (obs::MetricsRegistry* mr = obs::metrics())
-          mr->counter("member/stale_dropped").add();
-        end_handler();
-        return;
-      }
-      if (claimed_sender != sender) {
-        end_handler();
-        return;
-      }
-      if (sender != self_) {
-        // Reconstruct the signed prefix and verify.
-        Bytes sig = outer.bytes();
-        Writer signed_part;
-        signed_part.u8(static_cast<std::uint8_t>(kind));
-        signed_part.u64(msg_epoch);
-        signed_part.u32(claimed_sender);
-        signed_part.bytes(body);
-        const VerifyKey* pub = pki_->find(sender);
-        if (pub == nullptr || !crypto_.verify(*pub, signed_part.data(), sig)) {
-          end_handler();
-          return;
-        }
-      }
-      protocol_->on_message(sender, body);
+  if (f.kind == static_cast<std::uint8_t>(WireKind::kProtocol)) {
+    if (msg_epoch > epoch_ + kMaxEpochWindow) {
+      // No honest sender runs this far ahead; do not let hostile epochs
+      // park frames in the future buffer.
+      reject_frame(RejectReason::kEpochFarFuture, payload.size(), true);
       end_handler();
       return;
     }
-
-    if (kind == WireKind::kData) {
-      if (sender == self_) return;
-      if (msg_epoch != epoch_ || msg_epoch != key_epoch_ || !has_key()) {
-        end_handler();
-        return;
-      }
-      // Replay protection: data frames carry a strictly increasing per-sender
-      // sequence number (the "sequence numbers which identify the particular
-      // protocol run" of section 3.2, applied to the data plane). The agreed
-      // stream already delivers in order, so any non-increasing number is a
-      // replay or an injection.
-      Reader body_reader(body);
-      const std::uint64_t seq = body_reader.u64();
-      Bytes sealed = body_reader.bytes();
-      // Senders number frames from 1, so a fresh filter entry (0) admits
-      // the first frame and rejects a forged sequence number of 0.
-      std::uint64_t& last = data_seq_seen_[sender];
-      if (seq <= last) {
-        end_handler();
-        return;
-      }
-      std::optional<Bytes> plain = open(sealed);
+    if (msg_epoch > epoch_) {
+      // The sender already installed a newer view. Buffer the frame until
+      // our own install lands (signature is verified at replay).
+      std::size_t buffered = 0;
+      for (const auto& [e, v] : future_) buffered += v.size();
+      if (buffered < kMaxFutureBuffered)
+        future_[msg_epoch].emplace_back(sender, payload);
       end_handler();
-      if (plain) {
-        last = seq;
-        if (data_listener_) data_listener_(sender, *plain);
-      }
       return;
     }
-  } catch (const DecodeError&) {
-    end_handler();  // malformed message: drop, keep charges
+    if (msg_epoch < epoch_) {
+      // Stale instance: a view change aborted the agreement this frame
+      // belongs to. Discarding it is the other half of the restart rule.
+      ++stale_dropped_;
+      if (obs::MetricsRegistry* mr = obs::metrics())
+        mr->counter("member/stale_dropped").add();
+      reject_frame(RejectReason::kEpochStale, payload.size(), false);
+      end_handler();
+      return;
+    }
+    if (f.claimed_sender != sender) {
+      reject_frame(RejectReason::kSenderMismatch, payload.size(), true);
+      end_handler();
+      return;
+    }
+    if (view_ && !view_->contains(sender)) {
+      reject_frame(RejectReason::kUnknownSender, payload.size(), true);
+      end_handler();
+      return;
+    }
+    if (sender == self_) {
+      // Loopback integrity: my own frame cannot be verified against the PKI
+      // more cheaply than against my own record of what I sent. A mismatch
+      // means the wire was tampered in transit.
+      auto it = sent_wires_.begin();
+      for (; it != sent_wires_.end(); ++it)
+        if (it->second == payload) break;
+      if (it == sent_wires_.end()) {
+        reject_frame(RejectReason::kLoopbackMismatch, payload.size(), true);
+        end_handler();
+        return;
+      }
+      sent_wires_.erase(it);
+    } else if (config_.verify_signatures) {
+      // Reconstruct the signed prefix and verify.
+      Writer signed_part;
+      signed_part.u8(f.kind);
+      signed_part.u64(msg_epoch);
+      signed_part.u32(f.claimed_sender);
+      signed_part.bytes(f.body);
+      const VerifyKey* pub = pki_->find(sender);
+      if (pub == nullptr) {
+        reject_frame(RejectReason::kUnknownSender, payload.size(), true);
+        end_handler();
+        return;
+      }
+      if (!crypto_.verify(*pub, signed_part.data(), f.sig)) {
+        reject_frame(RejectReason::kBadSignature, payload.size(), true);
+        end_handler();
+        return;
+      }
+    }
+    current_frame_size_ = payload.size();
+    try {
+      protocol_->on_message(sender, f.body);
+    } catch (const CheckFailure&) {
+      // An internal invariant tripped while handling an untrusted frame.
+      // The member must survive it: count, recover, move on.
+      reject_frame(RejectReason::kInternalCheck, payload.size(), true);
+    } catch (const DecodeError&) {
+      // Unreachable once every protocol decodes via validate_and_decode;
+      // kept as a belt-and-braces guarantee that no frame throws past here.
+      reject_frame(RejectReason::kTruncated, payload.size(), true);
+    }
+    end_handler();
+    return;
+  }
+
+  // WireKind::kData
+  if (sender == self_) return;
+  if (f.claimed_sender != sender) {
+    reject_frame(RejectReason::kSenderMismatch, payload.size(), false);
+    end_handler();
+    return;
+  }
+  if (msg_epoch != epoch_ || msg_epoch != key_epoch_ || !has_key()) {
+    reject_frame(msg_epoch > epoch_ ? RejectReason::kEpochFarFuture
+                                    : RejectReason::kEpochStale,
+                 payload.size(), false);
+    end_handler();
+    return;
+  }
+  Decoded<DataBody> data = validate_and_decode_data(f.body);
+  if (!data.ok()) {
+    reject_frame(data.reason, payload.size(), false);
+    end_handler();
+    return;
+  }
+  // Replay protection: data frames carry a strictly increasing per-sender
+  // sequence number (the "sequence numbers which identify the particular
+  // protocol run" of section 3.2, applied to the data plane). The agreed
+  // stream already delivers in order, so any non-increasing number is a
+  // replay or an injection.
+  // Senders number frames from 1, so a fresh filter entry (0) admits
+  // the first frame and rejects a forged sequence number of 0.
+  std::uint64_t& last = data_seq_seen_[sender];
+  if (data.value.seq <= last) {
+    reject_frame(RejectReason::kReplay, payload.size(), false);
+    end_handler();
+    return;
+  }
+  // The MAC binds epoch and sequence number (as associated data), so a
+  // tampered sequence number cannot poison the replay filter.
+  Writer aad;
+  aad.u64(msg_epoch);
+  aad.u64(data.value.seq);
+  std::optional<Bytes> plain = open(data.value.sealed, aad.take());
+  end_handler();
+  if (plain) {
+    last = data.value.seq;
+    if (data_listener_) data_listener_(sender, *plain);
+  } else {
+    reject_frame(RejectReason::kBadMac, payload.size(), false);
   }
 }
 
 // ---------------------------------------------------------------------------
 // data plane
 
-Bytes SecureGroupMember::seal(const Bytes& plaintext) {
+Bytes SecureGroupMember::seal(const Bytes& plaintext, const Bytes& aad) {
   SGK_CHECK(has_key());
   const ScopedSubkey enc_key(key_.reveal(0, 16));
   const ScopedSubkey mac_key(key_.reveal(32, 32));
@@ -305,6 +495,7 @@ Bytes SecureGroupMember::seal(const Bytes& plaintext) {
   Writer mac_input;
   mac_input.bytes(iv);
   mac_input.bytes(ct);
+  mac_input.bytes(aad);
   Bytes mac = hmac_sha256(mac_key.b, mac_input.data());
   crypto_.charge_symmetric(plaintext.size() + 48);
   Writer w;
@@ -314,32 +505,38 @@ Bytes SecureGroupMember::seal(const Bytes& plaintext) {
   return w.take();
 }
 
-std::optional<Bytes> SecureGroupMember::open(const Bytes& sealed) {
+std::optional<Bytes> SecureGroupMember::open(const Bytes& sealed, const Bytes& aad) {
   if (!has_key()) return std::nullopt;
+  Decoded<SealedParts> parts = validate_and_decode_sealed(sealed);
+  if (!parts.ok()) return std::nullopt;
+  const SealedParts& s = parts.value;
   try {
-    Reader r(sealed);
-    Bytes iv = r.bytes();
-    Bytes ct = r.bytes();
-    Bytes mac = r.bytes();
     const ScopedSubkey enc_key(key_.reveal(0, 16));
     const ScopedSubkey mac_key(key_.reveal(32, 32));
     Writer mac_input;
-    mac_input.bytes(iv);
-    mac_input.bytes(ct);
-    crypto_.charge_symmetric(ct.size() + 48);
-    if (!ct_equal(hmac_sha256(mac_key.b, mac_input.data()), mac))
+    mac_input.bytes(s.iv);
+    mac_input.bytes(s.ct);
+    mac_input.bytes(aad);
+    crypto_.charge_symmetric(s.ct.size() + 48);
+    if (!ct_equal(hmac_sha256(mac_key.b, mac_input.data()), s.mac))
       return std::nullopt;
-    return aes128_cbc_decrypt(enc_key.b, iv, ct);
+    return aes128_cbc_decrypt(enc_key.b, s.iv, s.ct);
   } catch (const std::exception&) {
+    // The cipher layer can still object (e.g. a ciphertext that is not a
+    // whole number of blocks slipped past the MAC in a chosen-key setting).
     return std::nullopt;
   }
 }
 
 void SecureGroupMember::send_data(const Bytes& plaintext) {
   SGK_CHECK(has_key());
+  const std::uint64_t seq = ++data_seq_sent_;
+  Writer aad;
+  aad.u64(key_epoch_);
+  aad.u64(seq);
   Writer body;
-  body.u64(++data_seq_sent_);
-  body.bytes(seal(plaintext));
+  body.u64(seq);
+  body.bytes(seal(plaintext, aad.take()));
   Writer w;
   w.u8(static_cast<std::uint8_t>(WireKind::kData));
   w.u64(key_epoch_);

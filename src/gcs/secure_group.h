@@ -11,6 +11,7 @@
 // derived from the group secret.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -59,6 +60,19 @@ struct MemberConfig {
   /// Signature scheme for protocol messages (RSA e=3 in the paper; DSA for
   /// the verification-cost comparison).
   SigScheme signature = SigScheme::kRsa;
+  /// Verify signatures on incoming protocol frames. Disabled only by fuzzing
+  /// harnesses that study what strict structural validation alone catches;
+  /// loopback integrity and all semantic checks stay on.
+  bool verify_signatures = true;
+  /// Virtual-time delay between a recoverable frame rejection and the rekey
+  /// request it triggers when the agreement is still stuck (quarantine
+  /// policy; rate-limited to one recovery per epoch).
+  double recovery_delay_ms = 20.0;
+  /// When > 0, an agreement still in flight this long (virtual ms) after its
+  /// view installed triggers a rekey request — the backstop for frames an
+  /// adversary erased outright, which produce no rejection at the members
+  /// that needed them. 0 disables the watchdog.
+  double recovery_watchdog_ms = 0.0;
 };
 
 class SecureGroupMember final : public GroupClient, private ProtocolHost {
@@ -106,9 +120,12 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
     data_listener_ = std::move(fn);
   }
   /// Seal/open primitives (encrypt-then-MAC under the group key). Exposed
-  /// for tests; send_data/delivery use them internally.
-  Bytes seal(const Bytes& plaintext);
-  std::optional<Bytes> open(const Bytes& sealed);
+  /// for tests; send_data/delivery use them internally. `aad` is bound into
+  /// the MAC without being transmitted: both sides must present the same
+  /// associated data or open fails. The data plane binds epoch || sequence
+  /// number so neither can be tampered with independently of the payload.
+  Bytes seal(const Bytes& plaintext, const Bytes& aad = {});
+  std::optional<Bytes> open(const Bytes& sealed, const Bytes& aad = {});
 
   // ---- introspection --------------------------------------------------------
   const OpCounters& counters() const { return crypto_.counters(); }
@@ -121,6 +138,11 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
   bool agreement_in_flight() const { return protocol_->in_flight(); }
   /// Stale protocol frames discarded (epoch older than the installed view).
   std::uint64_t stale_dropped() const { return stale_dropped_; }
+  /// Frames rejected by the hardened receive path, by any typed reason
+  /// (also broken out per reason in the `frames_rejected/...` counters).
+  std::uint64_t frames_rejected() const { return frames_rejected_; }
+  /// Rekey requests issued by the quarantine/recovery policy.
+  std::uint64_t recoveries() const { return recoveries_; }
   const View* view() const { return view_ ? &*view_ : nullptr; }
   ProcessId id() const { return self_; }
   const std::string& group_name() const { return config_.group; }
@@ -141,6 +163,48 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
     Bytes wire;
   };
 
+  /// Decoded outer frame (common header of both wire kinds).
+  struct OuterFrame {
+    std::uint8_t kind = 0;
+    std::uint64_t epoch = 0;
+    ProcessId claimed_sender = kNoProcess;
+    Bytes body;
+    Bytes sig;  // kProtocol only
+  };
+
+  /// Decoded data-plane body (sequence number + sealed payload).
+  struct DataBody {
+    std::uint64_t seq = 0;
+    Bytes sealed;
+  };
+
+  /// Decoded sealed envelope (IV, ciphertext, MAC).
+  struct SealedParts {
+    Bytes iv;
+    Bytes ct;
+    // gka-lint: allow(GKA004) -- untrusted wire MAC value, not key material
+    Bytes mac;
+  };
+
+  // The only entrypoints that touch untrusted wire bytes (enforced by lint
+  // rule GKA009): structural decode that never throws past them — a hostile
+  // payload comes back as a typed rejection.
+  static Decoded<OuterFrame> validate_and_decode_frame(const Bytes& payload);
+  static Decoded<DataBody> validate_and_decode_data(const Bytes& body);
+  static Decoded<SealedParts> validate_and_decode_sealed(const Bytes& sealed);
+
+  /// Epochs further ahead of the installed view than this are hostile (an
+  /// honest sender can only be a short cascade ahead), and buffering them
+  /// would let an attacker park junk in future_.
+  static constexpr std::uint64_t kMaxEpochWindow = 1024;
+
+  /// Counts a typed rejection (total, per-reason counter, wire-size
+  /// histogram) and, when `recoverable`, invokes the quarantine policy.
+  void reject_frame(RejectReason reason, std::size_t wire_size, bool recoverable);
+  /// Quarantine policy: after recovery_delay_ms of virtual time, if this
+  /// epoch's agreement is still stuck, request a rekey (once per epoch).
+  void schedule_recovery();
+
   // ProtocolHost:
   ProcessId self() const override { return self_; }
   CryptoContext& crypto() override { return crypto_; }
@@ -148,6 +212,7 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
   void send_ordered(ProcessId dest, Bytes body) override;
   void send_unicast(ProcessId dest, Bytes body) override;
   void deliver_key(const BigInt& group_secret) override;
+  void note_frame_rejected(RejectReason reason) override;
   bool key_confirmation() const override { return config_.key_confirmation; }
   void mark_phase(const char* phase_name) override;
   void mark_point(const char* point_name) override;
@@ -168,6 +233,25 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
   std::optional<View> view_;
   std::uint64_t epoch_ = 0;
   std::uint64_t stale_dropped_ = 0;
+  std::uint64_t frames_rejected_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t last_recovery_epoch_ = 0;  // rate limit: one recovery / epoch
+  std::size_t current_frame_size_ = 0;     // wire size of the frame in hand
+
+  // Consecutive recovery rekeys since the last successful key install. A
+  // persistent adversary (or a member that will never converge) must not be
+  // able to drive an unbounded rekey storm: after the budget is exhausted
+  // the member stops initiating recoveries until a key installs again.
+  int recovery_attempts_ = 0;
+  static constexpr int kMaxRecoveryAttempts = 8;
+
+  // Protocol frames I sent, pristine as framed (epoch, wire). A kProtocol
+  // frame that loops back under my own id must byte-match one of these —
+  // nobody else can sign for me, so a mismatch means the wire was tampered
+  // in transit. Byte comparison instead of self-verification keeps the
+  // charged crypto-op counts of honest runs unchanged.
+  std::deque<std::pair<std::uint64_t, Bytes>> sent_wires_;
+  static constexpr std::size_t kMaxSentRecorded = 64;
 
   // Protocol frames that arrived for a future epoch: their sender installed
   // a view this member has not yet processed (possible when injected wire

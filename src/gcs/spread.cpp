@@ -187,6 +187,18 @@ void SpreadNetwork::unicast(const std::string& group, ProcessId sender,
     delay += fault_hook_->on_unicast(sender, dest).extra_delay_ms;
   std::string g = group;
   Bytes data = std::move(payload);
+  if (fault_hook_ != nullptr) {
+    // Direct unicasts bypass the token ring, so they draw mutation units
+    // from a disjoint space (top bit set) counted in issue order — which is
+    // deterministic for a given seed and scenario.
+    const fault::MutationKind mut =
+        fault_hook_->on_frame(data, (1ULL << 63) | unicast_mutation_units_++);
+    if (mut != fault::MutationKind::kNone) {
+      if (obs::MetricsRegistry* mr = obs::metrics())
+        mr->counter(std::string("gcs/frames_mutated/") + fault::to_string(mut))
+            .add();
+    }
+  }
   // Resolve the client at delivery time: it may detach before the message
   // lands (a member that left and was destroyed).
   sim_.after(delay, [this, dest, g, sender, data]() {
@@ -272,6 +284,19 @@ void SpreadNetwork::token_arrive(int component_index, std::uint64_t epoch, int p
     }
     if (payload.kind == Payload::kData && wire_tap_)
       wire_tap_(payload.group, payload.sender, payload.data);
+    if (payload.kind == Payload::kData && fault_hook_ != nullptr) {
+      // Adversarial wire mutation, applied once at stamp time so every
+      // receiver — the sender's own loopback included — sees the same
+      // (possibly corrupted) bytes. Keyed on the stamp sequence number,
+      // which is deterministic for a given seed and scenario.
+      const fault::MutationKind mut =
+          fault_hook_->on_frame(payload.data, comp.next_seq);
+      if (mut != fault::MutationKind::kNone) {
+        if (obs::MetricsRegistry* mr = obs::metrics())
+          mr->counter(std::string("gcs/frames_mutated/") + fault::to_string(mut))
+              .add();
+      }
+    }
     Stamped stamped{comp.next_seq++, machine, std::move(payload)};
     comp.log.push_back(stamped);
     ++messages_stamped_;

@@ -229,6 +229,7 @@ class SpreadNetwork {
   std::uint64_t messages_stamped_ = 0;
   std::function<void(const std::string&, ProcessId, const Bytes&)> wire_tap_;
   fault::WireFaultHook* fault_hook_ = nullptr;
+  std::uint64_t unicast_mutation_units_ = 0;  // see unicast() mutation point
 };
 
 }  // namespace sgk

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -21,6 +22,18 @@ class ChaosRun final : public fault::ChurnTarget {
         net_(sim_, config.topology),
         pki_(std::make_shared<Pki>()),
         injector_(std::move(plan)) {
+    if (config_.mutation_rate > 0.0) {
+      fault::FrameMutator::Options opts;
+      opts.rate = config_.mutation_rate;
+      // Without signatures only strict validation stands between a mutated
+      // frame and the protocols, so restrict the menu to mutations it
+      // provably catches — the harness must not manufacture the very silent
+      // divergence it exists to rule out.
+      opts.detectable_only = !config_.verify_signatures;
+      opts.modulus_bytes = dh_group(config_.dh_bits).p().to_bytes().size();
+      mutator_.emplace(config_.seed, opts);
+      injector_.set_mutator(&*mutator_);
+    }
     net_.set_fault_hook(&injector_);
   }
 
@@ -53,11 +66,11 @@ class ChaosRun final : public fault::ChurnTarget {
       p.epoch = m->key_epoch();
       p.key = m->has_key() ? &m->key() : nullptr;
       probes.push_back(p);
-      if (m->agreement_in_flight())
-        checker_.flag_timeout("member " + std::to_string(m->id()) +
-                              " agreement still in flight at deadline");
+      checker_.check_no_wedge(m->id(), m->agreement_in_flight());
       r.restarts += m->agreement_restarts();
       r.stale_dropped += m->stale_dropped();
+      r.frames_rejected += m->frames_rejected();
+      r.recoveries += m->recoveries();
       r.final_epoch = std::max(r.final_epoch, m->key_epoch());
       if (r.fingerprint.empty()) r.fingerprint = m->key_fingerprint();
     }
@@ -71,6 +84,7 @@ class ChaosRun final : public fault::ChurnTarget {
     r.convergence_ms = std::max(0.0, last_key_time_ - last_op);
     r.wire = injector_.stats();
     r.churn_applied = injector_.stats().churn_applied;
+    r.frames_mutated = injector_.stats().frames_mutated;
     return r;
   }
 
@@ -135,6 +149,8 @@ class ChaosRun final : public fault::ChurnTarget {
     cfg.cost = config_.cost;
     cfg.seed = config_.seed;
     cfg.signature = config_.signature;
+    cfg.verify_signatures = config_.verify_signatures;
+    cfg.recovery_watchdog_ms = config_.recovery_watchdog_ms;
     auto member = std::make_unique<SecureGroupMember>(net_, pid, pki_, cfg);
     member->set_key_listener([this, pid](SimTime t, std::uint64_t epoch) {
       checker_.observe_epoch(pid, epoch);
@@ -158,6 +174,7 @@ class ChaosRun final : public fault::ChurnTarget {
   SpreadNetwork net_;
   std::shared_ptr<Pki> pki_;
   fault::FaultInjector injector_;
+  std::optional<fault::FrameMutator> mutator_;
   fault::InvariantChecker checker_;
   std::vector<std::unique_ptr<SecureGroupMember>> members_;  // index: ProcessId
   std::size_t spawned_ = 0;

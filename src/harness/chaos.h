@@ -47,6 +47,18 @@ struct ChaosConfig {
   /// Scripted mode: when non-empty these ops replace the randomized
   /// schedule (regression reproductions, unit tests).
   std::vector<fault::ChurnOp> script;
+
+  // ---- adversarial wire fuzzing (see src/fault/mutator.h) -----------------
+  /// Probability that any one stamped frame / unicast is mutated. 0 keeps
+  /// the wire honest (the chaos baseline regime).
+  double mutation_rate = 0.0;
+  /// Verify signatures at the members. When off, the mutator restricts
+  /// itself to mutations that strict structural validation provably catches
+  /// (detectable_only), so the run still may not diverge silently.
+  bool verify_signatures = true;
+  /// Per-member recovery watchdog (0 = disabled); fuzz runs arm it so frames
+  /// erased outright (replay mutations) cannot wedge an agreement.
+  double recovery_watchdog_ms = 0.0;
 };
 
 struct ChaosResult {
@@ -63,6 +75,9 @@ struct ChaosResult {
   std::uint64_t restarts = 0;       // agreement restarts, summed over members
   std::uint64_t stale_dropped = 0;  // stale frames discarded, summed
   std::uint64_t churn_applied = 0;
+  std::uint64_t frames_mutated = 0;   // wire frames the mutator corrupted
+  std::uint64_t frames_rejected = 0;  // typed rejections, summed over members
+  std::uint64_t recoveries = 0;       // quarantine rekeys, summed over members
   fault::FaultInjector::Stats wire;
 };
 

@@ -63,6 +63,22 @@ std::uint64_t Reader::u64() {
   return v;
 }
 
+std::uint8_t Reader::peek_u8() const {
+  need(1);
+  return data_[pos_];
+}
+
+std::uint32_t Reader::count(std::uint32_t cap) {
+  const std::uint32_t n = u32();
+  if (n > cap) throw LengthError("list length exceeds limit");
+  if (n > remaining()) throw LengthError("list length exceeds payload");
+  return n;
+}
+
+void Reader::expect_done() const {
+  if (pos_ != data_.size()) throw DecodeError("trailing bytes");
+}
+
 Bytes Reader::bytes() {
   std::uint32_t n = u32();
   need(n);

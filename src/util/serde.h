@@ -18,6 +18,14 @@ class DecodeError : public std::runtime_error {
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A length prefix inconsistent with its payload or above a caller-imposed
+/// cap (Reader::count). Distinct from plain truncation so validated decoders
+/// can report a typed kBadLength rejection.
+class LengthError : public DecodeError {
+ public:
+  explicit LengthError(const std::string& what) : DecodeError(what) {}
+};
+
 /// Appends encoded fields to an internal buffer.
 class Writer {
  public:
@@ -50,6 +58,16 @@ class Reader {
   std::uint64_t u64();
   Bytes bytes();
   std::string str();
+
+  /// Next byte without consuming it.
+  std::uint8_t peek_u8() const;
+  /// u32 element count, bounds-checked against both `cap` and the bytes
+  /// actually left (each element occupies at least one byte), so a hostile
+  /// length prefix cannot drive a huge allocation or loop.
+  std::uint32_t count(std::uint32_t cap);
+  /// Throws unless every byte has been consumed. Validated decoders call
+  /// this last so trailing garbage is rejected, not ignored.
+  void expect_done() const;
 
   bool done() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }

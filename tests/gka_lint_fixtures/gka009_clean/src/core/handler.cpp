@@ -1,0 +1,24 @@
+// GKA009 clean fixture: the handler consumes wire bytes only through the
+// validated-decode entrypoint, which maps every malformed input to a typed
+// RejectReason instead of throwing.
+#include "core/handler.h"
+
+Decoded<Handler::Wire> Handler::validate_and_decode(const Bytes& body) {
+  using D = Decoded<Wire>;
+  Wire w;
+  try {
+    Reader r(body);
+    w.type = r.u8();
+    w.value = r.bignum();
+    if (!r.done()) return D::rejected(RejectReason::kTrailingBytes);
+  } catch (const DecodeError&) {
+    return D::rejected(RejectReason::kTruncated);
+  }
+  return D::accepted(w);
+}
+
+void Handler::handle_message(ProcessId sender, const Bytes& body) {
+  const auto decoded = validate_and_decode(body);
+  if (decoded.rejected()) return;
+  process(sender, decoded.value.type, decoded.value.value);
+}

@@ -1,0 +1,10 @@
+// GKA009 fire fixture: a message handler that parses untrusted wire bytes
+// with a bare Reader instead of going through a validate_and_decode
+// entrypoint — a malformed frame would throw DecodeError past the handler.
+#include "core/handler.h"
+
+void Handler::handle_message(ProcessId sender, const Bytes& body) {
+  Reader r(body);
+  const auto type = r.u8();
+  process(sender, type, r.bignum());
+}

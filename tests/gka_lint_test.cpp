@@ -44,11 +44,12 @@ std::vector<SourceFile> load_fixture(const std::string& name) {
 
 TEST(GkaLintRules, TableIsComplete) {
   const auto& rules = gka_lint::rules();
-  ASSERT_EQ(rules.size(), 13u);
+  ASSERT_EQ(rules.size(), 14u);
   EXPECT_STREQ(rules[0].id, "GKA001");
   EXPECT_STREQ(rules[5].id, "GKA006");
-  EXPECT_STREQ(rules[8].id, "GKA101");
-  EXPECT_STREQ(rules[12].id, "GKA203");
+  EXPECT_STREQ(rules[8].id, "GKA009");
+  EXPECT_STREQ(rules[9].id, "GKA101");
+  EXPECT_STREQ(rules[13].id, "GKA203");
 }
 
 TEST(GkaLintRules, SuppressionHygieneRulesAreWarnings) {
@@ -260,6 +261,40 @@ TEST(GkaLint, Gka008FlagsMissingReason) {
   const auto fs = lint_source("src/core/x.cpp", without);
   EXPECT_TRUE(has_rule(fs, "GKA008"));
   EXPECT_FALSE(has_rule(fs, "GKA001"));  // still suppressed, just flagged
+}
+
+TEST(GkaLint, Gka009FiresOnBareReaderInHandlers) {
+  const std::string src =
+      "void Proto::handle_message(const Bytes& body) {\n"
+      "  Reader r(body);\n"
+      "  const auto tag = r.u8();\n"
+      "}\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "GKA009"));
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[0].severity, Severity::kError);
+}
+
+TEST(GkaLint, Gka009AllowsValidatedDecodeAndOtherLayers) {
+  // The sanctioned entrypoints may construct Readers...
+  const std::string entry =
+      "Decoded<Wire> Proto::validate_and_decode(const Bytes& body) {\n"
+      "  Reader r(body);\n"
+      "  return D::accepted(Wire{r.u8()});\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", entry).empty());
+  EXPECT_TRUE(lint_source("src/gcs/x.cpp", entry).empty());
+  // ...reference parameters are not constructions...
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "void parse_node(Reader& r, KeyTree& t);\n")
+                  .empty());
+  // ...and the rule is scoped to the wire-handling layers.
+  const std::string elsewhere =
+      "void decode(const Bytes& body) {\n"
+      "  Reader r(body);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/crypto/x.cpp", elsewhere).empty());
+  EXPECT_TRUE(lint_source("tests/x.cpp", elsewhere).empty());
 }
 
 TEST(GkaLintTaint, Gka201FiresOnRevealIntoRawLocal) {

@@ -144,6 +144,10 @@ const std::vector<Rule>& rules() {
        "stale allow() suppression that no longer matches any finding"},
       {"GKA008", Severity::kWarning,
        "allow() suppression without a reason string"},
+      {"GKA009", Severity::kError,
+       "wire Reader constructed outside a validate_and_decode entrypoint in "
+       "src/core or src/gcs; parse untrusted bytes only behind the typed "
+       "reject path"},
       {"GKA101", Severity::kError,
        "include edge violates the subsystem layering DAG (util -> bignum -> "
        "crypto -> core -> {sim, gcs} -> harness; obs from core up)"},

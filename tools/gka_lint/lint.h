@@ -29,6 +29,10 @@
 //   GKA008 (warning) suppression without a reason: every `allow()` must
 //                    carry explanatory text after the closing paren, e.g.
 //                    `// gka-lint: allow(GKA002) -- public test vector`.
+//   GKA009 (error)   wire Reader constructed outside a validate_and_decode
+//                    entrypoint in src/core or src/gcs: untrusted bytes must
+//                    only be parsed behind the typed reject path, never via a
+//                    bare Reader that can throw past the message handler.
 //
 // Architecture rules (whole project, src/ only):
 //   GKA101 (error)   include edge that violates the subsystem layering DAG

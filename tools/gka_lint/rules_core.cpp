@@ -35,6 +35,8 @@ void run_core_rules(const FileModel& m, const Sink& sink) {
                            path_has_prefix(path, "src/core");
   const bool randomness_ok = path_contains(path, "util/random_source") ||
                              path_contains(path, "crypto/drbg");
+  const bool wire_path = path_has_prefix(path, "src/core") ||
+                         path_has_prefix(path, "src/gcs");
 
   auto report = [&](std::size_t li, const char* rule, std::string message) {
     sink({rule, path, static_cast<int>(li) + 1, std::move(message)});
@@ -191,6 +193,42 @@ void run_core_rules(const FileModel& m, const Sink& sink) {
                        "' holds secret material in non-zeroizing storage; "
                        "use SecureBytes / SecureBigInt");
           }
+        }
+      }
+    }
+
+    // --- GKA009: wire Reader outside a validated-decode entrypoint --------
+    // Untrusted bytes enter the protocol layer only through the per-protocol
+    // validate_and_decode functions (and secure_group's validate_and_decode_*
+    // helpers), which map every malformed input to a typed RejectReason
+    // instead of throwing. A bare `Reader r(...)` construction anywhere else
+    // in src/core or src/gcs reintroduces a throw-past-the-handler path.
+    if (wire_path) {
+      for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+        if (ids[i].text != "Reader") continue;
+        const LineTok& decl = ids[i + 1];
+        // Construction shape: `Reader name(...)` / `Reader name{...}` with
+        // the name directly adjacent to Reader (modulo spaces). References
+        // (`Reader& r`) are parameters, not constructions, and stay clean.
+        const std::string between =
+            c.substr(ids[i].pos + ids[i].text.size(),
+                     decl.pos - (ids[i].pos + ids[i].text.size()));
+        if (between.find_first_not_of(" \t") != std::string::npos) continue;
+        const std::size_t after = decl.pos + decl.text.size();
+        if (after >= c.size() || (c[after] != '(' && c[after] != '{')) continue;
+        const int line1 = static_cast<int>(li) + 1;
+        const Function* inner = nullptr;
+        for (const Function& fn : m.functions) {
+          if (fn.body_begin <= line1 && line1 <= fn.body_end &&
+              (inner == nullptr || fn.body_begin > inner->body_begin))
+            inner = &fn;
+        }
+        if (inner == nullptr ||
+            inner->name.find("validate_and_decode") == std::string::npos) {
+          report(li, "GKA009",
+                 "wire Reader constructed outside a validate_and_decode "
+                 "entrypoint; parse untrusted bytes only behind the typed "
+                 "reject path");
         }
       }
     }
