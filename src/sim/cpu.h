@@ -9,7 +9,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -39,7 +39,9 @@ class CpuScheduler {
  private:
   Simulator& sim_;
   std::vector<SimTime> core_free_;
-  std::unordered_map<std::uint64_t, SimTime> process_free_;
+  // std::map, not unordered_map: a handful of processes per machine, and
+  // deterministic subsystems must not depend on hash-iteration order.
+  std::map<std::uint64_t, SimTime> process_free_;
   double speed_;
   std::uint32_t track_;
 };

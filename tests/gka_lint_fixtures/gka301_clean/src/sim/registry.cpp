@@ -1,0 +1,14 @@
+#include <map>
+
+namespace sgk {
+
+// std::map iterates in key order: identical schedules on every run.
+class ProcessRegistry {
+ public:
+  void tick();
+
+ private:
+  std::map<std::uint64_t, double> next_wake_;
+};
+
+}  // namespace sgk

@@ -1,0 +1,14 @@
+#include <unordered_map>
+
+namespace sgk {
+
+// Iterating a hash map into the event queue replays differently per run.
+class ProcessRegistry {
+ public:
+  void tick();
+
+ private:
+  std::unordered_map<std::uint64_t, double> next_wake_;
+};
+
+}  // namespace sgk

@@ -1,0 +1,12 @@
+#include <set>
+
+namespace sgk {
+
+int count_reachable(const Node& root) {
+  // Keyed by the stable node id, not the allocation address.
+  std::set<int> visited;
+  visited.insert(root.id());
+  return static_cast<int>(visited.size());
+}
+
+}  // namespace sgk

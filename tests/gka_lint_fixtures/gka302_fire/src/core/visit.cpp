@@ -1,0 +1,12 @@
+#include <set>
+
+namespace sgk {
+
+int count_reachable(Node* root) {
+  // Ordered by pointer value: the traversal order changes with ASLR.
+  std::set<Node*> visited;
+  visited.insert(root);
+  return static_cast<int>(visited.size());
+}
+
+}  // namespace sgk

@@ -1,0 +1,15 @@
+// The one sanctioned host-time boundary: everything else takes timestamps
+// from here (or from Simulator::now()), never from the clock directly.
+#pragma once
+
+#include <chrono>
+
+namespace sgk {
+
+inline double wallclock_unix_ms() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace sgk

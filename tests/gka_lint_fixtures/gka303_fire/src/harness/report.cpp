@@ -1,0 +1,12 @@
+#include <chrono>
+
+namespace sgk {
+
+double stamp_ms() {
+  // Host wall time read directly in harness logic.
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace sgk

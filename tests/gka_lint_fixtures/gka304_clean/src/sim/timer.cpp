@@ -1,0 +1,10 @@
+#include "sim/simulator.h"
+
+namespace sgk {
+
+double elapsed_ms(Simulator& sim, double start_ms) {
+  // Virtual time only: identical on every replay.
+  return sim.now() - start_ms;
+}
+
+}  // namespace sgk

@@ -1,0 +1,11 @@
+#include <chrono>
+
+namespace sgk {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  // Host monotonic time inside the simulator: replay diverges by host load.
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+}  // namespace sgk

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sgk {
+
+// The seed is an explicit input (CLI flag / scenario field): the run is
+// reproducible by writing the seed down.
+struct RunConfig {
+  std::uint64_t seed = 1;
+};
+
+}  // namespace sgk

@@ -1,0 +1,10 @@
+#include <ctime>
+
+namespace sgk {
+
+std::uint64_t pick_seed() {
+  // Ambient entropy: a different scenario every run, none reproducible.
+  return static_cast<std::uint64_t>(time(nullptr));
+}
+
+}  // namespace sgk

@@ -1,0 +1,10 @@
+#include <cstdint>
+
+namespace sgk {
+
+std::uint64_t channel_tag(const Endpoint& ep) {
+  // Stable id assigned at construction: identical across runs.
+  return ep.id();
+}
+
+}  // namespace sgk

@@ -1,0 +1,10 @@
+#include <cstdint>
+
+namespace sgk {
+
+std::uint64_t channel_tag(const Endpoint* ep) {
+  // The "tag" is the allocation address: differs per run under ASLR.
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(ep));
+}
+
+}  // namespace sgk

@@ -1,0 +1,13 @@
+namespace sgk {
+
+// Namespace-scope constants are fine; mutable state lives in the Simulator.
+constexpr int kMaxBackoffSteps = 12;
+const double kDefaultJitterMs = 0.5;
+
+struct Counters {
+  int events = 0;
+};
+
+void bump(Counters& c) { ++c.events; }
+
+}  // namespace sgk

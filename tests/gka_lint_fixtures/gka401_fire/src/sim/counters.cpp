@@ -1,0 +1,9 @@
+namespace sgk {
+
+// Mutable global: two simulations in one process would share (and race on)
+// this counter, and a run's result depends on what ran before it.
+int g_event_count = 0;
+
+void bump() { ++g_event_count; }
+
+}  // namespace sgk

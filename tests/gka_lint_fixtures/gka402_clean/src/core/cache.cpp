@@ -1,0 +1,10 @@
+namespace sgk {
+
+int next_round_id(Session& session) {
+  // Immutable statics are fine; the mutable counter lives in the session.
+  static constexpr int kFirstRound = 1;
+  if (session.round == 0) session.round = kFirstRound;
+  return session.round++;
+}
+
+}  // namespace sgk

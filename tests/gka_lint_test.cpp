@@ -44,21 +44,37 @@ std::vector<SourceFile> load_fixture(const std::string& name) {
 
 TEST(GkaLintRules, TableIsComplete) {
   const auto& rules = gka_lint::rules();
-  ASSERT_EQ(rules.size(), 14u);
+  ASSERT_EQ(rules.size(), 22u);
   EXPECT_STREQ(rules[0].id, "GKA001");
   EXPECT_STREQ(rules[5].id, "GKA006");
   EXPECT_STREQ(rules[8].id, "GKA009");
   EXPECT_STREQ(rules[9].id, "GKA101");
   EXPECT_STREQ(rules[13].id, "GKA203");
+  EXPECT_STREQ(rules[14].id, "GKA301");
+  EXPECT_STREQ(rules[19].id, "GKA306");
+  EXPECT_STREQ(rules[20].id, "GKA401");
+  EXPECT_STREQ(rules[21].id, "GKA402");
 }
 
-TEST(GkaLintRules, SuppressionHygieneRulesAreWarnings) {
+TEST(GkaLintRules, SeverityAssignments) {
   for (const gka_lint::Rule& r : gka_lint::rules()) {
     const std::string id = r.id;
     if (id == "GKA007" || id == "GKA008") {
       EXPECT_EQ(r.severity, Severity::kWarning) << id;
     }
     if (id[3] == '1' || id[3] == '2') {  // GKA1xx / GKA2xx
+      EXPECT_EQ(r.severity, Severity::kError) << id;
+    }
+    // Determinism family: the heuristic pointer rules are warnings, the
+    // rest (and the whole shared-state family) are errors.
+    if (id[3] == '3') {
+      if (id == "GKA302" || id == "GKA306") {
+        EXPECT_EQ(r.severity, Severity::kWarning) << id;
+      } else {
+        EXPECT_EQ(r.severity, Severity::kError) << id;
+      }
+    }
+    if (id[3] == '4') {
       EXPECT_EQ(r.severity, Severity::kError) << id;
     }
   }
@@ -405,6 +421,271 @@ TEST(GkaLintProject, CrossFileTaintSeedsFollowIncludes) {
   const auto fs = lint_project(proj);
   EXPECT_TRUE(has_rule(fs, "GKA201"));
   EXPECT_TRUE(has_rule(fs, "GKA202"));
+}
+
+TEST(GkaLintInterproc, CrossFileSinkLaunderingNeedsTheCallGraph) {
+  // The acceptance fixture for the v3 interprocedural pass: a secret
+  // reveal()ed in one file, exfiltrated by a helper defined in another.
+  const auto caller = load_fixture("xtu_taint_fire");
+  ASSERT_EQ(caller.size(), 2u);
+
+  // Each file in isolation is clean — this is exactly the flow the v2
+  // function-local pass (and the name heuristics) provably miss.
+  for (const SourceFile& f : caller)
+    EXPECT_TRUE(lint_source(f.path, f.content).empty())
+        << f.path << " should be clean in isolation";
+
+  // Project mode links the call site to the helper's taint summary.
+  const auto fs = lint_project(caller);
+  ASSERT_TRUE(has_rule(fs, "GKA203"));
+
+  // Same shape, but the helper fingerprints instead of logging: the
+  // boundary absorbs the taint inside the summary and nothing fires.
+  for (const Finding& f : lint_project(load_fixture("xtu_taint_clean")))
+    ADD_FAILURE() << "xtu_taint_clean is not clean: " << gka_lint::format(f);
+}
+
+TEST(GkaLintInterproc, SummariesPropagateThroughCallChains) {
+  // g leaks its parameter; f only forwards — two summary hops.
+  const std::vector<SourceFile> proj = {
+      {"src/core/leak.cpp",
+       "void g(const Bytes& data) {\n"
+       "  std::cout << to_hex(data);\n"
+       "}\n"
+       "void f(const Bytes& buf) {\n"
+       "  g(buf);\n"
+       "}\n"},
+      {"src/core/use.cpp",
+       "void use(const SecureBytes& session_key) {\n"
+       "  f(session_key.reveal());\n"
+       "}\n"},
+  };
+  EXPECT_TRUE(has_rule(lint_project(proj), "GKA203"));
+}
+
+TEST(GkaLintInterproc, SecretDerivedReturnValuesMintTaint) {
+  // derive() returns bytes revealed from its file's own secret; the caller
+  // stores them in a raw local (GKA201) and logs them (GKA203) without
+  // ever touching a Secure* type or a secret-ish name itself.
+  const std::vector<SourceFile> proj = {
+      {"src/core/derive.h",
+       "class Deriver {\n"
+       " public:\n"
+       "  Bytes derive() {\n"
+       "    return session_key_.reveal();\n"
+       "  }\n"
+       " private:\n"
+       "  SecureBytes session_key_;\n"
+       "};\n"},
+      {"src/core/consume.cpp",
+       "#include \"core/derive.h\"\n"
+       "void dump(Deriver& d) {\n"
+       "  Bytes material = derive();\n"
+       "  std::cout << to_hex(material);\n"
+       "}\n"},
+  };
+  const auto fs = lint_project(proj);
+  EXPECT_TRUE(has_rule(fs, "GKA201"));
+  EXPECT_TRUE(has_rule(fs, "GKA203"));
+}
+
+TEST(GkaLintInterproc, MutuallyRecursiveSummariesConverge) {
+  // alpha and beta call each other; alpha also logs. The fixpoint must
+  // terminate and give beta a param-to-sink bit through the cycle.
+  const std::string src =
+      "void alpha(const Bytes& data, int n);\n"
+      "void beta(const Bytes& data, int n) {\n"
+      "  if (n > 0) alpha(data, n - 1);\n"
+      "}\n"
+      "void alpha(const Bytes& data, int n) {\n"
+      "  if (n > 0) beta(data, n - 1);\n"
+      "  std::cout << to_hex(data);\n"
+      "}\n"
+      "void f(const SecureBytes& session_key) {\n"
+      "  beta(session_key.reveal(), 2);\n"
+      "}\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "GKA203"));
+  EXPECT_EQ(fs[0].line, 10);
+}
+
+TEST(GkaLintInterproc, BoundariesBeatSummaries) {
+  // A summarized leaky helper wrapped in an approved boundary call does not
+  // fire: absorption has precedence over summary queries.
+  const std::string src =
+      "Bytes twiddle(const Bytes& data) {\n"
+      "  return data;\n"
+      "}\n"
+      "void f(const SecureBytes& session_key) {\n"
+      "  auto fp = key_fingerprint(twiddle(session_key.reveal()));\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(GkaLintDeterminism, Gka301FlagsUnorderedContainers) {
+  const std::string src =
+      "class R {\n  std::unordered_map<int, double> m_;\n};\n";
+  EXPECT_TRUE(has_rule(lint_source("src/sim/x.h", src), "GKA301"));
+  EXPECT_TRUE(has_rule(lint_source("src/core/x.h", src), "GKA301"));
+  EXPECT_TRUE(has_rule(lint_source("src/fault/x.h", src), "GKA301"));
+  // Ordered containers, and unordered ones outside the deterministic
+  // subsystems, are fine.
+  EXPECT_TRUE(lint_source("src/sim/x.h",
+                          "class R {\n  std::map<int, double> m_;\n};\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/obs/x.h", src).empty());
+  EXPECT_TRUE(lint_source("tests/x.cpp", src).empty());
+}
+
+TEST(GkaLintDeterminism, Gka302FlagsPointerKeys) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "void f() {\n  std::set<Node*> visited;\n}\n"),
+      "GKA302"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "void f() {\n  std::map<KeyTree*, int> rank;\n}\n"),
+      "GKA302"));
+  // Pointer *values* are fine — only ordering/hashing by pointer key is
+  // address-dependent.
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "void f() {\n  std::map<int, Node*> by_id;\n}\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "void f() {\n  std::set<int> visited;\n}\n")
+                  .empty());
+}
+
+TEST(GkaLintDeterminism, Gka303And304ScopeToTheWallclockBoundary) {
+  const std::string wall = "auto t = std::chrono::system_clock::now();\n";
+  const std::string mono = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(has_rule(lint_source("src/harness/x.cpp", wall), "GKA303"));
+  EXPECT_TRUE(has_rule(lint_source("src/sim/x.cpp", mono), "GKA304"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "auto t = std::chrono::high_resolution_clock::now();\n"),
+      "GKA304"));
+  // The wallclock boundary file may read the host clock; tests may too.
+  EXPECT_TRUE(lint_source("src/obs/wallclock.h", wall).empty());
+  EXPECT_TRUE(lint_source("src/obs/wallclock.h", mono).empty());
+  EXPECT_TRUE(lint_source("tests/x.cpp", mono).empty());
+}
+
+TEST(GkaLintDeterminism, Gka305FlagsAmbientEntropyOnly) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/harness/x.cpp", "auto s = time(nullptr);\n"),
+      "GKA305"));
+  EXPECT_TRUE(has_rule(lint_source("tests/x.cpp", "auto s = time(0);\n"),
+                       "GKA305"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/sim/x.cpp", "auto c = clock();\n"), "GKA305"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/harness/x.cpp", "const char* e = getenv(\"SEED\");\n"),
+      "GKA305"));
+  // `time`/`clock` are everyday simulator identifiers — only the C library
+  // signatures fire. The sanctioned entropy files are exempt.
+  EXPECT_TRUE(
+      lint_source("src/sim/x.cpp", "schedule(time(t), ev);\n").empty());
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", "auto t = clock(machine);\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/util/random_source.h",
+                          "auto s = time(nullptr);\n")
+                  .empty());
+}
+
+TEST(GkaLintDeterminism, Gka306FlagsPointerIntCasts) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/gcs/x.cpp",
+                  "auto id = reinterpret_cast<std::uintptr_t>(p);\n"),
+      "GKA306"));
+  // Non-pointer reinterpret_casts and other subsystems are out of scope.
+  EXPECT_TRUE(lint_source("src/gcs/x.cpp",
+                          "auto b = reinterpret_cast<const char*>(p);\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/obs/x.cpp",
+                          "auto id = reinterpret_cast<std::uintptr_t>(p);\n")
+                  .empty());
+}
+
+TEST(GkaLintSharedState, Gka401FlagsMutableGlobals) {
+  const std::string src =
+      "namespace sgk {\n"
+      "int g_event_count = 0;\n"
+      "}\n";
+  const auto fs = lint_source("src/sim/x.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "GKA401"));
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(GkaLintSharedState, Gka401SkipsConstantsTypesAndMembers) {
+  EXPECT_TRUE(lint_source("src/sim/x.cpp",
+                          "namespace sgk {\n"
+                          "constexpr int kMax = 4;\n"
+                          "const double kJitter = 0.5;\n"
+                          "using Clock = VirtualClock;\n"
+                          "extern int g_declared_elsewhere;\n"
+                          "struct S { int mutable_member = 0; };\n"
+                          "int pure_helper(int x) { int local = x; return local; }\n"
+                          "}\n")
+                  .empty());
+  // Out of scope: harness/obs may keep process-wide state.
+  EXPECT_TRUE(
+      lint_source("src/harness/x.cpp", "int g_runs = 0;\n").empty());
+}
+
+TEST(GkaLintSharedState, Gka402FlagsMutableFunctionStatics) {
+  const std::string src =
+      "int next_id() {\n"
+      "  static int counter = 0;\n"
+      "  return ++counter;\n"
+      "}\n";
+  const auto fs = lint_source("src/core/x.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "GKA402"));
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(GkaLintSharedState, Gka402SkipsImmutableAndClassStatics) {
+  // Immutable locals, and `static` member functions / class-scope statics
+  // (type scope, not function scope), stay clean.
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "int f() {\n"
+                          "  static constexpr int kBase = 7;\n"
+                          "  static const int kDerived = kBase + 1;\n"
+                          "  return kDerived;\n"
+                          "}\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/x.h",
+                          "struct CostModel {\n"
+                          "  static CostModel paper2002() { return CostModel{}; }\n"
+                          "  static CostModel free();\n"
+                          "};\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_source("src/harness/x.cpp", "int f() {\n  static int n = 0;\n  return ++n;\n}\n")
+          .empty());
+}
+
+TEST(GkaLintDriver, ParallelModelBuildingIsByteIdentical) {
+  // Findings and ordering must not depend on --jobs: the merge and rule
+  // phases are serial, only model extraction fans out.
+  std::vector<SourceFile> proj;
+  for (int i = 0; i < 24; ++i) {
+    const std::string tag = std::to_string(i);
+    proj.push_back({"src/core/f" + tag + ".cpp",
+                    "void f" + tag + "(const SecureBytes& session_key) {\n"
+                    "  Bytes copy_bytes = session_key.reveal();\n"
+                    "}\n"});
+  }
+  gka_lint::LintStats serial_stats, parallel_stats;
+  const auto serial = lint_project(proj, 1, &serial_stats);
+  const auto parallel = lint_project(proj, 8, &parallel_stats);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(gka_lint::format(serial[i]), gka_lint::format(parallel[i]));
+  }
+  EXPECT_EQ(serial.size(), 24u);
+  EXPECT_EQ(serial_stats.files, 24u);
+  EXPECT_EQ(parallel_stats.files, 24u);
 }
 
 TEST(GkaLintFixtures, EveryRuleFiresOnItsFixtureAndStaysQuietOnClean) {

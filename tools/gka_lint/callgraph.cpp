@@ -1,0 +1,99 @@
+#include "gka_lint/callgraph.h"
+
+#include "gka_lint/rules_internal.h"
+
+namespace gka_lint {
+
+namespace {
+
+const char* const kNotCalls[] = {
+    "if",     "for",    "while",    "switch",        "catch",
+    "return", "sizeof", "alignof",  "decltype",      "static_assert",
+    "new",    "delete", "throw",    "defined",       "assert",
+};
+
+bool keywordish(const std::string& s) {
+  for (const char* k : kNotCalls)
+    if (s == k) return true;
+  return false;
+}
+
+}  // namespace
+
+void CallGraph::build(const std::vector<FileModel>& models) {
+  for (const FileModel& m : models) {
+    if (m.skip_file) continue;
+    for (const Function& fn : m.functions) {
+      order_.push_back({&m, &fn});
+      defs_[fn.name].push_back({&m, &fn});
+
+      // Callees: every `ident(` on the body's stripped code lines.
+      std::set<std::string>& out = callees_[&fn];
+      for (int line = fn.body_begin; line <= fn.body_end; ++line) {
+        const std::size_t li = static_cast<std::size_t>(line - 1);
+        if (li >= m.code.size()) break;
+        const std::string& c = m.code[li];
+        if (c.empty()) continue;
+        for (const LineTok& t : line_identifiers(c)) {
+          const std::size_t after = t.pos + t.text.size();
+          if (after < c.size() && c[after] == '(' && !keywordish(t.text))
+            out.insert(t.text);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<FunctionRef>* CallGraph::definitions(
+    const std::string& name) const {
+  const auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+const std::set<std::string>& CallGraph::callees(const Function* fn) const {
+  const auto it = callees_.find(fn);
+  return it == callees_.end() ? no_callees_ : it->second;
+}
+
+bool InterprocView::known(const std::string& callee) const {
+  return cg_->definitions(callee) != nullptr;
+}
+
+bool InterprocView::param_to_sink(const std::string& callee,
+                                  std::size_t arg) const {
+  const auto* defs = cg_->definitions(callee);
+  if (defs == nullptr) return false;
+  for (const FunctionRef& ref : *defs) {
+    const auto it = summaries_->find(ref.fn);
+    if (it == summaries_->end()) continue;
+    if (arg < it->second.param_to_sink.size() && it->second.param_to_sink[arg])
+      return true;
+  }
+  return false;
+}
+
+bool InterprocView::param_to_return(const std::string& callee,
+                                    std::size_t arg) const {
+  const auto* defs = cg_->definitions(callee);
+  if (defs == nullptr) return false;
+  for (const FunctionRef& ref : *defs) {
+    const auto it = summaries_->find(ref.fn);
+    if (it == summaries_->end()) continue;
+    if (arg < it->second.param_to_return.size() &&
+        it->second.param_to_return[arg])
+      return true;
+  }
+  return false;
+}
+
+bool InterprocView::returns_tainted(const std::string& callee) const {
+  const auto* defs = cg_->definitions(callee);
+  if (defs == nullptr) return false;
+  for (const FunctionRef& ref : *defs) {
+    const auto it = summaries_->find(ref.fn);
+    if (it != summaries_->end() && it->second.returns_tainted) return true;
+  }
+  return false;
+}
+
+}  // namespace gka_lint

@@ -70,6 +70,32 @@ class Lexer {
         identifier();
         continue;
       }
+      // Digraphs ([lex.digraph]): <% %> <: :> lex as their primary forms
+      // { } [ ] so brace-scope classification works on digraph source.
+      // Exception ([lex.pptoken]/3): "<::" not followed by ':' or '>' is
+      // '<' then '::' (think std::vector<::X>), not '[:'.
+      const char next = i_ + 1 < s_.size() ? s_[i_ + 1] : '\0';
+      if (c == '<' && next == '%') {
+        digraph('{');
+        continue;
+      }
+      if (c == '%' && next == '>') {
+        digraph('}');
+        continue;
+      }
+      if (c == ':' && next == '>') {
+        digraph(']');
+        continue;
+      }
+      if (c == '<' && next == ':') {
+        const char c2 = i_ + 2 < s_.size() ? s_[i_ + 2] : '\0';
+        const char c3 = i_ + 3 < s_.size() ? s_[i_ + 3] : '\0';
+        const bool angle_scope = c2 == ':' && c3 != ':' && c3 != '>';
+        if (!angle_scope) {
+          digraph('[');
+          continue;
+        }
+      }
       begin(TokKind::kPunct);
       cur_.text.push_back(c);
       advance();
@@ -91,6 +117,15 @@ class Lexer {
 
   void begin(TokKind kind) {
     cur_ = Tok{kind, {}, line_, col_};
+  }
+
+  /// Emits a two-character digraph as its one-character primary form.
+  void digraph(char primary) {
+    begin(TokKind::kPunct);
+    cur_.text.push_back(primary);
+    advance();
+    advance();
+    emit();
   }
 
   void emit() { out_.push_back(std::move(cur_)); }

@@ -4,11 +4,15 @@
 #include "gka_lint/lint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
 
+#include "gka_lint/callgraph.h"
 #include "gka_lint/model.h"
 #include "gka_lint/rules_internal.h"
 
@@ -102,14 +106,16 @@ void resolve_suppressions(const FileModel& m, std::vector<RawFinding>& raw,
   }
 }
 
-/// Per-file rules (GKA0xx + GKA2xx) into `out`, suppressions applied.
+/// Per-file rules (GKA0xx + GKA2xx + GKA3xx/4xx) into `out`, suppressions
+/// applied. `iv` carries the interprocedural taint summaries (may be null).
 void lint_one(const FileModel& m, const std::vector<std::string>& taint_seed,
-              std::vector<Finding>& out) {
+              const InterprocView* iv, std::vector<Finding>& out) {
   if (m.skip_file) return;
   std::vector<RawFinding> raw;
   const Sink sink = [&raw](RawFinding f) { raw.push_back(std::move(f)); };
   run_core_rules(m, sink);
-  run_taint_rules(m, taint_seed, sink);
+  run_taint_rules(m, taint_seed, iv, sink);
+  run_determinism_rules(m, sink);
   resolve_suppressions(m, raw, out);
 }
 
@@ -159,7 +165,33 @@ const std::vector<Rule>& rules() {
        "secret-derived value returned as a raw byte/string type"},
       {"GKA203", Severity::kError,
        "secret-derived value reaches a logging/trace/metric sink "
-       "(taint-based)"},
+       "(taint-based, interprocedural over the cross-TU call graph)"},
+      {"GKA301", Severity::kError,
+       "unordered container in a deterministic subsystem (src/core, src/sim, "
+       "src/gcs, src/fault); iteration order is not reproducible — use "
+       "std::map/std::set"},
+      {"GKA302", Severity::kWarning,
+       "container ordered or hashed by pointer value in a deterministic "
+       "subsystem; addresses vary per run (ASLR) — key by a stable id"},
+      {"GKA303", Severity::kError,
+       "wall-clock read (system_clock) outside the wallclock boundary"},
+      {"GKA304", Severity::kError,
+       "host monotonic clock (steady_clock/high_resolution_clock) outside "
+       "the wallclock boundary; virtual time comes from Simulator::now()"},
+      {"GKA305", Severity::kError,
+       "ambient time/env entropy (time(nullptr), clock(), getpid, getenv) "
+       "outside util/random_source and the DRBG"},
+      {"GKA306", Severity::kWarning,
+       "pointer-to-integer reinterpret_cast in a deterministic subsystem; "
+       "the value is an address and varies per run"},
+      {"GKA401", Severity::kError,
+       "mutable namespace-scope state in src/core, src/sim, or src/gcs; "
+       "couples simulation runs — make it const or pass it through the "
+       "scenario"},
+      {"GKA402", Severity::kError,
+       "mutable function-local static in src/core, src/sim, or src/gcs; "
+       "hidden shared state plus an initialization race once runs go "
+       "parallel"},
   };
   return kRules;
 }
@@ -188,16 +220,60 @@ std::string format(const Finding& f) {
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content) {
   std::vector<Finding> out;
-  const FileModel m = build_model(path, content);
-  lint_one(m, m.secure_idents, out);
+  std::vector<FileModel> models;
+  models.push_back(build_model(path, content));
+  const FileModel& m = models.front();
+
+  // Single-file mode still gets the interprocedural layer, scoped to this
+  // translation unit: a helper defined above its caller in the same file is
+  // summarized and consulted.
+  CallGraph cg;
+  cg.build(models);
+  std::map<const FileModel*, std::vector<std::string>> seeds;
+  seeds[&m] = m.secure_idents;
+  const SummaryMap summaries = compute_taint_summaries(models, cg, seeds);
+  const InterprocView iv(cg, summaries);
+
+  lint_one(m, m.secure_idents, &iv, out);
   sort_findings(out);
   return out;
 }
 
 std::vector<Finding> lint_project(const std::vector<SourceFile>& files) {
-  std::vector<FileModel> models;
-  models.reserve(files.size());
-  for (const SourceFile& f : files) models.push_back(build_model(f.path, f.content));
+  return lint_project(files, 1, nullptr);
+}
+
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files,
+                                  int jobs, LintStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Model building (lex + extract) is per-file independent — the only
+  // parallel phase. Workers claim indices off an atomic counter and write
+  // into pre-sized slots, so the result vector is in input order and every
+  // later phase is identical for any jobs value.
+  std::vector<FileModel> models(files.size());
+  const int workers = std::min<int>(std::max(jobs, 1),
+                                    static_cast<int>(files.size()) > 0
+                                        ? static_cast<int>(files.size())
+                                        : 1);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i)
+      models[i] = build_model(files[i].path, files[i].content);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < files.size();
+             i = next.fetch_add(1))
+          models[i] = build_model(files[i].path, files[i].content);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
 
   // Taint seeds follow the include graph: a file sees the Secure*-typed
   // symbols of every header reachable from it (and its own), mirroring
@@ -229,8 +305,16 @@ std::vector<Finding> lint_project(const std::vector<SourceFile>& files) {
     seeds[&m] = std::vector<std::string>(names.begin(), names.end());
   }
 
+  // Interprocedural layer: cross-TU call graph + per-function taint
+  // summaries to a fixpoint. Serial — the fixpoint is a whole-program
+  // computation and the rule phase is cheap next to model building.
+  CallGraph cg;
+  cg.build(models);
+  const SummaryMap summaries = compute_taint_summaries(models, cg, seeds);
+  const InterprocView iv(cg, summaries);
+
   std::vector<Finding> out;
-  for (const FileModel& m : models) lint_one(m, seeds[&m], out);
+  for (const FileModel& m : models) lint_one(m, seeds[&m], &iv, out);
 
   // Project-wide architecture rules (suppressions still apply, resolved
   // against the reporting file's allow markers).
@@ -257,6 +341,15 @@ std::vector<Finding> lint_project(const std::vector<SourceFile>& files) {
   }
 
   sort_findings(out);
+
+  if (stats != nullptr) {
+    const auto t2 = std::chrono::steady_clock::now();
+    stats->files = files.size();
+    stats->model_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count();
+    stats->analyze_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(t2 - t1).count();
+  }
   return out;
 }
 

@@ -1,9 +1,11 @@
-// gka_lint v2: project-specific static analysis for key-handling hygiene
-// and architecture discipline.
+// gka_lint v3: project-specific static analysis for key-handling hygiene,
+// architecture discipline, and determinism.
 //
 // Built on a real (comment/string/raw-string aware) lexer with per-file
-// include, symbol and function extraction — see lexer.h and model.h. Three
-// rule families:
+// include, symbol and function extraction — see lexer.h and model.h — plus,
+// since v3, a cross-translation-unit call graph with per-function taint
+// summaries computed to a fixpoint (callgraph.h), which lifts the GKA2xx
+// dataflow from function-local to interprocedural. Five rule families:
 //
 // Key-handling rules (per file):
 //   GKA001 (error)   raw equality on secret material: memcmp / operator== /
@@ -40,17 +42,40 @@
 //                    harness, with obs includable from core upward only.
 //   GKA102 (error)   cycle in the file-level include graph.
 //
-// Secret-taint rules (function-local dataflow, per file):
+// Secret-taint rules (interprocedural dataflow over the call graph):
 //   GKA201 (error)   a value derived from SecureBytes / SecureBigInt (or
-//                    from reveal()) stored in a raw std::vector<uint8_t> /
-//                    std::string / Bytes local without passing through an
-//                    approved boundary (ct_equal, key_fingerprint, HKDF /
-//                    cipher / MAC APIs, ScopedSubkey, secure_zero).
+//                    from reveal(), or from a call whose taint summary says
+//                    it returns secret-derived bytes) stored in a raw
+//                    std::vector<uint8_t> / std::string / Bytes local
+//                    without passing through an approved boundary (ct_equal,
+//                    key_fingerprint, HKDF / cipher / MAC APIs,
+//                    ScopedSubkey, secure_zero).
 //   GKA202 (error)   a secret-derived value returned from a function whose
 //                    return type is a raw byte/string type.
 //   GKA203 (error)   a secret-derived value reaching a logging / trace /
 //                    metric sink under a name the GKA002/GKA006 heuristics
-//                    would not catch (taint-based, not name-based).
+//                    would not catch — directly, or passed into a project
+//                    function (possibly defined in another file) whose
+//                    summary says that parameter reaches a sink inside.
+//
+// Determinism rules (per file, deterministic subsystems):
+//   GKA301 (error)   unordered_map/unordered_set in src/core|sim|gcs|fault;
+//                    iteration order is not reproducible across runs.
+//   GKA302 (warning) pointer-keyed ordered container or std::hash over a
+//                    pointer type: address-dependent order (ASLR).
+//   GKA303 (error)   system_clock outside the wallclock boundary.
+//   GKA304 (error)   steady_clock / high_resolution_clock outside the
+//                    wallclock boundary; virtual time is Simulator::now().
+//   GKA305 (error)   ambient time/env entropy — time(nullptr), clock(),
+//                    getpid(), getenv() — outside util/random_source and
+//                    the DRBG (complements GKA003's engine-name list).
+//   GKA306 (warning) reinterpret_cast of a pointer to uintptr_t/intptr_t in
+//                    a deterministic subsystem.
+//
+// Shared-state rules (per file, src/core|sim|gcs):
+//   GKA401 (error)   mutable namespace-scope state; couples simulation runs.
+//   GKA402 (error)   mutable function-local static; hidden shared state and
+//                    an init race once runs go parallel.
 //
 // Suppressions:
 //   - `// gka-lint: allow(GKAnnn) -- reason` on the same or the previous
@@ -101,9 +126,26 @@ struct SourceFile {
   std::string content;
 };
 
+/// Timing/size counters from one lint run, for --stats and the CI wall-time
+/// budget.
+struct LintStats {
+  std::size_t files = 0;    // models built
+  long long model_ms = 0;   // lexing + model extraction (parallel under jobs)
+  long long analyze_ms = 0; // call graph, summaries, rules, suppressions
+};
+
 /// Lints a whole project: per-file rules with taint seeded from every
-/// file's Secure*-typed symbols (so a field declared in a header taints its
-/// uses in the .cpp), plus the GKA1xx include-graph rules.
+/// file's Secure*-typed symbols along the include graph (so a field
+/// declared in a header taints its uses in the .cpp), the interprocedural
+/// taint summaries over the cross-TU call graph, plus the GKA1xx
+/// include-graph rules.
+///
+/// `jobs` parallelizes the per-file lexing/model extraction (the dominant
+/// cost; the merge and rule phases stay serial so output is byte-identical
+/// for any jobs value). Values < 1 mean 1. `stats`, when non-null, receives
+/// phase timings.
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files,
+                                  int jobs, LintStats* stats);
 std::vector<Finding> lint_project(const std::vector<SourceFile>& files);
 
 /// Formats a finding as "path:line: [RULE] severity: message".

@@ -3,10 +3,19 @@
 // everything) and prints every finding.
 //
 // Usage: gka_lint [root] [--format=text|json|sarif] [--werror] [--list-rules]
+//                 [--jobs N] [--stats] [--budget-ms N]
 //
-// Exit status: 0 clean, 1 unsuppressed errors, 2 warnings only. The ctest
-// gate maps 2 to SKIP (warnings surface without failing the build);
-// --werror promotes warnings to errors for stricter pipelines.
+// --jobs N parallelizes per-file lexing/model extraction (merge and rule
+// phases stay serial, so findings are byte-identical for any N). --stats
+// prints a one-line phase-timing summary to stderr. --budget-ms N makes the
+// run fail (exit 1) when total wall time exceeds N milliseconds — CI
+// commits a budget so analyzer slowdowns surface as red instead of creep.
+//
+// Exit status: 0 clean, 1 unsuppressed errors (or budget exceeded), 2
+// warnings only. The ctest gate maps 2 to SKIP (warnings surface without
+// failing the build); --werror promotes warnings to errors for stricter
+// pipelines.
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -33,10 +42,29 @@ std::string slurp(const fs::path& p) {
 }
 
 int usage(const std::string& bad) {
-  std::cerr << "gka_lint: unknown option '" << bad << "'\n"
+  std::cerr << "gka_lint: bad option '" << bad << "'\n"
             << "usage: gka_lint [root] [--format=text|json|sarif] [--werror] "
-               "[--list-rules]\n";
+               "[--list-rules] [--jobs N] [--stats] [--budget-ms N]\n";
   return 1;
+}
+
+/// Parses the integer argument of `--flag N` / `--flag=N`; returns false on
+/// a malformed or missing value.
+bool int_arg(int argc, char** argv, int& i, const std::string& a,
+             const std::string& flag, long& out) {
+  std::string text;
+  if (a == flag) {
+    if (i + 1 >= argc) return false;
+    text = argv[++i];
+  } else if (a.rfind(flag + "=", 0) == 0) {
+    text = a.substr(flag.size() + 1);
+  } else {
+    return false;
+  }
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtol(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && out >= 0;
 }
 
 }  // namespace
@@ -45,14 +73,26 @@ int main(int argc, char** argv) {
   std::string format = "text";
   bool werror = false;
   bool list_rules = false;
+  bool stats = false;
+  long jobs = 1;
+  long budget_ms = -1;
   fs::path root = ".";
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
+    long value = 0;
     if (a == "--list-rules") {
       list_rules = true;
     } else if (a == "--werror") {
       werror = true;
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--jobs" || a.rfind("--jobs=", 0) == 0) {
+      if (!int_arg(argc, argv, i, a, "--jobs", value)) return usage(a);
+      jobs = value;
+    } else if (a == "--budget-ms" || a.rfind("--budget-ms=", 0) == 0) {
+      if (!int_arg(argc, argv, i, a, "--budget-ms", value)) return usage(a);
+      budget_ms = value;
     } else if (a.rfind("--format=", 0) == 0) {
       format = a.substr(9);
       if (format != "text" && format != "json" && format != "sarif")
@@ -87,7 +127,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<gka_lint::Finding> all = gka_lint::lint_project(sources);
+  gka_lint::LintStats timing;
+  std::vector<gka_lint::Finding> all =
+      gka_lint::lint_project(sources, static_cast<int>(jobs), &timing);
+  if (stats) {
+    std::cerr << "gka_lint: stats: " << timing.files << " files, model "
+              << timing.model_ms << " ms (jobs=" << jobs << "), analyze "
+              << timing.analyze_ms << " ms, total "
+              << (timing.model_ms + timing.analyze_ms) << " ms\n";
+  }
   if (werror)
     for (gka_lint::Finding& f : all) f.severity = gka_lint::Severity::kError;
 
@@ -104,6 +152,11 @@ int main(int argc, char** argv) {
       std::cout << gka_lint::format(f) << "\n";
     std::cout << "gka_lint: " << sources.size() << " files, " << errors
               << " error(s), " << warnings << " warning(s)\n";
+  }
+  if (budget_ms >= 0 && timing.model_ms + timing.analyze_ms > budget_ms) {
+    std::cerr << "gka_lint: wall time " << (timing.model_ms + timing.analyze_ms)
+              << " ms exceeds --budget-ms " << budget_ms << "\n";
+    return 1;
   }
   if (errors > 0) return 1;
   if (warnings > 0) return 2;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <sstream>
+#include <utility>
 
 namespace gka_lint {
 
@@ -168,6 +169,38 @@ void extract_functions(const std::vector<Tok>& code_toks,
     }
     if (j >= n) break;
 
+    // Parameter names: split [i+2, j) on top-level commas (angle brackets
+    // tracked loosely so `std::map<K, V> m` stays one parameter); each
+    // parameter's name is its last identifier before a default-argument '='.
+    std::vector<std::string> params;
+    {
+      int pd = 1, ad = 0;
+      std::string last_ident;
+      bool past_default = false;
+      bool any_tok = false;
+      auto flush = [&] {
+        if (any_tok) params.push_back(last_ident);
+        last_ident.clear();
+        past_default = false;
+        any_tok = false;
+      };
+      for (std::size_t q = i + 2; q < j; ++q) {
+        const Tok& t = code_toks[q];
+        any_tok = true;
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(") ++pd;
+          if (t.text == ")") --pd;
+          if (t.text == "<") ++ad;
+          if (t.text == ">" && ad > 0) --ad;
+          if (t.text == "=" && pd == 1 && ad == 0) past_default = true;
+          if (t.text == "," && pd == 1 && ad == 0) flush();
+          continue;
+        }
+        if (t.kind == TokKind::kIdent && !past_default) last_ident = t.text;
+      }
+      flush();
+    }
+
     // After the parameter list: qualifiers, trailing return, init list —
     // anything but ';', '}' or a second unbalanced construct — then '{'.
     std::size_t k = j + 1;
@@ -207,6 +240,7 @@ void extract_functions(const std::vector<Tok>& code_toks,
     f.signature_line = name.line;
     f.body_begin = code_toks[k].line;
     f.body_end = code_toks[b].line;
+    f.params = std::move(params);
 
     // Return type: walk back over the qualified-name prefix (`A::B::name`),
     // then collect the preceding type tokens up to a statement boundary.
@@ -246,6 +280,94 @@ void extract_functions(const std::vector<Tok>& code_toks,
     out.push_back(f);
     i = k;  // continue the scan inside the body (nested definitions: rare,
             // and their lines are already covered by the enclosing range)
+  }
+}
+
+/// Classifies each pure-code token with its innermost syntactic scope via a
+/// brace-context walk. Heuristics (documented in docs/static_analysis.md as
+/// known over-approximations):
+///   - `namespace ... {`                       -> namespace frame
+///   - `class/struct/union/enum ... {`         -> type frame
+///   - `...) {`, blocks inside functions, and
+///     lambda bodies                           -> function frame
+///   - `= {`, `, {`, `( {`, `return {`, and
+///     `ident{` brace-init                     -> initializer frame
+///     (transparent: tokens inside keep the enclosing kind but are NOT
+///     namespace-only, so initializer contents never look like globals)
+void classify_scopes(const std::vector<Tok>& code_toks,
+                     std::vector<ScopedTok>& out) {
+  struct Frame {
+    TokScope kind;
+    bool is_init;
+  };
+  std::vector<Frame> stack;
+  bool saw_namespace = false, saw_type_kw = false, saw_paren_close = false;
+  int paren_depth = 0;
+  std::string prev_text;
+
+  auto reset_pending = [&] {
+    saw_namespace = saw_type_kw = saw_paren_close = false;
+  };
+  auto current_kind = [&]() -> TokScope {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+      if (!it->is_init) return it->kind;
+    return TokScope::kNamespace;
+  };
+  auto at_ns_only = [&]() -> bool {
+    for (const Frame& f : stack)
+      if (f.is_init || f.kind != TokScope::kNamespace) return false;
+    return true;
+  };
+
+  out.reserve(code_toks.size());
+  for (const Tok& t : code_toks) {
+    // Record the token against the scope it sits in (the '{' / '}' tokens
+    // themselves belong to the outer scope).
+    if (t.kind == TokKind::kPunct && t.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+      reset_pending();
+      out.push_back({t.kind, t.text, t.line, current_kind(), at_ns_only()});
+      prev_text = t.text;
+      continue;
+    }
+    out.push_back({t.kind, t.text, t.line, current_kind(), at_ns_only()});
+
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "namespace") saw_namespace = true;
+      if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+          t.text == "enum")
+        saw_type_kw = true;
+    } else if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") ++paren_depth;
+      if (t.text == ")") {
+        if (paren_depth > 0) --paren_depth;
+        saw_paren_close = true;
+      }
+      if (t.text == ";") reset_pending();
+      if (t.text == "{") {
+        Frame f{TokScope::kFunction, false};
+        if (saw_namespace) {
+          f = {TokScope::kNamespace, false};
+        } else if (saw_type_kw && paren_depth == 0) {
+          f = {TokScope::kType, false};
+        } else if (prev_text == "=" || prev_text == "," || prev_text == "(" ||
+                   prev_text == "{" || prev_text == "return") {
+          f = {current_kind(), true};
+        } else if (saw_paren_close || current_kind() == TokScope::kFunction) {
+          f = {TokScope::kFunction, false};
+        } else if (!prev_text.empty() &&
+                   (std::isalnum(static_cast<unsigned char>(prev_text[0])) ||
+                    prev_text[0] == '_')) {
+          // `ident{...}` with no parens in sight: brace-init of a variable.
+          f = {current_kind(), true};
+        } else {
+          f = {current_kind(), false};
+        }
+        stack.push_back(f);
+        reset_pending();
+      }
+    }
+    prev_text = t.text;
   }
 }
 
@@ -295,6 +417,7 @@ FileModel build_model(const std::string& path, const std::string& content) {
       pure_code.push_back(t);
   extract_secure_idents(pure_code, m.secure_idents);
   extract_functions(pure_code, m.functions);
+  classify_scopes(pure_code, m.scoped_tokens);
   return m;
 }
 

@@ -42,6 +42,30 @@ struct Function {
   int signature_line = 0;   // line of the name
   int body_begin = 0;       // line of the opening '{'
   int body_end = 0;         // line of the matching '}'
+  std::vector<std::string> params;  // declared parameter names, in order
+                                    // (empty string for unnamed parameters)
+};
+
+/// Innermost syntactic scope of a code token, classified by a brace-context
+/// walk (see classify_scopes in model.cpp). Initializer braces (`= {...}`,
+/// brace-init arguments) do not open a new scope kind — their tokens keep
+/// the enclosing classification.
+enum class TokScope {
+  kNamespace,  // namespace scope (incl. the global namespace)
+  kType,       // inside a class/struct/union/enum body
+  kFunction,   // inside a function body (incl. nested blocks and lambdas)
+};
+
+/// A pure-code token (no comments, strings, or preprocessor lines) with its
+/// scope classification. `ns_only` is true when every enclosing brace is a
+/// namespace — i.e. the token sits at namespace scope, which is what the
+/// GKA401 mutable-global rule keys on.
+struct ScopedTok {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+  TokScope scope = TokScope::kNamespace;
+  bool ns_only = true;
 };
 
 struct FileModel {
@@ -55,6 +79,7 @@ struct FileModel {
   std::vector<Function> functions;
   std::vector<std::string> secure_idents;
   std::vector<Tok> tokens;
+  std::vector<ScopedTok> scoped_tokens;  // pure code tokens, scope-classified
 };
 
 FileModel build_model(const std::string& path, const std::string& content);

@@ -1,0 +1,328 @@
+// GKA301..GKA306 (determinism) and GKA401/GKA402 (shared state).
+//
+// The simulator's claim to credibility is bit-identical replay: the same
+// seed and scenario must produce the same trace on every run and every
+// machine. These rules fence off the C++ constructs that silently break
+// that promise:
+//
+//   GKA301  unordered containers in deterministic subsystems — iteration
+//           order depends on hash seeding, insertion history, and libc++ vs
+//           libstdc++; anything iterated into serialization, scheduling, or
+//           a trace diverges across runs. Over-approximation: fires on ANY
+//           unordered_map/unordered_set mention (declaration, include, or
+//           iteration) because a pure find/insert use today becomes an
+//           iteration in the next refactor; use std::map, or suppress with
+//           a reason if the lookup-only use is hot enough to matter.
+//   GKA302  pointer-keyed ordered containers / std::hash over pointers —
+//           ordering or hashing by address is ASLR-dependent.
+//   GKA303  wall-clock reads (system_clock) outside the wallclock boundary.
+//   GKA304  monotonic clocks (steady_clock / high_resolution_clock) outside
+//           the wallclock boundary — virtual time comes from
+//           Simulator::now(), never from the host.
+//   GKA305  time/env entropy: time(nullptr)/time(0), clock(), getpid(),
+//           getenv() — ambient inputs that differ per run/host. Complements
+//           GKA003, which catches the std::random engines by name.
+//   GKA306  reinterpret_cast of a pointer to uintptr_t/intptr_t in a
+//           deterministic subsystem — an address about to leak into logic.
+//
+//   GKA401  mutable namespace-scope state in src/core|sim|gcs — simulator
+//           runs must be independent; a mutable global couples them and
+//           blocks future in-process parallel sweeps.
+//   GKA402  mutable function-local statics in the same subsystems — same
+//           problem plus an initialization race once runs go parallel.
+#include <cctype>
+
+#include "gka_lint/rules_internal.h"
+
+namespace gka_lint {
+
+namespace {
+
+/// Subsystems that must be deterministic: protocol logic, the simulator,
+/// the group-communication layer, and fault injection (whose schedules are
+/// part of the reproducible scenario).
+bool deterministic_subsystem(const std::string& path) {
+  return path_has_prefix(path, "src/core/") ||
+         path_has_prefix(path, "src/sim/") ||
+         path_has_prefix(path, "src/gcs/") ||
+         path_has_prefix(path, "src/fault/");
+}
+
+/// GKA401/402 scope: the subsystems whose state a simulation run owns.
+bool shared_state_scope(const std::string& path) {
+  return path_has_prefix(path, "src/core/") ||
+         path_has_prefix(path, "src/sim/") || path_has_prefix(path, "src/gcs/");
+}
+
+/// The sanctioned host-time boundary. No such file exists yet; when one is
+/// added it must live under a path containing "wallclock" (e.g.
+/// src/obs/wallclock.h) to be exempt.
+bool wallclock_boundary(const std::string& path) {
+  return path_contains(path, "wallclock");
+}
+
+/// Ambient-entropy sanctioned files (same set GKA003 exempts).
+bool entropy_boundary(const std::string& path) {
+  return path_contains(path, "util/random_source") ||
+         path_contains(path, "crypto/drbg");
+}
+
+bool calls_with(const std::string& code, const LineTok& t) {
+  const std::size_t after = t.pos + t.text.size();
+  return after < code.size() && code[after] == '(';
+}
+
+/// First top-level template argument after the '<' at `open`:
+/// [open+1, end) up to the first depth-0 ',' or the matching '>'.
+std::string first_template_arg(const std::string& code, std::size_t open) {
+  int angle = 0, paren = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[') ++paren;
+    if (c == ')' || c == ']') --paren;
+    if (paren > 0) continue;
+    if (c == '<') ++angle;
+    if (c == '>' && --angle == 0) return code.substr(open + 1, i - open - 1);
+    if (c == ',' && angle == 1) return code.substr(open + 1, i - open - 1);
+  }
+  return code.substr(open + 1);
+}
+
+// ---------------------------------------------------------------------------
+// GKA301..GKA306: per-line scans over the stripped code view
+
+void run_unordered_rule(const FileModel& m, const Sink& sink) {
+  if (!deterministic_subsystem(m.path)) return;
+  // Includes are preprocessor tokens, not code lines; catch both forms.
+  for (const Tok& t : m.tokens) {
+    if (t.kind != TokKind::kPp) continue;
+    if (t.text.find("include") == std::string::npos) continue;
+    if (t.text.find("<unordered_map>") != std::string::npos ||
+        t.text.find("<unordered_set>") != std::string::npos ||
+        t.text.find("\"unordered_map\"") != std::string::npos) {
+      sink({"GKA301", m.path, t.line,
+            "unordered container include in a deterministic subsystem; "
+            "iteration order is not reproducible — use std::map/std::set"});
+    }
+  }
+  for (std::size_t li = 0; li < m.code.size(); ++li) {
+    for (const LineTok& t : line_identifiers(m.code[li])) {
+      if (t.text != "unordered_map" && t.text != "unordered_set") continue;
+      sink({"GKA301", m.path, static_cast<int>(li + 1),
+            "'" + t.text +
+                "' in a deterministic subsystem; iteration order depends on "
+                "hashing and insertion history — use std::map/std::set (or "
+                "suppress with a reason for a proven lookup-only use)"});
+    }
+  }
+}
+
+void run_pointer_order_rule(const FileModel& m, const Sink& sink) {
+  if (!deterministic_subsystem(m.path)) return;
+  for (std::size_t li = 0; li < m.code.size(); ++li) {
+    const std::string& c = m.code[li];
+    for (const LineTok& t : line_identifiers(c)) {
+      const bool assoc = ends_with(t.text, "map") || ends_with(t.text, "set");
+      const bool hash = t.text == "hash";
+      if (!assoc && !hash) continue;
+      const std::size_t open = t.pos + t.text.size();
+      if (open >= c.size() || c[open] != '<') continue;
+      const std::string key = first_template_arg(c, open);
+      if (key.find('*') == std::string::npos) continue;
+      sink({"GKA302", m.path, static_cast<int>(li + 1),
+            "'" + t.text + "<" + key +
+                ">' orders/hashes by pointer value; addresses vary per run "
+                "(ASLR) — key by a stable id instead"});
+    }
+  }
+}
+
+void run_clock_rules(const FileModel& m, const Sink& sink) {
+  if (!path_has_prefix(m.path, "src/")) return;
+  if (wallclock_boundary(m.path)) return;
+  for (std::size_t li = 0; li < m.code.size(); ++li) {
+    for (const LineTok& t : line_identifiers(m.code[li])) {
+      if (t.text == "system_clock") {
+        sink({"GKA303", m.path, static_cast<int>(li + 1),
+              "wall-clock read outside the wallclock boundary; host time "
+              "must not reach simulation or protocol logic"});
+      } else if (t.text == "steady_clock" || t.text == "high_resolution_clock") {
+        sink({"GKA304", m.path, static_cast<int>(li + 1),
+              "'" + t.text +
+                  "' outside the wallclock boundary; virtual time comes "
+                  "from Simulator::now(), not the host clock"});
+      }
+    }
+  }
+}
+
+void run_entropy_rule(const FileModel& m, const Sink& sink) {
+  if (entropy_boundary(m.path)) return;
+  for (std::size_t li = 0; li < m.code.size(); ++li) {
+    const std::string& c = m.code[li];
+    for (const LineTok& t : line_identifiers(c)) {
+      if (!calls_with(c, t)) continue;
+      const std::size_t open = t.pos + t.text.size();
+      bool fires = false;
+      if (t.text == "getpid" || t.text == "getenv") {
+        fires = true;
+      } else if (t.text == "time" || t.text == "clock") {
+        // `time` and `clock` are common identifiers in a simulator; only
+        // the C library signatures count: time(nullptr|0|NULL), clock().
+        const std::size_t close = c.find(')', open);
+        if (close != std::string::npos) {
+          std::string arg = c.substr(open + 1, close - open - 1);
+          arg.erase(0, arg.find_first_not_of(" \t"));
+          const std::size_t tail = arg.find_last_not_of(" \t");
+          arg = tail == std::string::npos ? "" : arg.substr(0, tail + 1);
+          fires = (t.text == "time" &&
+                   (arg == "nullptr" || arg == "0" || arg == "NULL")) ||
+                  (t.text == "clock" && arg.empty());
+        }
+      }
+      if (fires) {
+        sink({"GKA305", m.path, static_cast<int>(li + 1),
+              "'" + t.text +
+                  "(...)' is ambient entropy (differs per run/host); seed "
+                  "from util/random_source or take the value as an input"});
+      }
+    }
+  }
+}
+
+void run_pointer_cast_rule(const FileModel& m, const Sink& sink) {
+  if (!deterministic_subsystem(m.path)) return;
+  for (std::size_t li = 0; li < m.code.size(); ++li) {
+    const std::string& c = m.code[li];
+    if (c.find("reinterpret_cast") == std::string::npos) continue;
+    if (c.find("intptr_t") == std::string::npos) continue;  // u/intptr_t
+    sink({"GKA306", m.path, static_cast<int>(li + 1),
+          "pointer-to-integer cast in a deterministic subsystem; the "
+          "numeric value is an address and varies per run — use a stable "
+          "id"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GKA401: mutable namespace-scope state
+
+/// Tokens that mark a namespace-scope statement as something other than a
+/// variable definition (declarations, type definitions, aliases) — skipped.
+bool non_variable_marker(const std::string& s) {
+  return s == "using" || s == "typedef" || s == "extern" || s == "template" ||
+         s == "friend" || s == "operator" || s == "static_assert" ||
+         s == "class" || s == "struct" || s == "enum" || s == "union" ||
+         s == "namespace" || s == "concept" || s == "requires";
+}
+
+bool immutable_marker(const std::string& s) {
+  return s == "const" || s == "constexpr" || s == "constinit";
+}
+
+void run_global_state_rule(const FileModel& m, const Sink& sink) {
+  if (!shared_state_scope(m.path)) return;
+
+  // Walk the namespace-scope token stream statement by statement. A
+  // statement ends at ';'. A '{' with no '=' seen so far is a scope
+  // heading (namespace open — type/function bodies are not ns_only), which
+  // resets; with an '=' it is a brace initializer and is skipped.
+  std::vector<const ScopedTok*> stmt;
+  bool saw_eq = false;
+  auto reset = [&] {
+    stmt.clear();
+    saw_eq = false;
+  };
+  auto flush = [&] {
+    if (stmt.size() < 2) return reset();
+    std::size_t idents = 0;
+    const ScopedTok* name = nullptr;
+    for (const ScopedTok* t : stmt) {
+      if (t->kind != TokKind::kIdent) continue;
+      if (non_variable_marker(t->text) || immutable_marker(t->text))
+        return reset();
+      ++idents;
+      name = t;
+    }
+    // Function definitions/declarations and constructor-style initializers
+    // carry a '('; skipping them is a documented under-approximation
+    // (`int g(5);` escapes — rare enough not to chase).
+    for (const ScopedTok* t : stmt)
+      if (t->kind == TokKind::kPunct && t->text == "(") return reset();
+    if (idents < 2) return reset();
+    // Bare two-ident statements (`int x;`) are as likely forward
+    // declarations of incomplete scaffolding as definitions; require an
+    // initializer or a multi-token type before firing (documented
+    // under-approximation: an uninitialized `int g_count;` escapes).
+    if (!saw_eq && idents < 3) return reset();
+    // Re-find the name: last identifier before the '=' when present.
+    if (saw_eq) {
+      name = nullptr;
+      for (const ScopedTok* t : stmt) {
+        if (t->kind == TokKind::kPunct && t->text == "=") break;
+        if (t->kind == TokKind::kIdent) name = t;
+      }
+    }
+    if (name == nullptr) return reset();
+    sink({"GKA401", m.path, name->line,
+          "mutable namespace-scope state '" + name->text +
+              "'; simulation runs must be independent — make it const/"
+              "constexpr, or pass it through the scenario"});
+    reset();
+  };
+
+  for (const ScopedTok& t : m.scoped_tokens) {
+    if (!t.ns_only) continue;
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == ";") {
+        flush();
+        continue;
+      }
+      if (t.text == "=") saw_eq = true;
+      if (t.text == "{" || t.text == "}") {
+        if (!saw_eq) reset();
+        continue;  // brace-initializer tokens stay out of the statement
+      }
+    }
+    stmt.push_back(&t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GKA402: mutable function-local statics
+
+void run_local_static_rule(const FileModel& m, const Sink& sink) {
+  if (!shared_state_scope(m.path)) return;
+  for (std::size_t i = 0; i < m.scoped_tokens.size(); ++i) {
+    const ScopedTok& t = m.scoped_tokens[i];
+    if (t.kind != TokKind::kIdent || t.text != "static") continue;
+    if (t.scope != TokScope::kFunction) continue;
+    // `static const`/`static constexpr` locals are immutable and fine.
+    std::size_t j = i + 1;
+    if (j < m.scoped_tokens.size() &&
+        m.scoped_tokens[j].kind == TokKind::kIdent &&
+        m.scoped_tokens[j].text == "thread_local")
+      ++j;
+    if (j < m.scoped_tokens.size() &&
+        m.scoped_tokens[j].kind == TokKind::kIdent &&
+        immutable_marker(m.scoped_tokens[j].text))
+      continue;
+    sink({"GKA402", m.path, t.line,
+          "mutable function-local static; hidden shared state couples "
+          "simulation runs and races once they run in parallel — hoist it "
+          "into the owning object or make it const"});
+  }
+}
+
+}  // namespace
+
+void run_determinism_rules(const FileModel& m, const Sink& sink) {
+  run_unordered_rule(m, sink);
+  run_pointer_order_rule(m, sink);
+  run_clock_rules(m, sink);
+  run_entropy_rule(m, sink);
+  run_pointer_cast_rule(m, sink);
+  run_global_state_rule(m, sink);
+  run_local_static_rule(m, sink);
+}
+
+}  // namespace gka_lint

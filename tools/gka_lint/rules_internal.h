@@ -14,6 +14,8 @@
 
 namespace gka_lint {
 
+class InterprocView;  // callgraph.h
+
 /// A finding before suppression filtering and severity assignment (the
 /// engine derives severity from the rule table).
 struct RawFinding {
@@ -62,11 +64,17 @@ std::vector<std::string> enclosing_calls(const std::string& code,
 void run_core_rules(const FileModel& m, const Sink& sink);
 
 /// GKA201..GKA203 on one file. `secure_idents` seeds the taint analysis —
-/// pass the project-wide set in project mode so fields declared in headers
-/// taint their uses in the .cpp.
+/// pass the include-closure set in project mode so fields declared in
+/// headers taint their uses in the .cpp. `iv` (may be null) supplies the
+/// interprocedural taint summaries; with it, calls of project functions are
+/// checked against their summaries (tainted arg into a sinking param,
+/// secret-derived return values).
 void run_taint_rules(const FileModel& m,
                      const std::vector<std::string>& secure_idents,
-                     const Sink& sink);
+                     const InterprocView* iv, const Sink& sink);
+
+/// GKA301..GKA306 (determinism) + GKA401/GKA402 (shared state) on one file.
+void run_determinism_rules(const FileModel& m, const Sink& sink);
 
 /// GKA101/GKA102 over the whole project's include graph (src/ files only).
 void run_arch_rules(const std::vector<FileModel>& files, const Sink& sink);

@@ -1,10 +1,12 @@
-// GKA201..GKA203: function-local secret-taint dataflow.
+// GKA201..GKA203: secret-taint dataflow, interprocedural since v3.
 //
 // Taint sources are identifiers declared with a zeroizing Secure* type
 // (fields, locals, parameters, and functions *returning* a Secure* type —
-// the model extracts them; in project mode the seed set spans all files so
-// a field declared in a header taints its uses in the .cpp) plus any call
-// to `reveal(...)`, the explicit SecureBytes escape hatch.
+// the model extracts them; in project mode the seed set spans the include
+// closure so a field declared in a header taints its uses in the .cpp) plus
+// any call to `reveal(...)`, the explicit SecureBytes escape hatch, plus —
+// new in v3 — any call to a project function whose taint summary says its
+// return value derives from secret material.
 //
 // Taint propagates through raw-byte locals: a line that declares a
 // std::vector<uint8_t> / std::string / Bytes local (or `auto` initialized
@@ -18,9 +20,25 @@
 // constructor / ScopedSubkey / secure_zero / mod_exp is considered properly
 // handed over (the result is a fingerprint, ciphertext, a wiped copy, or a
 // blinded public value), and the destination is not tainted.
+//
+// The interprocedural layer (v3): every project function gets a
+// TaintSummary — for each parameter, whether taint entering through it
+// reaches a log/trace/metric sink or the return value, and whether the
+// return value derives from the function's own Secure* seeds — computed to
+// a fixpoint over the cross-TU call graph (callgraph.h). The per-file pass
+// then consults the summaries at every call site, so a secret laundered
+// through a helper defined in ANOTHER file still fires:
+//
+//     // a.cpp                              // b.cpp
+//     void stash(const Bytes& data) {       void f(const SecureBytes& k) {
+//       std::cout << to_hex(data);            stash(k.reveal());   // GKA203
+//     }                                     }
+//
+// Function-local v2 sees nothing wrong with either file in isolation.
 #include <algorithm>
 #include <set>
 
+#include "gka_lint/callgraph.h"
 #include "gka_lint/rules_internal.h"
 
 namespace gka_lint {
@@ -58,6 +76,22 @@ bool is_taint_sink(const std::string& name) {
   return false;
 }
 
+/// Sanctioned files: the Secure* wrappers implement the boundary (reveal(),
+/// wiping internals), and the symmetric primitives below them take raw key
+/// bytes by design — their bodies ARE the approved boundary interior. They
+/// are exempt from the GKA2xx findings and contribute no taint summaries.
+bool taint_exempt_path(const std::string& path) {
+  return path_contains(path, "util/secure_bytes") ||
+         path_contains(path, "bignum/secure_bigint") ||
+         path_contains(path, "crypto/aes") ||
+         path_contains(path, "crypto/hmac") ||
+         path_contains(path, "crypto/hkdf") ||
+         path_contains(path, "crypto/chacha20") ||
+         path_contains(path, "crypto/sha1") ||
+         path_contains(path, "crypto/sha256") ||
+         path_contains(path, "crypto/drbg");
+}
+
 /// Raw byte/string storage per the rule text. `Bytes` is this repo's alias
 /// for std::vector<uint8_t>.
 bool raw_byte_type(const std::string& type) {
@@ -65,6 +99,18 @@ bool raw_byte_type(const std::string& type) {
   return type.find("vector") != std::string::npos ||
          type.find("string") != std::string::npos ||
          type.find("Bytes") != std::string::npos;
+}
+
+/// Return types that can carry secret bytes out of a function. Scalar
+/// returns (sizes, bools, ids) cannot, so a helper like
+/// `std::size_t key_size() { return key_.size(); }` does not mint taint at
+/// its call sites even though its return expression touches `key_`.
+bool carrier_return_type(const std::string& type) {
+  return type.find("vector") != std::string::npos ||
+         type.find("string") != std::string::npos ||
+         type.find("Bytes") != std::string::npos ||
+         type.find("Secure") != std::string::npos ||
+         type.find("auto") != std::string::npos;
 }
 
 /// True when the identifier occurrence at `pos` is wrapped by an approved
@@ -77,22 +123,40 @@ bool wrapped_by_boundary(const std::string& code,
 }
 
 struct TaintHit {
-  const LineTok* tok;  // the tainted identifier (or `reveal`)
+  const LineTok* tok;  // the tainted identifier, `reveal`, or a call whose
+                       // summary says it returns tainted bytes
   bool via_reveal;
+  bool via_summary;
 };
 
-/// Tainted, non-boundary-wrapped occurrences within [begin,end) of the line.
-std::vector<TaintHit> taint_hits(const std::string& code,
-                                 const std::vector<LineTok>& ids,
-                                 const std::set<std::string>& tainted,
-                                 std::size_t begin, std::size_t end) {
+/// Tainted, non-boundary-wrapped occurrences within [begin,end) of the
+/// line: directly tainted identifiers, `reveal(...)` calls, and — when an
+/// interprocedural view is available — calls of project functions whose
+/// summary says the return value is secret-derived. `skip_call`, when
+/// non-null, names a callee not to treat as a summary source (the scanned
+/// function itself, on its signature line — a definition is not a call).
+std::vector<TaintHit> region_hits(const std::string& code,
+                                  const std::vector<LineTok>& ids,
+                                  const std::set<std::string>& tainted,
+                                  std::size_t begin, std::size_t end,
+                                  const InterprocView* iv,
+                                  const std::string* skip_call = nullptr) {
   std::vector<TaintHit> hits;
   for (const LineTok& t : ids) {
     if (t.pos < begin || t.pos >= end) continue;
     const bool reveal = t.text == "reveal";
-    if (!reveal && tainted.count(t.text) == 0) continue;
+    bool summary_source = false;
+    if (!reveal && tainted.count(t.text) == 0) {
+      if (iv == nullptr) continue;
+      const std::size_t after = t.pos + t.text.size();
+      if (after >= code.size() || code[after] != '(') continue;
+      if (is_boundary(t.text) || is_taint_sink(t.text)) continue;
+      if (skip_call != nullptr && t.text == *skip_call) continue;
+      if (!iv->returns_tainted(t.text)) continue;
+      summary_source = true;
+    }
     if (wrapped_by_boundary(code, ids, t.pos)) continue;
-    hits.push_back({&t, reveal});
+    hits.push_back({&t, reveal, summary_source});
   }
   return hits;
 }
@@ -152,122 +216,237 @@ bool parse_decl(const std::string& code, const std::vector<LineTok>& ids,
   return true;
 }
 
-}  // namespace
+struct ScanOutcome {
+  bool reached_sink = false;    // taint reached a log/trace/metric sink
+                                // (directly or through a summarized callee)
+  bool reached_return = false;  // taint reached a return expression
+};
 
-void run_taint_rules(const FileModel& m,
-                     const std::vector<std::string>& secure_idents,
-                     const Sink& sink) {
-  // Sanctioned files: the Secure* wrappers implement the boundary (reveal(),
-  // wiping internals), and the symmetric primitives below them take raw key
-  // bytes by design — their bodies ARE the approved boundary interior.
-  if (path_contains(m.path, "util/secure_bytes") ||
-      path_contains(m.path, "bignum/secure_bigint") ||
-      path_contains(m.path, "crypto/aes") ||
-      path_contains(m.path, "crypto/hmac") ||
-      path_contains(m.path, "crypto/hkdf") ||
-      path_contains(m.path, "crypto/chacha20") ||
-      path_contains(m.path, "crypto/sha1") ||
-      path_contains(m.path, "crypto/sha256") ||
-      path_contains(m.path, "crypto/drbg"))
-    return;
+/// Scans one function body with the given initial taint set. In reporting
+/// mode (`report` != nullptr) emits GKA201/202/203 findings; in summary
+/// mode (`report` == nullptr) only records the outcome. Both modes
+/// propagate taint through raw/auto locals and consult the interprocedural
+/// view (when present) for summary-known callees.
+ScanOutcome scan_body(const FileModel& m, const Function& fn,
+                      std::set<std::string> tainted, const InterprocView* iv,
+                      const Sink* report) {
+  ScanOutcome out;
+  const bool raw_return = raw_byte_type(fn.return_type);
 
-  // Single-letter names are too generic to taint by name: the seed set is
-  // file-global (no per-function scoping), so a `SecureBytes b` in one test
-  // body must not taint an unrelated `b` elsewhere. An escape of a
-  // single-letter secret is still caught at its reveal() call.
-  std::set<std::string> seed;
-  for (const std::string& n : secure_idents)
-    if (n.size() > 1) seed.insert(n);
+  for (int line = fn.body_begin; line <= fn.body_end; ++line) {
+    const std::size_t li = static_cast<std::size_t>(line - 1);
+    if (li >= m.code.size()) break;
+    const std::string& c = m.code[li];
+    if (c.empty()) continue;
+    const std::vector<LineTok> ids = line_identifiers(c);
+    // On the signature line(s), an occurrence of the function's own name
+    // followed by '(' is the definition, not a recursive call site.
+    const std::string* self =
+        line <= fn.body_begin ? &fn.name : nullptr;
 
-  for (const Function& fn : m.functions) {
-    std::set<std::string> tainted = seed;
-    const bool raw_return = raw_byte_type(fn.return_type);
-
-    for (int line = fn.body_begin; line <= fn.body_end; ++line) {
-      const std::size_t li = static_cast<std::size_t>(line - 1);
-      if (li >= m.code.size()) break;
-      const std::string& c = m.code[li];
-      if (c.empty()) continue;
-      const std::vector<LineTok> ids = line_identifiers(c);
-
-      // --- GKA202: tainted return from a raw-typed function --------------
-      for (const LineTok& t : ids) {
-        if (t.text != "return") continue;
-        const auto hits = taint_hits(c, ids, tainted,
-                                     t.pos + t.text.size(), c.size());
-        if (!hits.empty() && raw_return) {
+    // --- GKA202: tainted return ------------------------------------------
+    for (const LineTok& t : ids) {
+      if (t.text != "return") continue;
+      const auto hits = region_hits(c, ids, tainted,
+                                    t.pos + t.text.size(), c.size(), iv, self);
+      if (!hits.empty()) {
+        out.reached_return = true;
+        if (report != nullptr && raw_return) {
           const LineTok* h = hits.front().tok;
-          sink({"GKA202", m.path, line,
-                "function '" + fn.name + "' returns secret-derived '" +
-                    h->text + "' as raw '" + fn.return_type +
-                    "'; return a Secure* wrapper or pass through an "
-                    "approved boundary"});
+          (*report)({"GKA202", m.path, line,
+                     "function '" + fn.name + "' returns secret-derived '" +
+                         h->text + "' as raw '" + fn.return_type +
+                         "'; return a Secure* wrapper or pass through an "
+                         "approved boundary"});
         }
+      }
+      break;
+    }
+    if (!ids.empty() && ids.front().text == "return") continue;
+
+    // --- GKA203 (direct): tainted value reaching a sink -------------------
+    // Scanned before the declaration handling: member-call lines like
+    // `tr->attr(...)` parse as constructor-style declarations, and the
+    // sink scan must not be gated behind that misparse.
+    // Stream sinks (cout/cerr/clog) take everything to their right; call
+    // sinks take their parenthesized arguments.
+    for (const LineTok& t : ids) {
+      if (!is_taint_sink(t.text)) continue;
+      const std::size_t open = t.pos + t.text.size();
+      const bool is_call = open < c.size() && c[open] == '(';
+      const bool is_stream =
+          t.text == "cout" || t.text == "cerr" || t.text == "clog";
+      if (!is_call && !is_stream) continue;
+      std::vector<TaintHit> hits;
+      if (is_call) {
+        for (const auto& [ab, ae] : call_args(c, open)) {
+          const auto h = region_hits(c, ids, tainted, ab, ae, iv, self);
+          hits.insert(hits.end(), h.begin(), h.end());
+        }
+      } else {
+        hits = region_hits(c, ids, tainted, open, c.size(), iv, self);
+      }
+      for (const TaintHit& h : hits) {
+        out.reached_sink = true;
+        if (report == nullptr) break;
+        // Name-based rules already cover secret-ish names; GKA203 exists
+        // for the laundered ones they cannot see.
+        if (!h.via_reveal && !h.via_summary && is_secretish(h.tok->text))
+          continue;
+        (*report)({"GKA203", m.path, line,
+                   "secret-derived '" + h.tok->text + "' reaches sink '" +
+                       t.text + "'; log a fingerprint or a size instead"});
         break;
       }
-      if (!ids.empty() && ids.front().text == "return") continue;
+    }
 
-      // --- GKA203: tainted value reaching a sink --------------------------
-      // Scanned before the declaration handling: member-call lines like
-      // `tr->attr(...)` parse as constructor-style declarations, and the
-      // sink scan must not be gated behind that misparse.
-      // Stream sinks (cout/cerr/clog) take everything to their right; call
-      // sinks take their parenthesized arguments.
+    // --- GKA203 (interprocedural): tainted argument to a callee whose
+    // summary says that parameter reaches a sink inside ---------------------
+    if (iv != nullptr) {
       for (const LineTok& t : ids) {
-        if (!is_taint_sink(t.text)) continue;
         const std::size_t open = t.pos + t.text.size();
-        const bool is_call = open < c.size() && c[open] == '(';
-        const bool is_stream =
-            t.text == "cout" || t.text == "cerr" || t.text == "clog";
-        if (!is_call && !is_stream) continue;
-        std::vector<TaintHit> hits;
-        if (is_call) {
-          for (const auto& [ab, ae] : call_args(c, open)) {
-            const auto h = taint_hits(c, ids, tainted, ab, ae);
-            hits.insert(hits.end(), h.begin(), h.end());
+        if (open >= c.size() || c[open] != '(') continue;
+        if (is_boundary(t.text) || is_taint_sink(t.text)) continue;
+        if (self != nullptr && t.text == *self) continue;
+        if (!iv->known(t.text)) continue;
+        if (wrapped_by_boundary(c, ids, t.pos)) continue;
+        const auto args = call_args(c, open);
+        for (std::size_t k = 0; k < args.size(); ++k) {
+          if (!iv->param_to_sink(t.text, k)) continue;
+          const auto hits = region_hits(c, ids, tainted, args[k].first,
+                                        args[k].second, iv, self);
+          if (hits.empty()) continue;
+          out.reached_sink = true;
+          if (report != nullptr) {
+            (*report)({"GKA203", m.path, line,
+                       "secret-derived '" + hits.front().tok->text +
+                           "' passed to '" + t.text +
+                           "', which forwards argument " + std::to_string(k) +
+                           " to a logging/trace sink (interprocedural "
+                           "summary); log a fingerprint or a size instead"});
           }
-        } else {
-          hits = taint_hits(c, ids, tainted, open, c.size());
-        }
-        for (const TaintHit& h : hits) {
-          // Name-based rules already cover secret-ish names; GKA203 exists
-          // for the laundered ones they cannot see.
-          if (!h.via_reveal && is_secretish(h.tok->text)) continue;
-          sink({"GKA203", m.path, line,
-                "secret-derived '" + h.tok->text + "' reaches sink '" +
-                    t.text +
-                    "'; log a fingerprint or a size instead"});
           break;
         }
       }
+    }
 
-      // --- GKA201: tainted value into a raw byte/string local ------------
-      std::string type;
-      const LineTok* name = nullptr;
-      std::size_t init_begin = 0;
-      if (parse_decl(c, ids, &type, &name, &init_begin)) {
-        const auto hits = taint_hits(c, ids, tainted, init_begin, c.size());
-        if (!hits.empty()) {
-          const bool is_auto = type.find("auto") != std::string::npos;
-          const bool reveal_init =
-              std::any_of(hits.begin(), hits.end(),
-                          [](const TaintHit& h) { return h.via_reveal; });
-          if (raw_byte_type(type) || (is_auto && reveal_init)) {
-            sink({"GKA201", m.path, line,
-                  "secret-derived value escapes into raw '" +
-                      (is_auto ? std::string("auto (reveal)")
-                               : type.substr(type.find_first_not_of(" \t"))) +
-                      "' local '" + name->text +
-                      "'; keep it in Secure* storage or wrap the use in an "
-                      "approved boundary"});
-            tainted.insert(name->text);  // follow the laundered copy
-          } else if (is_auto) {
-            tainted.insert(name->text);  // auto from tainted expr: propagate
+    // --- GKA201: tainted value into a raw byte/string local --------------
+    std::string type;
+    const LineTok* name = nullptr;
+    std::size_t init_begin = 0;
+    if (parse_decl(c, ids, &type, &name, &init_begin)) {
+      const auto hits =
+          region_hits(c, ids, tainted, init_begin, c.size(), iv, self);
+      if (!hits.empty()) {
+        const bool is_auto = type.find("auto") != std::string::npos;
+        const bool reveal_init =
+            std::any_of(hits.begin(), hits.end(),
+                        [](const TaintHit& h) { return h.via_reveal; });
+        if (raw_byte_type(type) || (is_auto && reveal_init)) {
+          if (report != nullptr) {
+            (*report)({"GKA201", m.path, line,
+                       "secret-derived value escapes into raw '" +
+                           (is_auto
+                                ? std::string("auto (reveal)")
+                                : type.substr(type.find_first_not_of(" \t"))) +
+                           "' local '" + name->text +
+                           "'; keep it in Secure* storage or wrap the use in "
+                           "an approved boundary"});
           }
+          tainted.insert(name->text);  // follow the laundered copy
+        } else if (is_auto) {
+          tainted.insert(name->text);  // auto from tainted expr: propagate
         }
       }
     }
   }
+  return out;
+}
+
+/// Seed names for a taint scan. Single-letter names are too generic to
+/// taint by name: the seed set is file-global (no per-function scoping), so
+/// a `SecureBytes b` in one test body must not taint an unrelated `b`
+/// elsewhere. An escape of a single-letter secret is still caught at its
+/// reveal() call.
+std::set<std::string> filtered_seed(const std::vector<std::string>& names) {
+  std::set<std::string> seed;
+  for (const std::string& n : names)
+    if (n.size() > 1) seed.insert(n);
+  return seed;
+}
+
+}  // namespace
+
+SummaryMap compute_taint_summaries(
+    const std::vector<FileModel>& models, const CallGraph& cg,
+    const std::map<const FileModel*, std::vector<std::string>>& seeds_of) {
+  (void)models;
+  SummaryMap sums;
+  for (const FunctionRef& ref : cg.all()) {
+    if (taint_exempt_path(ref.file->path)) continue;
+    // Boundary and sink names have fixed semantics; a project-local
+    // redefinition must not widen or narrow them.
+    if (is_boundary(ref.fn->name) || is_taint_sink(ref.fn->name)) continue;
+    TaintSummary s;
+    s.param_to_sink.assign(ref.fn->params.size(), false);
+    s.param_to_return.assign(ref.fn->params.size(), false);
+    sums[ref.fn] = std::move(s);
+  }
+
+  // Fixpoint: bits only ever turn on, so this converges; the iteration cap
+  // is a safety net (summary depth beyond it would need a call chain of
+  // more than kMaxIters summary-relevant hops).
+  constexpr int kMaxIters = 12;
+  for (int iter = 0; iter < kMaxIters; ++iter) {
+    bool changed = false;
+    const InterprocView iv(cg, sums);
+    for (const FunctionRef& ref : cg.all()) {
+      const auto it = sums.find(ref.fn);
+      if (it == sums.end()) continue;
+      TaintSummary& sum = it->second;
+      const Function& fn = *ref.fn;
+
+      for (std::size_t p = 0; p < fn.params.size(); ++p) {
+        if (fn.params[p].empty()) continue;
+        if (sum.param_to_sink[p] && sum.param_to_return[p]) continue;
+        const ScanOutcome o =
+            scan_body(*ref.file, fn, {fn.params[p]}, &iv, nullptr);
+        if (o.reached_sink && !sum.param_to_sink[p]) {
+          sum.param_to_sink[p] = true;
+          changed = true;
+        }
+        if (o.reached_return && !sum.param_to_return[p]) {
+          sum.param_to_return[p] = true;
+          changed = true;
+        }
+      }
+
+      if (!sum.returns_tainted && carrier_return_type(fn.return_type)) {
+        const auto seeds = seeds_of.find(ref.file);
+        const ScanOutcome o = scan_body(
+            *ref.file, fn,
+            seeds == seeds_of.end() ? std::set<std::string>{}
+                                    : filtered_seed(seeds->second),
+            &iv, nullptr);
+        if (o.reached_return) {
+          sum.returns_tainted = true;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return sums;
+}
+
+void run_taint_rules(const FileModel& m,
+                     const std::vector<std::string>& secure_idents,
+                     const InterprocView* iv, const Sink& sink) {
+  if (taint_exempt_path(m.path)) return;
+
+  const std::set<std::string> seed = filtered_seed(secure_idents);
+  for (const Function& fn : m.functions)
+    scan_body(m, fn, seed, iv, &sink);
 }
 
 }  // namespace gka_lint
