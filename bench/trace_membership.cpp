@@ -5,9 +5,13 @@
 // per-machine compute/instant tracks below it (see docs/observability.md).
 //
 // Usage: trace_membership [protocol] [n] [--json out.json]
-//                         [--trace out.trace.json]
+//                         [--trace out.trace.json] [--wallclock]
 //        protocol: GDH | CKD | TGDH | TGDH-bal | STR | BD   (default TGDH)
 //        n: group size after the join                       (default 16)
+//
+// With --wallclock the trace gains a second track (pid 1, "wall clock
+// (host)") carrying the calibrated host-ns spans of the same run, so the
+// virtual and real timelines sit side by side in Perfetto.
 #include <iostream>
 #include <string>
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/wallclock.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -104,7 +105,11 @@ Decoded<BdProtocol::Wire> BdProtocol::validate_and_decode(const Bytes& body,
 }
 
 void BdProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  Decoded<Wire> d;
+  {
+    obs::WallScope wall("decode/BD");
+    d = validate_and_decode(body, crypto().group().p());
+  }
   if (!d.ok()) {
     reject(d.reason);
     return;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/wallclock.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -170,7 +171,11 @@ Decoded<CkdProtocol::Wire> CkdProtocol::validate_and_decode(const Bytes& body,
 }
 
 void CkdProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  Decoded<Wire> d;
+  {
+    obs::WallScope wall("decode/CKD");
+    d = validate_and_decode(body, crypto().group().p());
+  }
   if (!d.ok()) {
     reject(d.reason);
     return;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/wallclock.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -225,7 +226,11 @@ void GdhProtocol::adopt_partials(Wire msg) {
 }
 
 void GdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  Decoded<Wire> d;
+  {
+    obs::WallScope wall("decode/GDH");
+    d = validate_and_decode(body, crypto().group().p());
+  }
   if (!d.ok()) {
     reject(d.reason);
     return;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/wallclock.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -362,7 +363,11 @@ Decoded<StrProtocol::Wire> StrProtocol::validate_and_decode(const Bytes& body,
 }
 
 void StrProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  Decoded<Wire> d;
+  {
+    obs::WallScope wall("decode/STR");
+    d = validate_and_decode(body, crypto().group().p());
+  }
   if (!d.ok()) {
     reject(d.reason);
     return;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/wallclock.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -313,7 +314,11 @@ Decoded<TgdhProtocol::Wire> TgdhProtocol::validate_and_decode(
 }
 
 void TgdhProtocol::handle_message(ProcessId sender, const Bytes& body) {
-  Decoded<Wire> d = validate_and_decode(body, crypto().group().p());
+  Decoded<Wire> d;
+  {
+    obs::WallScope wall("decode/TGDH");
+    d = validate_and_decode(body, crypto().group().p());
+  }
   if (!d.ok()) {
     reject(d.reason);
     return;

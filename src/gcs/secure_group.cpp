@@ -5,6 +5,7 @@
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wallclock.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -67,6 +68,7 @@ void SecureGroupMember::request_rekey() {
 // framing
 
 Bytes SecureGroupMember::frame_and_sign(WireKind kind, const Bytes& body) {
+  obs::WallScope wall("serde/frame_encode");
   Writer signed_part;
   signed_part.u8(static_cast<std::uint8_t>(kind));
   signed_part.u64(epoch_);
@@ -340,7 +342,11 @@ void SecureGroupMember::note_frame_rejected(RejectReason reason) {
 void SecureGroupMember::on_message(const std::string& group, ProcessId sender,
                                    const Bytes& payload) {
   if (group != config_.group) return;
-  Decoded<OuterFrame> decoded = validate_and_decode_frame(payload);
+  Decoded<OuterFrame> decoded;
+  {
+    obs::WallScope wall("serde/frame_decode");
+    decoded = validate_and_decode_frame(payload);
+  }
   if (!decoded.ok()) {
     reject_frame(decoded.reason, payload.size(), /*recoverable=*/true);
     end_handler();
@@ -496,7 +502,11 @@ Bytes SecureGroupMember::seal(const Bytes& plaintext, const Bytes& aad) {
   mac_input.bytes(iv);
   mac_input.bytes(ct);
   mac_input.bytes(aad);
-  Bytes mac = hmac_sha256(mac_key.b, mac_input.data());
+  Bytes mac;
+  {
+    obs::WallScope wall("crypto/hash");
+    mac = hmac_sha256(mac_key.b, mac_input.data());
+  }
   crypto_.charge_symmetric(plaintext.size() + 48);
   Writer w;
   w.bytes(iv);
@@ -518,8 +528,12 @@ std::optional<Bytes> SecureGroupMember::open(const Bytes& sealed, const Bytes& a
     mac_input.bytes(s.ct);
     mac_input.bytes(aad);
     crypto_.charge_symmetric(s.ct.size() + 48);
-    if (!ct_equal(hmac_sha256(mac_key.b, mac_input.data()), s.mac))
-      return std::nullopt;
+    Bytes expect_mac;
+    {
+      obs::WallScope wall("crypto/hash");
+      expect_mac = hmac_sha256(mac_key.b, mac_input.data());
+    }
+    if (!ct_equal(expect_mac, s.mac)) return std::nullopt;
     return aes128_cbc_decrypt(enc_key.b, s.iv, s.ct);
   } catch (const std::exception&) {
     // The cipher layer can still object (e.g. a ciphertext that is not a

@@ -19,6 +19,14 @@ bool BenchOptions::parse(int argc, char** argv, BenchOptions& out,
       arg = arg.substr(0, eq);
       has_value = true;
     }
+    if (arg == "--wallclock") {
+      if (has_value) {
+        error = "--wallclock takes no argument";
+        return false;
+      }
+      out.wallclock = true;
+      continue;
+    }
     if (arg != "--json" && arg != "--trace" && arg != "--seed") {
       out.rest.push_back(orig);
       continue;
@@ -48,6 +56,13 @@ bool BenchOptions::parse(int argc, char** argv, BenchOptions& out,
 }
 
 ObsSession::ObsSession(const BenchOptions& opts) : opts_(opts) {
+  // The wall profiler installs independently of --json/--trace: `bench
+  // --wallclock` alone still prints the stdout summary table.
+  if (opts_.wallclock) {
+    wall_ = std::make_unique<obs::WallProfiler>();
+    prev_wall_ = obs::wall_profiler();
+    obs::set_wall_profiler(wall_.get());
+  }
   if (!opts_.observing()) return;
   metrics_ = std::make_unique<obs::MetricsRegistry>();
   tracer_ = std::make_unique<obs::Tracer>();
@@ -58,17 +73,45 @@ ObsSession::ObsSession(const BenchOptions& opts) : opts_(opts) {
 }
 
 ObsSession::~ObsSession() {
+  if (wall_ != nullptr) obs::set_wall_profiler(prev_wall_);
   if (!opts_.observing()) return;
   obs::set_metrics(prev_metrics_);
   obs::set_tracer(prev_tracer_);
 }
 
+namespace {
+
+void print_wall_summary(const obs::WallProfiler& wall) {
+  const obs::WallCalibration& cal = wall.calibration();
+  std::printf("\nwall-clock profile (host ns/op; timer overhead %.1f ns "
+              "subtracted, resolution %.0f ns)\n",
+              cal.overhead_ns, cal.resolution_ns);
+  std::printf("%-28s %10s %12s %12s %12s\n", "site", "count", "p50_ns",
+              "p95_ns", "min_ns");
+  for (const auto& [name, h] : wall.sites())
+    std::printf("%-28s %10llu %12.0f %12.0f %12.0f\n", name.c_str(),
+                static_cast<unsigned long long>(h.count()), h.quantile(0.5),
+                h.quantile(0.95), h.min());
+  if (wall.spans_dropped() > 0)
+    std::printf("(trace span buffer full: %llu spans dropped)\n",
+                static_cast<unsigned long long>(wall.spans_dropped()));
+}
+
+}  // namespace
+
 bool ObsSession::finish(obs::RunReport& report) {
+  if (wall_ != nullptr) print_wall_summary(*wall_);
   if (!opts_.observing()) return true;
   // Stamp the run's base seed so any number in the file can be reproduced.
   report.add_section("seed", obs::Json(opts_.seed));
   report.add_metrics(*metrics_);
   report.add_span_rollup(*tracer_);
+  if (wall_ != nullptr) {
+    // The schema bump and the section land together, so a v1 report never
+    // contains wall data and a v2 report always does.
+    report.set_schema(obs::kBenchSchemaWallclock);
+    report.add_section("wallclock", wall_->to_json());
+  }
   bool ok = true;
   std::string error;
   if (!opts_.json_path.empty() &&
@@ -77,7 +120,8 @@ bool ObsSession::finish(obs::RunReport& report) {
     ok = false;
   }
   if (!opts_.trace_path.empty() &&
-      !obs::write_chrome_trace_file(opts_.trace_path, *tracer_, &error)) {
+      !obs::write_chrome_trace_file(opts_.trace_path, *tracer_, &error,
+                                    wall_.get())) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     ok = false;
   }

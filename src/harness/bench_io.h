@@ -25,6 +25,10 @@ struct BenchOptions {
   /// from and any result can be reproduced from the file alone.
   std::uint64_t seed = 1;
   bool seed_set = false;   // --seed was given explicitly
+  /// --wallclock: also profile real host-clock ns/op at the instrumented
+  /// sites (see obs/wallclock.h). Off by default; without it no host clock
+  /// is read and all output stays byte-identical to a flagless run.
+  bool wallclock = false;
   std::vector<std::string> rest;
 
   bool observing() const { return !json_path.empty() || !trace_path.empty(); }
@@ -42,6 +46,13 @@ struct BenchOptions {
 /// state into a RunReport and writes the files the flags requested. When the
 /// options request nothing, the session is a no-op and `finish` only prints
 /// nothing and succeeds.
+///
+/// With `--wallclock` the session additionally installs a WallProfiler
+/// (self-calibrating at construction), so the WallScope sites record real
+/// ns/op while the run proceeds. `finish` then prints a per-site summary
+/// table on stdout and, when --json was also given, bumps the report schema
+/// to kBenchSchemaWallclock and appends the "wallclock" section — the only
+/// part of the report allowed to differ between two identical runs.
 class ObsSession {
  public:
   explicit ObsSession(const BenchOptions& opts);
@@ -51,18 +62,21 @@ class ObsSession {
 
   obs::MetricsRegistry* metrics() const { return metrics_.get(); }
   obs::Tracer* tracer() const { return tracer_.get(); }
+  obs::WallProfiler* wall() const { return wall_.get(); }
 
-  /// Adds the metrics + span-rollup sections to `report`, then writes the
-  /// --json and --trace files. Failures are reported on stderr; returns
-  /// false if any write failed.
+  /// Adds the metrics + span-rollup (and, with --wallclock, wallclock)
+  /// sections to `report`, then writes the --json and --trace files.
+  /// Failures are reported on stderr; returns false if any write failed.
   bool finish(obs::RunReport& report);
 
  private:
   const BenchOptions opts_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::WallProfiler> wall_;
   obs::MetricsRegistry* prev_metrics_ = nullptr;
   obs::Tracer* prev_tracer_ = nullptr;
+  obs::WallProfiler* prev_wall_ = nullptr;
 };
 
 /// Serializes a sweep for the BENCH_*.json "sweeps" entries: sizes plus, per

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wallclock.h"
 #include "util/check.h"
 
 namespace sgk {
@@ -69,6 +70,7 @@ void Experiment::begin_event(const char* event_name, double t0) {
   // The first phase covers the GCS membership protocol: it runs from the
   // event until a protocol handler marks its first phase.
   SGK_TRACE(tr->begin_event(event_name, t0); tr->phase("membership", t0));
+  if (obs::wall_profiler() != nullptr) wall_t0_ = obs::wall_now_ns();
 }
 
 void Experiment::record_event(const char* event_name, const EventResult& r,
@@ -77,6 +79,13 @@ void Experiment::record_event(const char* event_name, const EventResult& r,
       tr->event_attr("protocol", obs::Json(to_string(config_.protocol)));
       tr->event_attr("n", obs::Json(static_cast<std::uint64_t>(r.group_size)));
       tr->end_event(keyed));
+  if (obs::WallProfiler* wp = obs::wall_profiler()) {
+    // Real host time the whole event took to simulate and key — the wall
+    // counterpart of the virtual r.elapsed_ms recorded below.
+    const std::string site = std::string("event/") +
+                             to_string(config_.protocol) + "/" + event_name;
+    wp->record(site, wall_t0_, obs::wall_now_ns());
+  }
   if (obs::MetricsRegistry* mr = obs::metrics()) {
     const std::string path =
         std::string(to_string(config_.protocol)) + "/" + event_name;

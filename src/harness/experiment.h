@@ -95,6 +95,10 @@ class Experiment {
   std::vector<std::unique_ptr<SecureGroupMember>> members_;
   std::vector<OpCounters> last_counters_;  // per member slot, at event start
   std::size_t spawned_ = 0;
+  /// Host-clock stamp taken in begin_event when a wall profiler is
+  /// installed; record_event closes the interval so `--wallclock` runs get
+  /// real ns per membership event beside the virtual elapsed_ms.
+  std::uint64_t wall_t0_ = 0;
 };
 
 }  // namespace sgk

@@ -11,6 +11,11 @@ RunReport::RunReport(std::string bench_name) {
   doc_.set("bench", Json(std::move(bench_name)));
 }
 
+void RunReport::set_schema(const char* schema) {
+  // Json::set replaces in place, so the field keeps its leading position.
+  doc_.set("schema", Json(schema));
+}
+
 void RunReport::add_section(std::string name, Json value) {
   doc_.set(std::move(name), std::move(value));
 }
@@ -98,8 +103,17 @@ bool write_json_file(const std::string& path, const Json& doc,
 }
 
 bool write_chrome_trace_file(const std::string& path, const Tracer& tr,
-                             std::string* error) {
-  return write_text_file(path, tr.chrome_trace_json().dump() + "\n", error);
+                             std::string* error, const WallProfiler* wall) {
+  Json doc = tr.chrome_trace_json();
+  if (wall != nullptr) {
+    Json wall_events = wall->trace_events_json();
+    for (auto& [name, value] : doc.as_object()) {
+      if (name != "traceEvents") continue;
+      for (Json& e : wall_events.as_array()) value.push(std::move(e));
+      break;
+    }
+  }
+  return write_text_file(path, doc.dump() + "\n", error);
 }
 
 }  // namespace sgk::obs

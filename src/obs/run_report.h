@@ -13,15 +13,24 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wallclock.h"
 
 namespace sgk::obs {
 
 /// Schema identifier written as the "schema" field of every BENCH_*.json.
 inline constexpr const char* kBenchSchema = "sgk-bench/1";
+/// Bumped schema for reports carrying the "wallclock" section. A report
+/// stays at v1 unless wall-clock mode is on, so `--wallclock`-less output
+/// remains byte-identical across the schema bump.
+inline constexpr const char* kBenchSchemaWallclock = "sgk-bench/2";
 
 class RunReport {
  public:
   explicit RunReport(std::string bench_name);
+
+  /// Replaces the "schema" field in place (used when the wallclock section
+  /// upgrades a report to kBenchSchemaWallclock).
+  void set_schema(const char* schema);
 
   /// Bench-specific payload, e.g. "sweep" or "table".
   void add_section(std::string name, Json value);
@@ -52,8 +61,12 @@ bool write_json_file(const std::string& path, const Json& doc,
                      std::string* error = nullptr);
 
 /// Writes the tracer's Chrome trace_event JSON to `path` (open it in
-/// chrome://tracing or https://ui.perfetto.dev).
+/// chrome://tracing or https://ui.perfetto.dev). When `wall` is non-null its
+/// buffered spans are appended as a second track (pid 1, "wall clock
+/// (host)") so the virtual and wall timelines of the same run sit side by
+/// side in Perfetto.
 bool write_chrome_trace_file(const std::string& path, const Tracer& tracer,
-                             std::string* error = nullptr);
+                             std::string* error = nullptr,
+                             const WallProfiler* wall = nullptr);
 
 }  // namespace sgk::obs

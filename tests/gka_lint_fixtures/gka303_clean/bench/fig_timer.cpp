@@ -1,0 +1,11 @@
+#include "obs/wallclock.h"
+
+namespace sgk {
+
+// Benches are inside clock-rule scope but never read a clock themselves:
+// host timing goes through the calibrated WallScope boundary.
+void timed_iteration() {
+  obs::WallScope wall("bench/iteration");
+}
+
+}  // namespace sgk

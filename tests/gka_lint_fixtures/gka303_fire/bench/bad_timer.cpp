@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace sgk {
+
+double bench_stamp_ms() {
+  // Benches are in scope too: raw host-clock timing dodges the calibrated
+  // WallProfiler path.
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace sgk

@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace sgk {
+
+double helper_stamp_ms() {
+  // "wallclock" in the file name is not the boundary: only the exact paths
+  // src/obs/wallclock.{h,cpp} are exempt.
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace sgk

@@ -6,10 +6,12 @@
 #include <string>
 
 #include "gtest/gtest.h"
+#include "harness/experiment.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "obs/wallclock.h"
 
 namespace sgk::obs {
 namespace {
@@ -259,6 +261,137 @@ TEST(Trace, GlobalInstallUninstall) {
   EXPECT_TRUE(ran);
   set_tracer(nullptr);
   EXPECT_EQ(tracer(), nullptr);
+}
+
+TEST(Wallclock, CalibrationIsSane) {
+  const WallCalibration cal = calibrate_wall_timer();
+  // Overhead is clamped into [0, 1000] ns by construction; a plausible
+  // machine lands well under the cap.
+  EXPECT_GE(cal.overhead_ns, 0.0);
+  EXPECT_LE(cal.overhead_ns, 1000.0);
+  EXPECT_GE(cal.resolution_ns, 0.0);
+  EXPECT_GT(cal.batches, 0);
+}
+
+TEST(Wallclock, RecordSubtractsOverheadAndClampsAtZero) {
+  WallProfiler wp;
+  const double overhead = wp.calibration().overhead_ns;
+  // A zero-width raw interval must never go negative after subtraction.
+  wp.record("zero", 5000, 5000);
+  ASSERT_NE(wp.site("zero"), nullptr);
+  EXPECT_EQ(wp.site("zero")->count(), 1u);
+  EXPECT_DOUBLE_EQ(wp.site("zero")->sum(), 0.0);
+  // A wide interval loses exactly the calibrated overhead.
+  wp.record("wide", 0, 1000000);
+  EXPECT_DOUBLE_EQ(wp.site("wide")->sum(), 1.0e6 - overhead);
+}
+
+TEST(Wallclock, HistogramQuantilesAtNsScaleStayWithinBucketError) {
+  // The log-linear buckets promise ~12-13% relative quantile error; check
+  // that holds for nanosecond-magnitude values (1e2..1e6 ns), the range
+  // wall sites actually produce.
+  WallProfiler wp;
+  for (int i = 1; i <= 1000; ++i) wp.observe("ns", 100.0 * i);  // 100ns..100us
+  const Histogram* h = wp.site("ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1000u);
+  EXPECT_NEAR(h->quantile(0.5), 50000.0, 50000.0 * 0.13);
+  EXPECT_NEAR(h->quantile(0.95), 95000.0, 95000.0 * 0.13);
+}
+
+TEST(Wallclock, WallScopeIsNullSafeAndRecordsWhenInstalled) {
+  ASSERT_EQ(wall_profiler(), nullptr);
+  {
+    WallScope scope("site/no_profiler");  // must be a no-op, not a crash
+  }
+  WallProfiler wp;
+  set_wall_profiler(&wp);
+  {
+    WallScope scope("site/with_profiler");
+  }
+  set_wall_profiler(nullptr);
+  ASSERT_NE(wp.site("site/with_profiler"), nullptr);
+  EXPECT_EQ(wp.site("site/with_profiler")->count(), 1u);
+  EXPECT_EQ(wp.site("site/no_profiler"), nullptr);
+}
+
+TEST(Wallclock, SpanBufferCapsAndCountsDrops) {
+  WallProfiler wp;
+  const std::size_t n = WallProfiler::kMaxSpans + 7;
+  for (std::size_t i = 0; i < n; ++i) wp.record("spin", 0, 100);
+  EXPECT_EQ(wp.spans_recorded(), WallProfiler::kMaxSpans);
+  EXPECT_EQ(wp.spans_dropped(), 7u);
+  // Aggregation is unbounded: every record still lands in the histogram.
+  EXPECT_EQ(wp.site("spin")->count(), n);
+}
+
+TEST(Wallclock, JsonAndTraceShapes) {
+  WallProfiler wp;
+  wp.record("a/b", 1000, 3000);
+  const Json doc = wp.to_json();
+  EXPECT_NE(doc.find("calibration"), nullptr);
+  EXPECT_NE(doc.find("env"), nullptr);
+  ASSERT_NE(doc.find("sites"), nullptr);
+  ASSERT_NE(doc.at("sites").find("a/b"), nullptr);
+  const Json& site = doc.at("sites").at("a/b");
+  for (const char* k :
+       {"count", "sum_ns", "min_ns", "mean_ns", "p50_ns", "p95_ns", "max_ns"})
+    EXPECT_NE(site.find(k), nullptr) << k;
+  EXPECT_EQ(doc.at("spans_recorded").as_number(), 1.0);
+  EXPECT_EQ(doc.at("spans_dropped").as_number(), 0.0);
+
+  const Json events = wp.trace_events_json();
+  ASSERT_EQ(events.size(), 2u);  // process_name metadata + one X event
+  EXPECT_EQ(events.at(0).at("ph").as_string(), "M");
+  EXPECT_EQ(events.at(0).at("pid").as_number(), 1.0);
+  EXPECT_EQ(events.at(1).at("ph").as_string(), "X");
+  EXPECT_EQ(events.at(1).at("name").as_string(), "a/b");
+  EXPECT_EQ(events.at(1).at("pid").as_number(), 1.0);
+}
+
+// The cardinal dual-clock guarantee: with every sink installed (metrics,
+// tracer, wall profiler), two identical runs produce RunReports that match
+// byte for byte outside the "wallclock" section.
+TEST(Wallclock, ReportsDifferOnlyInWallclockSection) {
+  const auto run_once = [] {
+    MetricsRegistry mr;
+    Tracer tr;
+    WallProfiler wp;
+    set_metrics(&mr);
+    set_tracer(&tr);
+    set_wall_profiler(&wp);
+    {
+      sgk::ExperimentConfig cfg;
+      cfg.protocol = sgk::ProtocolKind::kTgdh;
+      sgk::Experiment exp(cfg);
+      exp.grow_to(3);
+      exp.measure_join();
+    }
+    set_metrics(nullptr);
+    set_tracer(nullptr);
+    set_wall_profiler(nullptr);
+    RunReport report("determinism_probe");
+    report.add_section("seed", Json(std::uint64_t{1}));
+    report.add_metrics(mr);
+    report.add_span_rollup(tr);
+    report.set_schema(kBenchSchemaWallclock);
+    report.add_section("wallclock", wp.to_json());
+    return report.json().dump(2);
+  };
+
+  const Json a = Json::parse(run_once());
+  const Json b = Json::parse(run_once());
+  // Wall instrumentation actually fired during the run...
+  ASSERT_NE(a.find("wallclock"), nullptr);
+  EXPECT_GT(a.at("wallclock").at("sites").size(), 0u);
+  // ...and is the only section allowed to differ.
+  const auto without_wallclock = [](const Json& doc) {
+    Json out = Json::object();
+    for (const auto& [k, v] : doc.as_object())
+      if (k != "wallclock") out.set(k, v);
+    return out.dump(2);
+  };
+  EXPECT_EQ(without_wallclock(a), without_wallclock(b));
 }
 
 }  // namespace

@@ -174,10 +174,12 @@ const std::vector<Rule>& rules() {
        "container ordered or hashed by pointer value in a deterministic "
        "subsystem; addresses vary per run (ASLR) — key by a stable id"},
       {"GKA303", Severity::kError,
-       "wall-clock read (system_clock) outside the wallclock boundary"},
+       "wall-clock read (system_clock) outside the wallclock boundary "
+       "(src/obs/wallclock.{h,cpp})"},
       {"GKA304", Severity::kError,
        "host monotonic clock (steady_clock/high_resolution_clock) outside "
-       "the wallclock boundary; virtual time comes from Simulator::now()"},
+       "the wallclock boundary; virtual time comes from Simulator::now(), "
+       "host ns/op from obs::WallScope"},
       {"GKA305", Severity::kError,
        "ambient time/env entropy (time(nullptr), clock(), getpid, getenv) "
        "outside util/random_source and the DRBG"},

@@ -63,9 +63,11 @@
 //                    iteration order is not reproducible across runs.
 //   GKA302 (warning) pointer-keyed ordered container or std::hash over a
 //                    pointer type: address-dependent order (ASLR).
-//   GKA303 (error)   system_clock outside the wallclock boundary.
+//   GKA303 (error)   system_clock outside the wallclock boundary (exactly
+//                    src/obs/wallclock.{h,cpp}); scope is src/ and bench/.
 //   GKA304 (error)   steady_clock / high_resolution_clock outside the
-//                    wallclock boundary; virtual time is Simulator::now().
+//                    wallclock boundary; virtual time is Simulator::now()
+//                    and host ns/op comes through obs::WallScope.
 //   GKA305 (error)   ambient time/env entropy — time(nullptr), clock(),
 //                    getpid(), getenv() — outside util/random_source and
 //                    the DRBG (complements GKA003's engine-name list).

@@ -16,9 +16,12 @@
 //   GKA302  pointer-keyed ordered containers / std::hash over pointers —
 //           ordering or hashing by address is ASLR-dependent.
 //   GKA303  wall-clock reads (system_clock) outside the wallclock boundary.
+//           The boundary is exactly src/obs/wallclock.{h,cpp}; scope covers
+//           src/ and bench/.
 //   GKA304  monotonic clocks (steady_clock / high_resolution_clock) outside
 //           the wallclock boundary — virtual time comes from
-//           Simulator::now(), never from the host.
+//           Simulator::now(), and host ns/op from WallScope, never from a
+//           clock read in calling code.
 //   GKA305  time/env entropy: time(nullptr)/time(0), clock(), getpid(),
 //           getenv() — ambient inputs that differ per run/host. Complements
 //           GKA003, which catches the std::random engines by name.
@@ -54,11 +57,12 @@ bool shared_state_scope(const std::string& path) {
          path_has_prefix(path, "src/sim/") || path_has_prefix(path, "src/gcs/");
 }
 
-/// The sanctioned host-time boundary. No such file exists yet; when one is
-/// added it must live under a path containing "wallclock" (e.g.
-/// src/obs/wallclock.h) to be exempt.
+/// The sanctioned host-time boundary: exactly the WallProfiler translation
+/// unit (obs/wallclock.h declares wall_now_ns(), the one clock read in the
+/// tree). An exact-path match, not a substring, so a stray
+/// "my_wallclock_helper.cpp" elsewhere cannot smuggle in an exemption.
 bool wallclock_boundary(const std::string& path) {
-  return path_contains(path, "wallclock");
+  return path == "src/obs/wallclock.h" || path == "src/obs/wallclock.cpp";
 }
 
 /// Ambient-entropy sanctioned files (same set GKA003 exempts).
@@ -138,7 +142,11 @@ void run_pointer_order_rule(const FileModel& m, const Sink& sink) {
 }
 
 void run_clock_rules(const FileModel& m, const Sink& sink) {
-  if (!path_has_prefix(m.path, "src/")) return;
+  // bench/ is in scope too: benches measure through WallScope /
+  // wall_now_ns() so timing stays calibrated and greppable, never by
+  // reading a chrono clock themselves.
+  if (!path_has_prefix(m.path, "src/") && !path_has_prefix(m.path, "bench/"))
+    return;
   if (wallclock_boundary(m.path)) return;
   for (std::size_t li = 0; li < m.code.size(); ++li) {
     for (const LineTok& t : line_identifiers(m.code[li])) {
