@@ -21,6 +21,7 @@ void InvariantChecker::check_convergence(const std::vector<KeyProbe>& probes) {
   // First probe of each component anchors the comparison.
   std::map<int, const KeyProbe*> anchor;
   for (const KeyProbe& p : probes) {
+    // gka-lint: allow(GKA601) -- presence check on the optional probe slot (delivery state), not a branch on the key bytes
     if (!p.has_key || !p.key) {
       violations_.push_back("member " + std::to_string(p.member) +
                             " has no key (component " +

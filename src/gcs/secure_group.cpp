@@ -18,6 +18,8 @@ const RsaPrivateKey& default_rsa(ProcessId self) {
 /// Plain sub-key copy whose storage is wiped when the enclosing scope ends
 /// (the cipher/MAC primitives take `Bytes`).
 struct ScopedSubkey {
+  // Stack-scoped wipe guard; never outlives the calling frame.
+  SGK_CONFINED_TO_RUN;
   Bytes b;
   explicit ScopedSubkey(Bytes bytes) : b(std::move(bytes)) {}
   ~ScopedSubkey() { secure_zero(b.data(), b.size()); }
@@ -138,6 +140,7 @@ void SecureGroupMember::end_handler() {
   pending_key_.reset();
   const std::uint64_t epoch = epoch_;
 
+  // gka-lint: allow(GKA602) -- `!key` tests std::optional presence (key delivered this turn?), a public protocol event, not key bytes
   if (cost == 0 && out.empty() && !key) return;
 
   net_.cpu_of(self_).submit(
@@ -163,6 +166,7 @@ void SecureGroupMember::end_handler() {
               break;
           }
         }
+        // gka-lint: allow(GKA601) -- optional-presence gate for the install path (did this epoch deliver a key), independent of the key value
         if (key) {
           key_ = std::move(*key);
           key_epoch_ = epoch;

@@ -25,12 +25,18 @@
 #include "gcs/spread.h"
 #include "core/cost_model.h"
 #include "util/secure_bytes.h"
+#include "util/thread_annotations.h"
 
 namespace sgk {
 
 /// Public-key directory shared by all members (the paper assumes long-term
 /// keys are certified out of band).
 class Pki {
+  // Enrolled before members start, read-only once the run begins. A future
+  // parallel runner that shares one Pki across groups must make enroll()
+  // happen-before every run (or switch this to SGK_GUARDED_BY).
+  SGK_CONFINED_TO_RUN;
+
  public:
   void enroll(ProcessId p, VerifyKey key) {
     // Owned copies: verification must keep working for messages from members
@@ -49,6 +55,8 @@ class Pki {
 };
 
 struct MemberConfig {
+  // Copied into each member at construction; per-run value type.
+  SGK_CONFINED_TO_RUN;
   std::string group = "secure-group";
   ProtocolKind protocol = ProtocolKind::kTgdh;
   DhBits dh_bits = DhBits::k512;
@@ -76,6 +84,10 @@ struct MemberConfig {
 };
 
 class SecureGroupMember final : public GroupClient, private ProtocolHost {
+  // A member belongs to exactly one SpreadNetwork/Simulator pair and is
+  // driven only from that run's event loop.
+  SGK_CONFINED_TO_RUN;
+
  public:
   SecureGroupMember(SpreadNetwork& net, ProcessId self, std::shared_ptr<Pki> pki,
                     MemberConfig config);

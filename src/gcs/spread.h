@@ -31,6 +31,7 @@
 #include "sim/simulator.h"
 #include "sim/topology.h"
 #include "util/bytes.h"
+#include "util/thread_annotations.h"
 
 namespace sgk {
 
@@ -49,6 +50,8 @@ class GroupClient {
 /// Protocol/transport tunables. Defaults calibrated so the LAN testbed
 /// reproduces the paper's measured primitives (section 6.1.1).
 struct SpreadParams {
+  // Tunables fixed at network construction; read-only during the run.
+  SGK_CONFINED_TO_RUN;
   double hop_process_ms = 0.06;   // daemon token handling per hop
   double stamp_ms = 0.04;         // sequencing cost per stamped message
   double deliver_ms = 0.08;       // daemon-to-client delivery overhead
@@ -57,6 +60,9 @@ struct SpreadParams {
 };
 
 class SpreadNetwork {
+  // One simulated GCS instance per run; lives and dies with its Simulator.
+  SGK_CONFINED_TO_RUN;
+
  public:
   SpreadNetwork(Simulator& sim, Topology topology, SpreadParams params = {});
   ~SpreadNetwork();

@@ -13,10 +13,15 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "util/thread_annotations.h"
 
 namespace sgk {
 
 class CpuScheduler {
+  // Per-machine state of one simulation run; never shared across runs (and
+  // a parallel runner gives each run its own Simulator + schedulers).
+  SGK_CONFINED_TO_RUN;
+
  public:
   /// `track` is this machine's tracer track (0 = untracked); compute charges
   /// show up as spans on it when a membership event is being traced.

@@ -11,10 +11,14 @@
 
 #include "fault/injector.h"
 #include "sim/simulator.h"
+#include "util/thread_annotations.h"
 
 namespace sgk {
 
 class SimFaultScheduler final : public fault::Scheduler {
+  // Thin adapter over one run's Simulator; confined with it.
+  SGK_CONFINED_TO_RUN;
+
  public:
   explicit SimFaultScheduler(Simulator& sim) : sim_(sim) {}
 

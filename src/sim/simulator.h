@@ -10,11 +10,17 @@
 #include <queue>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace sgk {
 
 using SimTime = double;  // milliseconds of virtual time
 
 class Simulator {
+  // The event queue and clock of ONE run. Parallel multi-group runs get one
+  // Simulator each; nothing here is (or may become) cross-thread shared.
+  SGK_CONFINED_TO_RUN;
+
  public:
   /// Schedules `fn` at absolute time `t` (must be >= now()).
   void at(SimTime t, std::function<void()> fn);

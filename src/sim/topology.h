@@ -9,16 +9,22 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace sgk {
 
 using SiteId = int;
 using MachineId = int;
 
 struct SiteSpec {
+  // Built while describing a testbed, then read-only for the run.
+  SGK_CONFINED_TO_RUN;
   std::string name;
 };
 
 struct MachineSpec {
+  // Built while describing a testbed, then read-only for the run.
+  SGK_CONFINED_TO_RUN;
   SiteId site = 0;
   int cores = 2;
   // CPU time multiplier relative to the reference machine (800 MHz PIII in
@@ -27,6 +33,9 @@ struct MachineSpec {
 };
 
 class Topology {
+  // Owned by one experiment; mutated only during setup, before the run.
+  SGK_CONFINED_TO_RUN;
+
  public:
   SiteId add_site(std::string name);
   MachineId add_machine(SiteId site, int cores = 2, double speed = 1.0);

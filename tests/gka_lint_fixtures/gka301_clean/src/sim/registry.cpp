@@ -4,6 +4,8 @@ namespace sgk {
 
 // std::map iterates in key order: identical schedules on every run.
 class ProcessRegistry {
+  SGK_CONFINED_TO_RUN;  // per-run schedule state
+
  public:
   void tick();
 

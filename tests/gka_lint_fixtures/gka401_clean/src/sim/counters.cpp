@@ -5,6 +5,7 @@ constexpr int kMaxBackoffSteps = 12;
 const double kDefaultJitterMs = 0.5;
 
 struct Counters {
+  SGK_CONFINED_TO_RUN;  // one run's tallies, never cross-thread
   int events = 0;
 };
 

@@ -1,0 +1,22 @@
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace sgk {
+
+class SessionTable {
+ public:
+  void put(int epoch);
+
+ private:
+  std::mutex mu_;
+  int epoch_ SGK_GUARDED_BY(mu_) = 0;
+};
+
+// The guarded field is only touched under its mutex.
+void SessionTable::put(int epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  epoch_ = epoch;
+}
+
+}  // namespace sgk

@@ -1,0 +1,19 @@
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace sgk {
+
+class SessionTable {
+ public:
+  void put(int epoch);
+
+ private:
+  std::mutex mu_;
+  int epoch_ SGK_GUARDED_BY(mu_) = 0;
+};
+
+// Writes the guarded field with no lock held: GKA501.
+void SessionTable::put(int epoch) { epoch_ = epoch; }
+
+}  // namespace sgk

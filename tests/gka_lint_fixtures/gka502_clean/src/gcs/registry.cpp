@@ -1,0 +1,25 @@
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace sgk {
+
+class EpochRegistry {
+ public:
+  void rekey_locked() SGK_REQUIRES(mu_);
+  void rekey();
+
+ private:
+  std::mutex mu_;
+  int epoch_ SGK_GUARDED_BY(mu_) = 0;
+};
+
+void EpochRegistry::rekey_locked() { ++epoch_; }
+
+// The capability is held across the call, satisfying SGK_REQUIRES(mu_).
+void EpochRegistry::rekey() {
+  std::lock_guard<std::mutex> lk(mu_);
+  rekey_locked();
+}
+
+}  // namespace sgk

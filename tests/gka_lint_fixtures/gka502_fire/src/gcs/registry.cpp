@@ -1,0 +1,22 @@
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace sgk {
+
+class EpochRegistry {
+ public:
+  void rekey_locked() SGK_REQUIRES(mu_);
+  void rekey();
+
+ private:
+  std::mutex mu_;
+  int epoch_ SGK_GUARDED_BY(mu_) = 0;
+};
+
+void EpochRegistry::rekey_locked() { ++epoch_; }
+
+// Calls an SGK_REQUIRES(mu_) function without holding mu_: GKA502.
+void EpochRegistry::rekey() { rekey_locked(); }
+
+}  // namespace sgk

@@ -1,0 +1,25 @@
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace sgk {
+
+class Pump {
+ public:
+  int drain(bool fast);
+
+ private:
+  std::mutex mu_;
+  int backlog_ SGK_GUARDED_BY(mu_) = 0;
+};
+
+// RAII guard: every path out of the function releases the mutex.
+int Pump::drain(bool fast) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fast) return 0;
+  const int n = backlog_;
+  backlog_ = 0;
+  return n;
+}
+
+}  // namespace sgk

@@ -1,0 +1,25 @@
+#include <mutex>
+
+namespace sgk {
+
+class Pump {
+ public:
+  int drain(bool fast);
+
+ private:
+  std::mutex mu_;
+  int backlog_ = 0;
+};
+
+// The early return leaves mu_ locked: GKA503 (use a lock_guard, or release
+// before every exit).
+int Pump::drain(bool fast) {
+  mu_.lock();
+  if (fast) return 0;
+  const int n = backlog_;
+  backlog_ = 0;
+  mu_.unlock();
+  return n;
+}
+
+}  // namespace sgk

@@ -1,0 +1,15 @@
+#include "util/thread_annotations.h"
+
+namespace sgk {
+
+// Classified: this is one run's private tally, never shared across worker
+// threads, so it needs no mutex.
+struct RunStats {
+  SGK_CONFINED_TO_RUN;
+  int events_handled = 0;
+  double virtual_ms = 0.0;
+};
+
+void bump(RunStats& s) { ++s.events_handled; }
+
+}  // namespace sgk

@@ -1,0 +1,13 @@
+namespace sgk {
+
+// Mutable top-level structure in a simulation subsystem with neither
+// SGK_GUARDED_BY members nor an SGK_CONFINED_TO_RUN marker: once runs go
+// parallel nobody knows whether this may be shared. GKA504.
+struct RunStats {
+  int events_handled = 0;
+  double virtual_ms = 0.0;
+};
+
+void bump(RunStats& s) { ++s.events_handled; }
+
+}  // namespace sgk

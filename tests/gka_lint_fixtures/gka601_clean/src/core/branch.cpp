@@ -1,0 +1,13 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+// Branching on the key's *length* is fine: message and key sizes are public
+// protocol metadata, and ct_equal is the approved comparison boundary.
+bool usable(const SecureBytes& session_key, const Bytes& expected_tag,
+            const Bytes& tag) {
+  if (session_key.size() < 16) return false;
+  return ct_equal(tag, expected_tag);
+}
+
+}  // namespace sgk

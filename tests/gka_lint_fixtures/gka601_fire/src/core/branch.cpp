@@ -1,0 +1,14 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+// Branching on revealed key bytes: the taken path (and so the execution
+// time) depends on the secret. GKA601.
+int bucket(const SecureBytes& session_key) {
+  int b = 0;
+  if (session_key.reveal().front() & 1)
+    b = 1;
+  return b;
+}
+
+}  // namespace sgk

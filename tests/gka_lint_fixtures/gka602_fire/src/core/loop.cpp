@@ -1,0 +1,14 @@
+#include "bignum/secure_bigint.h"
+
+namespace sgk {
+
+// The trip count tracks the secret exponent's value: square-and-multiply
+// style timing leak. GKA602.
+int hamming_weight(const SecureBigInt& private_exponent) {
+  int ones = 0;
+  for (unsigned long w = private_exponent.reveal().limb(0); w != 0; w >>= 1)
+    ones += static_cast<int>(w & 1);
+  return ones;
+}
+
+}  // namespace sgk

@@ -1,0 +1,13 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+// Indexing by a public counter (bounded by the public length) touches the
+// same address sequence regardless of key value.
+unsigned char rotate(const Bytes& table, const SecureBytes& session_key,
+                     std::size_t i) {
+  unsigned char out = table[i % session_key.size()];
+  return out;
+}
+
+}  // namespace sgk

@@ -1,0 +1,12 @@
+#include "util/secure_bytes.h"
+
+namespace sgk {
+
+// Table lookup indexed by a key byte: which cache line is touched depends
+// on the secret (classic S-box timing channel). GKA603.
+unsigned char sbox(const Bytes& table, const SecureBytes& session_key) {
+  unsigned char out = table[session_key.reveal().front()];
+  return out;
+}
+
+}  // namespace sgk

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace sgk {
+
+// The capability contract lives here: bump() must be called with mu_ held.
+class EpochRegistry {
+ public:
+  void bump() SGK_REQUIRES(mu_);
+
+  std::mutex mu_;
+
+ private:
+  int epoch_ SGK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sgk

@@ -1,0 +1,11 @@
+#include "gcs/registry.h"
+
+namespace sgk {
+
+// Looks innocent in isolation: nothing in THIS file says bump() needs a
+// lock. Only the whole-program pass — which merges the header's
+// SGK_REQUIRES(mu_) annotation with this call site across TUs — can see
+// the missing capability. GKA502.
+void on_view_installed(EpochRegistry& reg) { reg.bump(); }
+
+}  // namespace sgk

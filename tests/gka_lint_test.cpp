@@ -44,7 +44,7 @@ std::vector<SourceFile> load_fixture(const std::string& name) {
 
 TEST(GkaLintRules, TableIsComplete) {
   const auto& rules = gka_lint::rules();
-  ASSERT_EQ(rules.size(), 22u);
+  ASSERT_EQ(rules.size(), 29u);
   EXPECT_STREQ(rules[0].id, "GKA001");
   EXPECT_STREQ(rules[5].id, "GKA006");
   EXPECT_STREQ(rules[8].id, "GKA009");
@@ -54,6 +54,10 @@ TEST(GkaLintRules, TableIsComplete) {
   EXPECT_STREQ(rules[19].id, "GKA306");
   EXPECT_STREQ(rules[20].id, "GKA401");
   EXPECT_STREQ(rules[21].id, "GKA402");
+  EXPECT_STREQ(rules[22].id, "GKA501");
+  EXPECT_STREQ(rules[25].id, "GKA504");
+  EXPECT_STREQ(rules[26].id, "GKA601");
+  EXPECT_STREQ(rules[28].id, "GKA603");
 }
 
 TEST(GkaLintRules, SeverityAssignments) {
@@ -75,6 +79,11 @@ TEST(GkaLintRules, SeverityAssignments) {
       }
     }
     if (id[3] == '4') {
+      EXPECT_EQ(r.severity, Severity::kError) << id;
+    }
+    // Lock discipline and constant-time discipline gate the parallel-runs
+    // roadmap: all errors.
+    if (id[3] == '5' || id[3] == '6') {
       EXPECT_EQ(r.severity, Severity::kError) << id;
     }
   }
@@ -531,7 +540,8 @@ TEST(GkaLintDeterminism, Gka301FlagsUnorderedContainers) {
   // Ordered containers, and unordered ones outside the deterministic
   // subsystems, are fine.
   EXPECT_TRUE(lint_source("src/sim/x.h",
-                          "class R {\n  std::map<int, double> m_;\n};\n")
+                          "class R {\n  SGK_CONFINED_TO_RUN;\n"
+                          "  std::map<int, double> m_;\n};\n")
                   .empty());
   EXPECT_TRUE(lint_source("src/obs/x.h", src).empty());
   EXPECT_TRUE(lint_source("tests/x.cpp", src).empty());
@@ -624,7 +634,7 @@ TEST(GkaLintSharedState, Gka401SkipsConstantsTypesAndMembers) {
                           "const double kJitter = 0.5;\n"
                           "using Clock = VirtualClock;\n"
                           "extern int g_declared_elsewhere;\n"
-                          "struct S { int mutable_member = 0; };\n"
+                          "struct S { SGK_CONFINED_TO_RUN; int mutable_member = 0; };\n"
                           "int pure_helper(int x) { int local = x; return local; }\n"
                           "}\n")
                   .empty());
@@ -736,6 +746,354 @@ TEST(GkaLint, FormatIncludesLocationRuleAndSeverity) {
   EXPECT_NE(line.find("src/core/x.cpp:1:"), std::string::npos);
   EXPECT_NE(line.find("[GKA001]"), std::string::npos);
   EXPECT_NE(line.find("error"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-discipline rules (GKA5xx, v4).
+
+TEST(GkaLintLock, Gka501GuardedFieldNeedsTheMutex) {
+  const std::string decl =
+      "class T {\n"
+      "  std::mutex mu_;\n"
+      "  int epoch_ SGK_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  decl + "void T::put(int e) { epoch_ = e; }\n"),
+      "GKA501"));
+  // Held via RAII guard: clean.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  decl +
+                      "void T::put(int e) {\n"
+                      "  std::lock_guard<std::mutex> lk(mu_);\n"
+                      "  epoch_ = e;\n"
+                      "}\n"),
+      "GKA501"));
+  // Held via declared capability: clean.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  decl +
+                      "void T::put_locked(int e) SGK_REQUIRES(mu_) {\n"
+                      "  epoch_ = e;\n"
+                      "}\n"),
+      "GKA501"));
+  // Constructors initialize before the object is shared: exempt.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/gcs/t.cpp", decl + "T::T() { epoch_ = 1; }\n"),
+      "GKA501"));
+}
+
+TEST(GkaLintLock, Gka502RequiresAndExcludesAtCallSites) {
+  const std::string decl =
+      "class T {\n"
+      "  std::mutex mu_;\n"
+      "  void step() SGK_REQUIRES(mu_);\n"
+      "  void sync() SGK_EXCLUDES(mu_);\n"
+      "};\n";
+  EXPECT_TRUE(has_rule(
+      lint_source("src/gcs/t.cpp", decl + "void T::run() { step(); }\n"),
+      "GKA502"));
+  // Calling an SGK_EXCLUDES function with the mutex held: deadlock fence.
+  EXPECT_TRUE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  decl +
+                      "void T::run() {\n"
+                      "  std::lock_guard<std::mutex> lk(mu_);\n"
+                      "  sync();\n"
+                      "}\n"),
+      "GKA502"));
+  EXPECT_FALSE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  decl +
+                      "void T::run() {\n"
+                      "  std::lock_guard<std::mutex> lk(mu_);\n"
+                      "  step();\n"
+                      "}\n"),
+      "GKA502"));
+}
+
+TEST(GkaLintLock, Gka503BareLockMustReleaseOnEveryPath) {
+  // Early return while bare-held.
+  EXPECT_TRUE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  "int T::drain(bool fast) {\n"
+                  "  mu_.lock();\n"
+                  "  if (fast) return 0;\n"
+                  "  mu_.unlock();\n"
+                  "  return 1;\n"
+                  "}\n"),
+      "GKA503"));
+  // Never released at all.
+  EXPECT_TRUE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  "void T::grab() {\n"
+                  "  mu_.lock();\n"
+                  "}\n"),
+      "GKA503"));
+  // Balanced bare pair: clean.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  "void T::tick() {\n"
+                  "  mu_.lock();\n"
+                  "  ++n_;\n"
+                  "  mu_.unlock();\n"
+                  "}\n"),
+      "GKA503"));
+  // A declared lock wrapper is exempt: SGK_ACQUIRE is its contract.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/gcs/t.cpp",
+                  "void T::acquire() SGK_ACQUIRE(mu_) {\n"
+                  "  mu_.lock();\n"
+                  "}\n"),
+      "GKA503"));
+}
+
+TEST(GkaLintLock, Gka504ClassifiesSimAndGcsStructures) {
+  const std::string bare = "struct S {\n  int n = 0;\n};\n";
+  EXPECT_TRUE(has_rule(lint_source("src/sim/s.h", bare), "GKA504"));
+  EXPECT_TRUE(has_rule(lint_source("src/gcs/s.h", bare), "GKA504"));
+  // Outside sim/gcs the rule does not apply.
+  EXPECT_FALSE(has_rule(lint_source("src/core/s.h", bare), "GKA504"));
+  // Classified either way: clean.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/sim/s.h",
+                  "struct S {\n  SGK_CONFINED_TO_RUN;\n  int n = 0;\n};\n"),
+      "GKA504"));
+  EXPECT_FALSE(has_rule(
+      lint_source("src/sim/s.h",
+                  "struct S {\n  std::mutex mu_;\n"
+                  "  int n SGK_GUARDED_BY(mu_) = 0;\n};\n"),
+      "GKA504"));
+  // Const-only and mutex/atomic-only members are immutable/self-synchronized.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/sim/s.h",
+                  "struct S {\n  const int n = 0;\n  std::atomic<int> a_;\n};\n"),
+      "GKA504"));
+}
+
+TEST(GkaLintLock, CrossTuCapabilityNeedsTheWholeProgram) {
+  // The v4 acceptance fixture, mirroring xtu_taint: the SGK_REQUIRES
+  // contract lives in a header, the lock-free call in another TU.
+  const auto fire = load_fixture("xtu_lock_fire");
+  ASSERT_EQ(fire.size(), 3u);
+  for (const SourceFile& f : fire)
+    EXPECT_FALSE(has_rule(lint_source(f.path, f.content), "GKA502"))
+        << f.path << " must be quiet in isolation";
+  const auto fs = lint_project(fire);
+  ASSERT_TRUE(has_rule(fs, "GKA502"));
+  for (const Finding& f : lint_project(load_fixture("xtu_lock_clean")))
+    ADD_FAILURE() << "xtu_lock_clean is not clean: " << gka_lint::format(f);
+}
+
+// ---------------------------------------------------------------------------
+// Constant-time rules (GKA6xx, v4).
+
+TEST(GkaLintCt, Gka601FlagsSecretBranches) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "int f(const SecureBytes& session_key) {\n"
+                  "  int b = 0;\n"
+                  "  if (session_key.reveal().front() & 1)\n"
+                  "    b = 1;\n"
+                  "  return b;\n"
+                  "}\n"),
+      "GKA601"));
+  // Ternary conditions count too.
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "int f(const SecureBytes& session_key) {\n"
+                  "  int b = session_key.reveal().front() ? 1 : 0;\n"
+                  "  return b;\n"
+                  "}\n"),
+      "GKA601"));
+  // Branching on the public length is declassified.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "int f(const SecureBytes& session_key) {\n"
+                  "  int b = 0;\n"
+                  "  if (session_key.size() > 16)\n"
+                  "    b = 1;\n"
+                  "  return b;\n"
+                  "}\n"),
+      "GKA601"));
+  // Container-structure probes (which epochs exist) are public metadata.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "bool f(int epoch) {\n"
+                  "  if (keys_.count(epoch) == 0)\n"
+                  "    return false;\n"
+                  "  return true;\n"
+                  "}\n"),
+      "GKA601"));
+}
+
+TEST(GkaLintCt, Gka602FlagsSecretLoopBoundsAndEarlyExits) {
+  EXPECT_TRUE(has_rule(
+      lint_source(
+          "src/core/x.cpp",
+          "int f(const SecureBigInt& private_exponent) {\n"
+          "  int ones = 0;\n"
+          "  for (unsigned long w = private_exponent.reveal().limb(0); w != 0; w >>= 1)\n"
+          "    ones += static_cast<int>(w & 1);\n"
+          "  return ones;\n"
+          "}\n"),
+      "GKA602"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "bool f(const SecureBytes& session_key) {\n"
+                  "  if (session_key.reveal().front() == 0) return false;\n"
+                  "  return true;\n"
+                  "}\n"),
+      "GKA602"));
+  // Ranged-for visits every element: trip count is the public length.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "int f(const SecureBytes& session_key) {\n"
+                  "  int sum = 0;\n"
+                  "  for (unsigned char b : session_key.reveal()) sum += b;\n"
+                  "  return sum;\n"
+                  "}\n"),
+      "GKA602"));
+}
+
+TEST(GkaLintCt, Gka603FlagsSecretSubscripts) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "int f(const Bytes& table, const SecureBytes& session_key) {\n"
+                  "  int v = table[session_key.reveal().front()];\n"
+                  "  return v;\n"
+                  "}\n"),
+      "GKA603"));
+  // Public index, public modulus: clean.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "int f(const Bytes& table, const SecureBytes& session_key,\n"
+                  "      std::size_t i) {\n"
+                  "  int v = table[i % session_key.size()];\n"
+                  "  return v;\n"
+                  "}\n"),
+      "GKA603"));
+}
+
+TEST(GkaLintCt, ReportingIsScopedToSrcButSummariesAreNot) {
+  // The same secret branch in a test body is not reported...
+  EXPECT_FALSE(has_rule(
+      lint_source("tests/x.cpp",
+                  "int f(const SecureBytes& session_key) {\n"
+                  "  int b = 0;\n"
+                  "  if (session_key.reveal().front() & 1)\n"
+                  "    b = 1;\n"
+                  "  return b;\n"
+                  "}\n"),
+      "GKA601"));
+  // ...but a src/ caller passing a secret into a branchy helper defined in
+  // ANOTHER file is, via the param_to_branch summary bit.
+  const std::vector<SourceFile> proj = {
+      {"src/core/helper.cpp",
+       "int classify(const Bytes& material) {\n"
+       "  int b = 0;\n"
+       "  if (material.front() & 1)\n"
+       "    b = 1;\n"
+       "  return b;\n"
+       "}\n"},
+      {"src/core/caller.cpp",
+       "int g(const SecureBytes& session_key) {\n"
+       "  return classify(session_key.reveal());\n"
+       "}\n"},
+  };
+  for (const SourceFile& f : proj)
+    EXPECT_FALSE(has_rule(lint_source(f.path, f.content), "GKA601"))
+        << f.path << " must be quiet in isolation";
+  EXPECT_TRUE(has_rule(lint_project(proj), "GKA601"));
+}
+
+TEST(GkaLintCt, AuditedAllowStopsSummaryPropagation) {
+  // The allow() inside the helper marks the audited constant-time boundary:
+  // no param_to_branch bit, so the cross-TU call site stays quiet too.
+  const std::string marker = std::string("gka-lint: ") + "allow";
+  const std::vector<SourceFile> proj = {
+      {"src/core/helper.cpp",
+       "int classify(const Bytes& material) {\n"
+       "  int b = 0;\n"
+       "  // " + marker + "(GKA601) -- audited: masked select below\n"
+       "  if (material.front() & 1)\n"
+       "    b = 1;\n"
+       "  return b;\n"
+       "}\n"},
+      {"src/core/caller.cpp",
+       "int g(const SecureBytes& session_key) {\n"
+       "  return classify(session_key.reveal());\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_project(proj), "GKA601"));
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog / output plumbing for the new families.
+
+TEST(GkaLintOutput, EveryRuleHasAHelpUriIntoTheCatalog) {
+  for (const gka_lint::Rule& r : gka_lint::rules()) {
+    const std::string uri = gka_lint::rule_help_uri(r.id);
+    EXPECT_EQ(uri.rfind("docs/static_analysis.md#", 0), 0u) << r.id;
+  }
+  EXPECT_EQ(gka_lint::rule_help_uri("GKA501"),
+            "docs/static_analysis.md#lock-discipline-rules-gka5xx");
+  EXPECT_EQ(gka_lint::rule_help_uri("GKA601"),
+            "docs/static_analysis.md#constant-time-rules-gka6xx");
+  EXPECT_EQ(gka_lint::rule_help_uri("GKA007"),
+            "docs/static_analysis.md#suppression-hygiene-rules-gka0xx-meta");
+}
+
+TEST(GkaLintOutput, SarifResultsCarryHelpUriAndRuleIndex) {
+  const auto fs =
+      lint_source("src/core/x.cpp", "if (a == session_key) abort();\n");
+  ASSERT_FALSE(fs.empty());
+  const std::string sarif = gka_lint::to_sarif(fs);
+  // The catalog entry and the result's property bag both link the docs.
+  EXPECT_NE(sarif.find("\"helpUri\": "
+                       "\"docs/static_analysis.md#key-handling-rules-gka0xx\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleIndex\": 0"), std::string::npos);
+  EXPECT_NE(sarif.find("\"properties\": {\"helpUri\": "), std::string::npos);
+}
+
+TEST(GkaLintOutput, RulesToJsonListsEveryRuleWithHelpUri) {
+  const std::string json = gka_lint::rules_to_json();
+  for (const gka_lint::Rule& r : gka_lint::rules()) {
+    EXPECT_NE(json.find(std::string("\"id\": \"") + r.id + "\""),
+              std::string::npos)
+        << r.id;
+  }
+  EXPECT_NE(json.find("\"helpUri\": "
+                      "\"docs/static_analysis.md#constant-time-rules-gka6xx\""),
+            std::string::npos);
+}
+
+TEST(GkaLintFixtures, EveryRuleInTheJsonCatalogHasFireAndCleanFixtures) {
+  // The coverage gate the --list-rules --format=json output feeds: adding a
+  // rule without pinning it to golden fixtures fails here, not in review.
+  namespace fs = std::filesystem;
+  const fs::path base = fs::path(GKA_LINT_FIXTURE_DIR);
+  const std::string json = gka_lint::rules_to_json();
+  std::size_t pos = 0, count = 0;
+  while ((pos = json.find("\"id\": \"", pos)) != std::string::npos) {
+    pos += 7;
+    std::string id = json.substr(pos, json.find('"', pos) - pos);
+    std::transform(id.begin(), id.end(), id.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    ++count;
+    for (const char* suffix : {"_fire", "_clean"}) {
+      const fs::path dir = base / (id + suffix);
+      EXPECT_TRUE(fs::is_directory(dir)) << dir << " missing";
+      bool any_file = false;
+      if (fs::is_directory(dir))
+        for (const auto& e : fs::recursive_directory_iterator(dir))
+          any_file = any_file || e.is_regular_file();
+      EXPECT_TRUE(any_file) << dir << " is empty";
+    }
+  }
+  EXPECT_EQ(count, gka_lint::rules().size());
 }
 
 }  // namespace

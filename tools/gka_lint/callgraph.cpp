@@ -86,6 +86,20 @@ bool InterprocView::param_to_return(const std::string& callee,
   return false;
 }
 
+bool InterprocView::param_to_branch(const std::string& callee,
+                                    std::size_t arg) const {
+  const auto* defs = cg_->definitions(callee);
+  if (defs == nullptr) return false;
+  for (const FunctionRef& ref : *defs) {
+    const auto it = summaries_->find(ref.fn);
+    if (it == summaries_->end()) continue;
+    if (arg < it->second.param_to_branch.size() &&
+        it->second.param_to_branch[arg])
+      return true;
+  }
+  return false;
+}
+
 bool InterprocView::returns_tainted(const std::string& callee) const {
   const auto* defs = cg_->definitions(callee);
   if (defs == nullptr) return false;

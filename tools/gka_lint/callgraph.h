@@ -65,6 +65,10 @@ struct TaintSummary {
                                       // sink inside (transitively)
   std::vector<bool> param_to_return;  // param i flows into the return value
                                       // without an approved boundary
+  std::vector<bool> param_to_branch;  // param i reaches a control-flow
+                                      // decision inside (if/while/for/switch
+                                      // condition, ternary, subscript) —
+                                      // the GKA6xx constant-time sinks
   bool returns_tainted = false;       // the return value derives from the
                                       // function's own Secure* seeds
 };
@@ -82,6 +86,7 @@ class InterprocView {
   bool known(const std::string& callee) const;
   bool param_to_sink(const std::string& callee, std::size_t arg) const;
   bool param_to_return(const std::string& callee, std::size_t arg) const;
+  bool param_to_branch(const std::string& callee, std::size_t arg) const;
   bool returns_tainted(const std::string& callee) const;
 
  private:
@@ -96,5 +101,25 @@ class InterprocView {
 SummaryMap compute_taint_summaries(
     const std::vector<FileModel>& models, const CallGraph& cg,
     const std::map<const FileModel*, std::vector<std::string>>& seeds_of);
+
+/// Project-wide lock-capability facts for the GKA5xx rules, merged by
+/// function *name* (the same over-approximation as the taint summaries: a
+/// fact is attributed to every same-named definition). The declared maps
+/// come straight from the SGK_* annotations of every translation unit; the
+/// effective maps add the *inferred* net lock effects — a helper that calls
+/// `mu_.lock()` and returns without unlocking behaves like SGK_ACQUIRE(mu_)
+/// for its callers — computed to a fixpoint over the cross-TU call graph.
+/// Implemented in rules_lock.cpp.
+struct LockFacts {
+  std::map<std::string, std::set<std::string>> needs;     // SGK_REQUIRES
+  std::map<std::string, std::set<std::string>> acq_decl;  // SGK_ACQUIRE
+  std::map<std::string, std::set<std::string>> rel_decl;  // SGK_RELEASE
+  std::map<std::string, std::set<std::string>> excl;      // SGK_EXCLUDES
+  std::map<std::string, std::set<std::string>> acq_eff;   // declared+inferred
+  std::map<std::string, std::set<std::string>> rel_eff;   // declared+inferred
+};
+
+LockFacts compute_lock_facts(const std::vector<FileModel>& models,
+                             const CallGraph& cg);
 
 }  // namespace gka_lint

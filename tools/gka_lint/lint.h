@@ -1,11 +1,16 @@
-// gka_lint v3: project-specific static analysis for key-handling hygiene,
-// architecture discipline, and determinism.
+// gka_lint v4: project-specific static analysis for key-handling hygiene,
+// architecture discipline, determinism, lock discipline, and constant-time
+// secret handling.
 //
 // Built on a real (comment/string/raw-string aware) lexer with per-file
 // include, symbol and function extraction — see lexer.h and model.h — plus,
 // since v3, a cross-translation-unit call graph with per-function taint
 // summaries computed to a fixpoint (callgraph.h), which lifts the GKA2xx
-// dataflow from function-local to interprocedural. Five rule families:
+// dataflow from function-local to interprocedural. v4 reuses the same
+// summary machinery for two new whole-program families: GKA5xx lock-set /
+// capability analysis over the SGK_* annotations
+// (src/util/thread_annotations.h) and GKA6xx secret-dependent control flow.
+// Seven rule families:
 //
 // Key-handling rules (per file):
 //   GKA001 (error)   raw equality on secret material: memcmp / operator== /
@@ -78,6 +83,29 @@
 //   GKA401 (error)   mutable namespace-scope state; couples simulation runs.
 //   GKA402 (error)   mutable function-local static; hidden shared state and
 //                    an init race once runs go parallel.
+//
+// Lock-discipline rules (whole program, over the SGK_* annotations of
+// src/util/thread_annotations.h; lock-sets computed to a fixpoint over the
+// cross-TU call graph):
+//   GKA501 (error)   SGK_GUARDED_BY field accessed without its mutex held
+//                    (guard maps follow the include closure).
+//   GKA502 (error)   function called without its SGK_REQUIRES capability
+//                    held, or with an SGK_EXCLUDES capability held;
+//                    annotations merge across TUs by function name.
+//   GKA503 (error)   bare lock() not released on every path out of the
+//                    function (and not declared SGK_ACQUIRE).
+//   GKA504 (error)   mutable top-level structure in src/sim|src/gcs with
+//                    neither SGK_GUARDED_BY members nor the
+//                    SGK_CONFINED_TO_RUN classification marker.
+//
+// Constant-time rules (src/ only; the GKA2xx taint engine with control-flow
+// sinks and a param_to_branch interprocedural summary bit; `k.size()`-style
+// public-length accessors are declassified):
+//   GKA601 (error)   secret-derived value in an if/while/switch/ternary
+//                    condition, directly or through a summarized callee.
+//   GKA602 (error)   secret-derived loop bound or early-return/break guard.
+//   GKA603 (error)   secret-derived array/Bytes subscript (cache-timing
+//                    channel).
 //
 // Suppressions:
 //   - `// gka-lint: allow(GKAnnn) -- reason` on the same or the previous
@@ -154,9 +182,20 @@ std::vector<Finding> lint_project(const std::vector<SourceFile>& files);
 std::string format(const Finding& f);
 
 /// Machine-readable output for CI: a stable JSON object, and SARIF 2.1.0
-/// for code-scanning annotation upload.
+/// for code-scanning annotation upload. Every SARIF rule carries a helpUri
+/// into the docs/static_analysis.md catalog (rule_help_uri), and every
+/// result echoes it in its property bag plus a ruleIndex into the catalog.
 std::string to_json(const std::vector<Finding>& findings,
                     std::size_t files_scanned);
 std::string to_sarif(const std::vector<Finding>& findings);
+
+/// The docs/static_analysis.md catalog anchor for a rule id, e.g.
+/// "docs/static_analysis.md#lock-discipline-rules-gka5xx" for GKA501.
+std::string rule_help_uri(const std::string& id);
+
+/// The rule table as JSON (`--list-rules --format=json`): id, severity,
+/// summary, and helpUri per rule — what the fixture-coverage meta-test
+/// iterates.
+std::string rules_to_json();
 
 }  // namespace gka_lint

@@ -5,6 +5,9 @@
 // Usage: gka_lint [root] [--format=text|json|sarif] [--werror] [--list-rules]
 //                 [--jobs N] [--stats] [--budget-ms N]
 //
+// --list-rules honors --format=json (the rule catalog with per-rule
+// helpUri), which is what the fixture-coverage meta-test consumes.
+//
 // --jobs N parallelizes per-file lexing/model extraction (merge and rule
 // phases stay serial, so findings are byte-identical for any N). --stats
 // prints a one-line phase-timing summary to stderr. --budget-ms N makes the
@@ -105,11 +108,15 @@ int main(int argc, char** argv) {
   }
 
   if (list_rules) {
-    for (const gka_lint::Rule& r : gka_lint::rules())
-      std::cout << r.id << "  "
-                << (r.severity == gka_lint::Severity::kError ? "error  "
-                                                             : "warning")
-                << "  " << r.summary << "\n";
+    if (format == "json") {
+      std::cout << gka_lint::rules_to_json();
+    } else {
+      for (const gka_lint::Rule& r : gka_lint::rules())
+        std::cout << r.id << "  "
+                  << (r.severity == gka_lint::Severity::kError ? "error  "
+                                                               : "warning")
+                  << "  " << r.summary << "\n";
+    }
     return 0;
   }
 

@@ -158,6 +158,14 @@ void extract_functions(const std::vector<Tok>& code_toks,
     if (name.kind != TokKind::kIdent || keyword_not_call(name.text)) continue;
     const Tok& open = code_toks[i + 1];
     if (open.kind != TokKind::kPunct || open.text != "(") continue;
+    // `std::move(x)` in a lambda capture list can look like `name (...) {`
+    // once the capture's `] ( ) mutable {` tail is reached; std-qualified
+    // names are never project definitions, so drop them up front.
+    if (i >= 2 && code_toks[i - 1].kind == TokKind::kPunct &&
+        code_toks[i - 1].text == "::" &&
+        code_toks[i - 2].kind == TokKind::kIdent &&
+        code_toks[i - 2].text == "std")
+      continue;
 
     // Find the matching ')'.
     int depth = 0;
@@ -217,6 +225,10 @@ void extract_functions(const std::vector<Tok>& code_toks,
           is_def = true;
           break;
         }
+        // A bare ']' can't appear in a function header between the parameter
+        // list and the body — it means the candidate was a call inside a
+        // lambda capture list, e.g. `[k = f(k)] () {`.
+        if (paren == 0 && t.text == "]") break;
         if (paren < 0) break;  // we were inside an argument list, not params
         continue;
       }
@@ -280,6 +292,302 @@ void extract_functions(const std::vector<Tok>& code_toks,
     out.push_back(f);
     i = k;  // continue the scan inside the body (nested definitions: rare,
             // and their lines are already covered by the enclosing range)
+  }
+}
+
+bool sgk_fn_annotation(const std::string& s, std::string& kind) {
+  if (s == "SGK_REQUIRES") kind = "requires";
+  else if (s == "SGK_ACQUIRE") kind = "acquire";
+  else if (s == "SGK_RELEASE") kind = "release";
+  else if (s == "SGK_EXCLUDES") kind = "excludes";
+  else return false;
+  return true;
+}
+
+bool sgk_field_annotation(const std::string& s) {
+  return s == "SGK_GUARDED_BY" || s == "SGK_PT_GUARDED_BY";
+}
+
+bool mutex_type(const std::string& s) {
+  return s == "mutex" || s == "shared_mutex" || s == "recursive_mutex" ||
+         s == "timed_mutex" || s == "shared_timed_mutex";
+}
+
+/// Extracts the SGK_* lock annotations from the un-expanded token stream.
+/// `SGK_GUARDED_BY(m)` attaches to the identifier immediately before it (the
+/// declared member); `SGK_REQUIRES(m)` & friends attach to the function whose
+/// parameter list precedes them (declaration or definition), skipping
+/// qualifiers and other annotations in between.
+void extract_annotations(const std::vector<Tok>& pure,
+                         std::vector<FieldGuard>& guards,
+                         std::vector<FnAnnotation>& fns) {
+  const std::size_t n = pure.size();
+  auto match_close = [&](std::size_t open) -> std::size_t {
+    int depth = 0;
+    for (std::size_t j = open; j < n; ++j) {
+      if (pure[j].kind != TokKind::kPunct) continue;
+      if (pure[j].text == "(") ++depth;
+      if (pure[j].text == ")" && --depth == 0) return j;
+    }
+    return n;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pure[i].kind != TokKind::kIdent) continue;
+    std::string kind;
+    if (sgk_field_annotation(pure[i].text)) {
+      if (i + 1 >= n || pure[i + 1].text != "(") continue;
+      const std::size_t close = match_close(i + 1);
+      if (close >= n) continue;
+      std::string mutex;
+      for (std::size_t j = i + 2; j < close; ++j)
+        if (pure[j].kind == TokKind::kIdent) mutex = pure[j].text;
+      if (mutex.empty()) continue;
+      if (i == 0 || pure[i - 1].kind != TokKind::kIdent) continue;
+      guards.push_back({"", pure[i - 1].text, mutex, pure[i].line});
+      i = close;
+      continue;
+    }
+    if (!sgk_fn_annotation(pure[i].text, kind)) continue;
+    if (i + 1 >= n || pure[i + 1].text != "(") continue;
+    const std::size_t close = match_close(i + 1);
+    if (close >= n) continue;
+    // Arguments: top-level comma split, each argument's last identifier.
+    std::vector<std::string> mutexes;
+    {
+      int pd = 0;
+      std::string last;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        const Tok& t = pure[j];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(") ++pd;
+          if (t.text == ")") --pd;
+          if (t.text == "," && pd == 0 && !last.empty()) {
+            mutexes.push_back(last);
+            last.clear();
+          }
+          continue;
+        }
+        if (t.kind == TokKind::kIdent) last = t.text;
+      }
+      if (!last.empty()) mutexes.push_back(last);
+    }
+    // The function name: walk back over qualifiers and earlier annotations
+    // to the ')' that closes the parameter list, then take the identifier
+    // before its '('.
+    std::string fn;
+    std::size_t p = i;
+    while (p > 0) {
+      --p;
+      const Tok& t = pure[p];
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+           t.text == "final"))
+        continue;
+      if (t.kind == TokKind::kPunct && t.text == ")") {
+        int depth = 0;
+        std::size_t q = p + 1;
+        while (q-- > 0) {
+          if (pure[q].kind != TokKind::kPunct) continue;
+          if (pure[q].text == ")") ++depth;
+          if (pure[q].text == "(" && --depth == 0) break;
+        }
+        if (q == 0 && (pure[0].kind != TokKind::kPunct || pure[0].text != "("))
+          break;
+        if (q >= 1 && pure[q - 1].kind == TokKind::kIdent) {
+          std::string k2;
+          const std::string& cand = pure[q - 1].text;
+          if (sgk_fn_annotation(cand, k2) || sgk_field_annotation(cand)) {
+            p = q;  // an earlier annotation's parens; keep walking back
+            continue;
+          }
+          if (!keyword_not_call(cand)) fn = cand;
+        }
+        break;
+      }
+      break;
+    }
+    if (!fn.empty() && !mutexes.empty())
+      fns.push_back({fn, kind, mutexes, pure[i].line});
+    i = close;
+  }
+}
+
+/// Finds class/struct/union definitions and classifies their members:
+/// unguarded mutable data members (what GKA504 keys on), SGK_GUARDED_BY
+/// members, the SGK_CONFINED_TO_RUN marker, and mutex-typed members (the
+/// capabilities themselves — exempt, as are std::atomic members and
+/// const/constexpr ones).
+void extract_records(const std::vector<Tok>& pure, std::vector<Record>& records,
+                     std::vector<MutexMember>& mutexes) {
+  const std::size_t n = pure.size();
+  struct Range {
+    std::size_t open, close;
+  };
+  std::vector<Range> ranges;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tok& kw = pure[i];
+    if (kw.kind != TokKind::kIdent ||
+        (kw.text != "class" && kw.text != "struct" && kw.text != "union"))
+      continue;
+    if (i > 0 && pure[i - 1].kind == TokKind::kIdent &&
+        pure[i - 1].text == "enum")
+      continue;  // `enum class`
+    if (i + 1 >= n || pure[i + 1].kind != TokKind::kIdent) continue;
+    const Tok& name = pure[i + 1];
+    // Forward to the body '{'; a ';', '(', ')' or '=' first means a forward
+    // declaration or an elaborated type in some other construct.
+    std::size_t k = i + 2;
+    bool has_body = false;
+    for (; k < n; ++k) {
+      const Tok& t = pure[k];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "{") {
+        has_body = true;
+        break;
+      }
+      if (t.text == ";" || t.text == "(" || t.text == ")" || t.text == "=" ||
+          t.text == "}")
+        break;
+    }
+    if (!has_body) continue;
+    int depth = 0;
+    std::size_t c = k;
+    for (; c < n; ++c) {
+      if (pure[c].kind != TokKind::kPunct) continue;
+      if (pure[c].text == "{") ++depth;
+      if (pure[c].text == "}" && --depth == 0) break;
+    }
+    if (c >= n) continue;
+
+    Record rec;
+    rec.name = name.text;
+    rec.line = name.line;
+    rec.body_begin = pure[k].line;
+    rec.body_end = pure[c].line;
+
+    // Member statements directly in the body: skip nested `{...}` blocks
+    // (method bodies, nested records, brace-inits).
+    std::vector<const Tok*> stmt;
+    auto flush = [&] {
+      if (stmt.empty()) return;
+      bool has_paren = false, immutable = false, skip = false, guarded = false,
+           confined = false, is_mutex = false, is_atomic = false;
+      for (const Tok* t : stmt) {
+        if (t->kind == TokKind::kPunct && t->text == "(") has_paren = true;
+        if (t->kind != TokKind::kIdent) continue;
+        const std::string& s = t->text;
+        if (s == "using" || s == "typedef" || s == "friend" ||
+            s == "static_assert" || s == "template" || s == "operator" ||
+            s == "enum" || s == "class" || s == "struct" || s == "union" ||
+            s == "namespace" || s == "public" || s == "private" ||
+            s == "protected")
+          skip = true;
+        if (s == "const" || s == "constexpr" || s == "constinit")
+          immutable = true;
+        if (s == "SGK_CONFINED_TO_RUN") confined = true;
+        if (sgk_field_annotation(s)) guarded = true;
+        if (mutex_type(s)) is_mutex = true;
+        if (s == "atomic" || s == "condition_variable") is_atomic = true;
+      }
+      if (confined) {
+        rec.has_confined_marker = true;
+      } else if (guarded) {
+        rec.has_guard = true;
+        rec.has_mutable_member = true;
+      } else if (!skip && !has_paren && !immutable && !is_mutex && !is_atomic) {
+        int idents = 0;
+        std::string last;
+        int first_line = stmt.front()->line;
+        for (const Tok* t : stmt) {
+          if (t->kind == TokKind::kPunct && t->text == "=") break;
+          if (t->kind == TokKind::kIdent) {
+            ++idents;
+            last = t->text;
+          }
+        }
+        if (idents >= 2) {
+          rec.has_mutable_member = true;
+          if (rec.first_mutable.empty()) {
+            rec.first_mutable = last;
+            rec.first_mutable_line = first_line;
+          }
+        }
+      }
+      stmt.clear();
+    };
+    std::size_t idx = k + 1;
+    while (idx < c) {
+      const Tok& t = pure[idx];
+      if (t.kind == TokKind::kPunct && t.text == "{") {
+        int d = 0;
+        std::size_t m2 = idx;
+        for (; m2 < c; ++m2) {
+          if (pure[m2].kind != TokKind::kPunct) continue;
+          if (pure[m2].text == "{") ++d;
+          if (pure[m2].text == "}" && --d == 0) break;
+        }
+        // A block followed by ';' is a brace-init: keep the statement. A
+        // block followed by anything else was a method body or nested
+        // record: discard what we collected.
+        if (!(m2 + 1 < c && pure[m2 + 1].kind == TokKind::kPunct &&
+              pure[m2 + 1].text == ";"))
+          stmt.clear();
+        idx = m2 + 1;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ";") {
+        flush();
+        ++idx;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ":" && stmt.size() == 1 &&
+          stmt[0]->kind == TokKind::kIdent &&
+          (stmt[0]->text == "public" || stmt[0]->text == "private" ||
+           stmt[0]->text == "protected")) {
+        stmt.clear();
+        ++idx;
+        continue;
+      }
+      stmt.push_back(&t);
+      ++idx;
+    }
+    flush();
+    records.push_back(rec);
+    ranges.push_back({k, c});
+  }
+
+  for (std::size_t a = 0; a < records.size(); ++a)
+    for (std::size_t b = 0; b < records.size(); ++b)
+      if (a != b && ranges[b].open < ranges[a].open &&
+          ranges[a].close < ranges[b].close)
+        records[a].nested = true;
+
+  // Mutex declarations anywhere (members and namespace-scope); the owner is
+  // filled in by line containment below.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (pure[i].kind != TokKind::kIdent || !mutex_type(pure[i].text)) continue;
+    if (pure[i + 1].kind != TokKind::kIdent ||
+        keyword_not_call(pure[i + 1].text))
+      continue;
+    mutexes.push_back({"", pure[i + 1].text, pure[i + 1].line});
+  }
+}
+
+/// Fills the `owner` of guards/mutexes with the innermost record whose body
+/// contains their line.
+template <typename T>
+void fill_owner(std::vector<T>& items, const std::vector<Record>& records) {
+  for (T& it : items) {
+    int best_span = 0;
+    for (const Record& r : records) {
+      if (it.line < r.line || it.line > r.body_end) continue;
+      const int span = r.body_end - r.line;
+      if (it.owner.empty() || span < best_span) {
+        it.owner = r.name;
+        best_span = span;
+      }
+    }
   }
 }
 
@@ -417,6 +725,10 @@ FileModel build_model(const std::string& path, const std::string& content) {
       pure_code.push_back(t);
   extract_secure_idents(pure_code, m.secure_idents);
   extract_functions(pure_code, m.functions);
+  extract_annotations(pure_code, m.field_guards, m.fn_annotations);
+  extract_records(pure_code, m.records, m.mutex_members);
+  fill_owner(m.field_guards, m.records);
+  fill_owner(m.mutex_members, m.records);
   classify_scopes(pure_code, m.scoped_tokens);
   return m;
 }

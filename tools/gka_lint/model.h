@@ -15,6 +15,10 @@
 //   - secure_idents: identifiers declared with a zeroizing Secure* type —
 //                 fields, locals, parameters, and functions *returning* a
 //                 Secure* type. These seed the taint analysis.
+//   - field_guards / fn_annotations / mutex_members / records: the SGK_*
+//                 lock-discipline annotations (src/util/thread_annotations.h)
+//                 plus class/struct records with their mutable-member and
+//                 classification status, for the GKA5xx lock rules.
 #pragma once
 
 #include <string>
@@ -68,6 +72,49 @@ struct ScopedTok {
   bool ns_only = true;
 };
 
+/// One `field SGK_GUARDED_BY(mutex)` annotation. `owner` is the innermost
+/// enclosing class/struct name, or empty for a namespace-scope guard.
+struct FieldGuard {
+  std::string owner;
+  std::string field;
+  std::string mutex;
+  int line = 0;  // 1-based
+};
+
+/// One function-level capability annotation (`SGK_REQUIRES` & friends),
+/// attached to a declaration or a definition. `kind` is one of "requires",
+/// "acquire", "release", "excludes".
+struct FnAnnotation {
+  std::string fn;
+  std::string kind;
+  std::vector<std::string> mutexes;
+  int line = 0;  // 1-based
+};
+
+/// A mutex-typed data member (`std::mutex` / `std::shared_mutex` / ...).
+struct MutexMember {
+  std::string owner;  // enclosing class/struct name, empty at namespace scope
+  std::string name;
+  int line = 0;  // 1-based
+};
+
+/// A class/struct/union definition, with the mutable-member and
+/// lock-classification summary the GKA504 rule keys on. Nested records are
+/// extracted too but flagged, since classification of the enclosing record
+/// covers them.
+struct Record {
+  std::string name;
+  int line = 0;        // line of the record name
+  int body_begin = 0;  // line of the opening '{'
+  int body_end = 0;    // line of the matching '}'
+  bool nested = false;
+  bool has_mutable_member = false;
+  std::string first_mutable;  // first unguarded mutable member, for messages
+  int first_mutable_line = 0;
+  bool has_guard = false;     // any SGK_GUARDED_BY member
+  bool has_confined_marker = false;  // SGK_CONFINED_TO_RUN classification
+};
+
 struct FileModel {
   std::string path;
   bool skip_file = false;
@@ -78,6 +125,10 @@ struct FileModel {
   std::vector<Allow> allows;
   std::vector<Function> functions;
   std::vector<std::string> secure_idents;
+  std::vector<FieldGuard> field_guards;
+  std::vector<FnAnnotation> fn_annotations;
+  std::vector<MutexMember> mutex_members;
+  std::vector<Record> records;
   std::vector<Tok> tokens;
   std::vector<ScopedTok> scoped_tokens;  // pure code tokens, scope-classified
 };

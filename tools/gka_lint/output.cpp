@@ -2,6 +2,7 @@
 // CI code-scanning upload (SARIF 2.1.0, minimal static-analysis profile).
 #include "gka_lint/lint.h"
 
+#include <map>
 #include <sstream>
 
 namespace gka_lint {
@@ -35,6 +36,50 @@ const char* severity_name(Severity s) {
 }
 
 }  // namespace
+
+std::string rule_help_uri(const std::string& id) {
+  // Family anchors follow the GitHub slugs of the docs/static_analysis.md
+  // section headings.
+  const char* anchor = "";
+  if (id == "GKA007" || id == "GKA008") {
+    anchor = "suppression-hygiene-rules-gka0xx-meta";
+  } else if (id.rfind("GKA0", 0) == 0) {
+    anchor = "key-handling-rules-gka0xx";
+  } else if (id.rfind("GKA1", 0) == 0) {
+    anchor = "architecture-rules-gka1xx";
+  } else if (id.rfind("GKA2", 0) == 0) {
+    anchor = "secret-taint-rules-gka2xx";
+  } else if (id.rfind("GKA3", 0) == 0) {
+    anchor = "determinism-rules-gka3xx";
+  } else if (id.rfind("GKA4", 0) == 0) {
+    anchor = "shared-state-rules-gka4xx";
+  } else if (id.rfind("GKA5", 0) == 0) {
+    anchor = "lock-discipline-rules-gka5xx";
+  } else if (id.rfind("GKA6", 0) == 0) {
+    anchor = "constant-time-rules-gka6xx";
+  }
+  std::string uri = "docs/static_analysis.md";
+  if (anchor[0] != '\0') {
+    uri += '#';
+    uri += anchor;
+  }
+  return uri;
+}
+
+std::string rules_to_json() {
+  const std::vector<Rule>& rs = rules();
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"gka_lint\",\n  \"rules\": [";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    os << (i ? "," : "") << "\n    {\"id\": \"" << rs[i].id
+       << "\", \"severity\": \"" << severity_name(rs[i].severity)
+       << "\", \"summary\": \"" << json_escape(rs[i].summary)
+       << "\", \"helpUri\": \"" << json_escape(rule_help_uri(rs[i].id))
+       << "\"}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
 
 std::string to_json(const std::vector<Finding>& findings,
                     std::size_t files_scanned) {
@@ -70,22 +115,28 @@ std::string to_sarif(const std::vector<Finding>& findings) {
         "      \"informationUri\": \"docs/static_analysis.md\",\n"
         "      \"rules\": [";
   const std::vector<Rule>& rs = rules();
+  std::map<std::string, std::size_t> rule_index;
   for (std::size_t i = 0; i < rs.size(); ++i) {
+    rule_index[rs[i].id] = i;
     os << (i ? "," : "") << "\n        {\"id\": \"" << rs[i].id
        << "\", \"shortDescription\": {\"text\": \"" << json_escape(rs[i].summary)
-       << "\"}, \"defaultConfiguration\": {\"level\": \""
+       << "\"}, \"helpUri\": \"" << json_escape(rule_help_uri(rs[i].id))
+       << "\", \"defaultConfiguration\": {\"level\": \""
        << severity_name(rs[i].severity) << "\"}}";
   }
   os << "\n      ]\n    }},\n    \"results\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
-    os << (i ? "," : "") << "\n      {\"ruleId\": \"" << f.rule
-       << "\", \"level\": \"" << severity_name(f.severity)
+    os << (i ? "," : "") << "\n      {\"ruleId\": \"" << f.rule << "\"";
+    const auto idx = rule_index.find(f.rule);
+    if (idx != rule_index.end()) os << ", \"ruleIndex\": " << idx->second;
+    os << ", \"level\": \"" << severity_name(f.severity)
        << "\", \"message\": {\"text\": \"" << json_escape(f.message)
        << "\"}, \"locations\": [{\"physicalLocation\": {"
           "\"artifactLocation\": {\"uri\": \""
        << json_escape(f.path) << "\"}, \"region\": {\"startLine\": " << f.line
-       << "}}}]}";
+       << "}}}], \"properties\": {\"helpUri\": \""
+       << json_escape(rule_help_uri(f.rule)) << "\"}}";
   }
   os << (findings.empty() ? "]" : "\n    ]") << "\n  }]\n}\n";
   return os.str();

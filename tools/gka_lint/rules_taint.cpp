@@ -1,4 +1,17 @@
 // GKA201..GKA203: secret-taint dataflow, interprocedural since v3.
+// GKA601..GKA603 (v4): the same taint engine with *control-flow* sinks —
+// a secret-derived value in an if/while/switch condition or a ternary
+// (GKA601), a loop bound or an early-return/break guard (GKA602), or an
+// array/Bytes subscript (GKA603) is a data-dependent timing channel: the
+// branchy-crypto leak class docs/hardening.md calls out. Reporting is scoped
+// to src/ (test bodies branch on test vectors all the time); the summaries
+// still propagate everywhere, and a new param_to_branch summary bit fires
+// GKA601 at the call site when a tainted argument reaches a branch inside a
+// callee defined in another TU. Public-length accessors (`k.size()`,
+// `k.empty()`, `k.bit_length()`) are declassified: message and key lengths
+// are public protocol metadata here, so branching on them leaks nothing
+// secret. The remaining sanctioned secret-dependent loops (bignum limb
+// kernels) carry audited allow() suppressions with reasons.
 //
 // Taint sources are identifiers declared with a zeroizing Secure* type
 // (fields, locals, parameters, and functions *returning* a Secure* type —
@@ -36,6 +49,8 @@
 //
 // Function-local v2 sees nothing wrong with either file in isolation.
 #include <algorithm>
+#include <cctype>
+#include <cstring>
 #include <set>
 
 #include "gka_lint/callgraph.h"
@@ -53,6 +68,13 @@ const char* const kBoundaries[] = {
     "aes128_cbc_decrypt", "ChaCha20",       "Sha256",
     "SecureBytes",    "SecureBigInt",       "ScopedSubkey",
     "Drbg",           "mod_exp",            "wipe",
+    // The modular-exponentiation kernels (Montgomery::exp, the
+    // CryptoContext::exp/exp_g wrappers): passing a secret exponent into
+    // modexp is the *intended* use of the secret, and the kernel's interior
+    // square-and-multiply loop is the audited constant-time boundary — the
+    // GKA6xx rules stop at its signature rather than flagging every
+    // protocol-layer exp(g, secret) call.
+    "exp",            "exp_g",
 };
 
 /// Logging + obs sinks (the GKA002 and GKA006 lists combined): a tainted
@@ -216,10 +238,62 @@ bool parse_decl(const std::string& code, const std::vector<LineTok>& ids,
   return true;
 }
 
+/// True when the tainted identifier occurrence is used only through a
+/// public-metadata accessor: its length/emptiness (`k.size()`, `k.empty()`,
+/// `k.bit_length()`) or container *structure* (`keys_.count(e)`,
+/// `keys_.find(e)`, `keys_.end()`): lengths and which-epochs-exist are
+/// public protocol metadata in this codebase — the secret is the mapped
+/// value, not the shape of the map — so a branch on one is not a
+/// secret-dependent branch. Applied to the GKA6xx control-flow sinks and to
+/// taint propagation through locals (`auto it = keys_.find(e)` yields a
+/// public position, not secret bytes); the escape rules (GKA201/202/203)
+/// keep their stricter view of direct uses.
+bool public_accessor_use(const std::string& code, const LineTok& t) {
+  std::size_t i = t.pos + t.text.size();
+  while (i < code.size() && code[i] == ' ') ++i;
+  if (i < code.size() && code[i] == '.') {
+    ++i;
+  } else if (i + 1 < code.size() && code[i] == '-' && code[i + 1] == '>') {
+    i += 2;
+  } else {
+    return false;
+  }
+  while (i < code.size() && code[i] == ' ') ++i;
+  static const char* const kPublicAccessors[] = {
+      "size", "empty",    "length", "bit_length", "bits",
+      "count", "find",    "contains", "begin",    "end"};
+  for (const char* a : kPublicAccessors) {
+    const std::size_t len = std::strlen(a);
+    if (code.compare(i, len, a) == 0 && i + len < code.size() &&
+        code[i + len] == '(')
+      return true;
+  }
+  return false;
+}
+
+/// True when `line` (or the line above it) carries an `allow()` listing a
+/// GKA6xx rule. Summary-mode scans consult this so an *audited* secret-
+/// dependent branch (the bignum square-and-multiply kernels) does not set
+/// param_to_branch and re-fire GKA601 at every call site — the allow() marks
+/// the reviewed constant-time boundary, exactly like the data-flow
+/// boundaries in kBoundaries. Reporting mode ignores it: findings are still
+/// emitted there and eaten by the normal suppression pass, which keeps the
+/// GKA007 stale-allow bookkeeping honest.
+bool ct_allowed(const FileModel& m, int line) {
+  for (const Allow& a : m.allows) {
+    if (a.line != line && a.line != line - 1) continue;
+    for (const std::string& id : a.ids)
+      if (id.rfind("GKA6", 0) == 0) return true;
+  }
+  return false;
+}
+
 struct ScanOutcome {
   bool reached_sink = false;    // taint reached a log/trace/metric sink
                                 // (directly or through a summarized callee)
   bool reached_return = false;  // taint reached a return expression
+  bool reached_branch = false;  // taint reached a control-flow decision
+                                // (condition, loop bound, subscript)
 };
 
 /// Scans one function body with the given initial taint set. In reporting
@@ -262,6 +336,160 @@ ScanOutcome scan_body(const FileModel& m, const Function& fn,
       }
       break;
     }
+
+    // --- GKA601/602/603: secret-dependent control flow (constant-time
+    // discipline). Findings are scoped to src/ — test and bench bodies
+    // branch on test vectors by design — but the summary bit is recorded
+    // everywhere so cross-TU propagation works. ---------------------------
+    const bool ct_report = report != nullptr && path_has_prefix(m.path, "src/");
+    auto ct_hits = [&](std::size_t b, std::size_t e) {
+      std::vector<TaintHit> hs = region_hits(c, ids, tainted, b, e, iv, self);
+      hs.erase(std::remove_if(hs.begin(), hs.end(),
+                              [&](const TaintHit& h) {
+                                return public_accessor_use(c, *h.tok);
+                              }),
+               hs.end());
+      return hs;
+    };
+    auto ct_fire = [&](const char* rule, const TaintHit& h,
+                       const std::string& what) {
+      if (report == nullptr && ct_allowed(m, line)) return;  // audited
+      out.reached_branch = true;
+      if (!ct_report) return;
+      (*report)({rule, m.path, line,
+                 "secret-derived '" + h.tok->text + "' " + what +
+                     "; execution time becomes key-dependent — use ct_equal "
+                     "/ a fixed iteration count / a masked select, or "
+                     "justify with an audited allow()"});
+    };
+
+    for (const LineTok& t : ids) {
+      const bool is_loop = t.text == "for";
+      const bool is_cond =
+          t.text == "if" || t.text == "while" || t.text == "switch";
+      if (!is_loop && !is_cond) continue;
+      std::size_t open = t.pos + t.text.size();
+      while (open < c.size() && c[open] == ' ') ++open;
+      if (open >= c.size() || c[open] != '(') continue;
+      int d = 0;
+      std::size_t close = open;
+      for (; close < c.size(); ++close) {
+        if (c[close] == '(') ++d;
+        if (c[close] == ')' && --d == 0) break;
+      }
+      // An unterminated condition (it continues on the next source line) is
+      // scanned to end-of-line; continuation lines are a documented
+      // under-approximation.
+      const std::size_t cond_end = close < c.size() ? close : c.size();
+      if (is_loop) {
+        // Ranged-for iterates a container: the trip count is the container
+        // *length*, which is public, so `for (auto b : key)` is fine.
+        bool range_for = false;
+        for (std::size_t q = open + 1; q < cond_end; ++q)
+          if (c[q] == ':' && (q + 1 >= c.size() || c[q + 1] != ':') &&
+              (q == 0 || c[q - 1] != ':'))
+            range_for = true;
+        if (range_for) continue;
+      }
+      const auto hs = ct_hits(open + 1, cond_end);
+      if (hs.empty()) continue;
+      bool early_exit = false;
+      if (t.text == "if") {
+        for (const LineTok& r : ids)
+          if (r.pos > cond_end &&
+              (r.text == "return" || r.text == "break" ||
+               r.text == "continue" || r.text == "goto"))
+            early_exit = true;
+      }
+      if (is_loop)
+        ct_fire("GKA602", hs.front(), "used as a loop bound/condition");
+      else if (early_exit)
+        ct_fire("GKA602", hs.front(), "guards an early return/break");
+      else
+        ct_fire("GKA601", hs.front(),
+                "used in a '" + t.text + "' condition");
+    }
+
+    // Ternary `cond ? a : b`: the condition part runs from the last
+    // statement/grouping boundary to the '?'.
+    {
+      const std::size_t q = c.find('?');
+      if (q != std::string::npos && c.find(':', q) != std::string::npos) {
+        std::size_t b = 0;
+        for (std::size_t i2 = 0; i2 < q; ++i2) {
+          const char ch = c[i2];
+          if (ch == ';' || ch == '{') b = i2 + 1;
+          if (ch == '=') {
+            // Assignment '=' starts the expression; comparison operators
+            // (==, !=, <=, >=) do not.
+            const bool cmp = (i2 + 1 < q && c[i2 + 1] == '=') ||
+                             (i2 > 0 && (c[i2 - 1] == '=' || c[i2 - 1] == '!' ||
+                                         c[i2 - 1] == '<' || c[i2 - 1] == '>'));
+            if (!cmp) b = i2 + 1;
+            if (i2 + 1 < q && c[i2 + 1] == '=') ++i2;
+          }
+        }
+        const auto hs = ct_hits(b, q);
+        if (!hs.empty())
+          ct_fire("GKA601", hs.front(), "used in a ternary condition");
+      }
+    }
+
+    // --- GKA603: secret-tainted subscript. The char before '[' must end an
+    // indexable expression, which filters lambda captures and attributes. --
+    for (std::size_t i2 = 0; i2 < c.size(); ++i2) {
+      if (c[i2] != '[') continue;
+      std::size_t p2 = i2;
+      while (p2 > 0 && c[p2 - 1] == ' ') --p2;
+      if (p2 == 0) continue;
+      const char before = c[p2 - 1];
+      if (!(std::isalnum(static_cast<unsigned char>(before)) ||
+            before == '_' || before == ']' || before == ')'))
+        continue;
+      int d = 0;
+      std::size_t close = i2;
+      for (; close < c.size(); ++close) {
+        if (c[close] == '[') ++d;
+        if (c[close] == ']' && --d == 0) break;
+      }
+      if (close >= c.size()) break;
+      const auto hs = ct_hits(i2 + 1, close);
+      if (!hs.empty())
+        ct_fire("GKA603", hs.front(), "used as an array/Bytes index");
+      i2 = close;
+    }
+
+    // Interprocedural: a tainted argument passed to a callee whose summary
+    // says that parameter reaches a branch inside (possibly in another TU).
+    if (iv != nullptr) {
+      for (const LineTok& t : ids) {
+        const std::size_t open = t.pos + t.text.size();
+        if (open >= c.size() || c[open] != '(') continue;
+        if (is_boundary(t.text) || is_taint_sink(t.text)) continue;
+        if (self != nullptr && t.text == *self) continue;
+        if (!iv->known(t.text)) continue;
+        if (wrapped_by_boundary(c, ids, t.pos)) continue;
+        const auto args = call_args(c, open);
+        for (std::size_t k = 0; k < args.size(); ++k) {
+          if (!iv->param_to_branch(t.text, k)) continue;
+          const auto hs = ct_hits(args[k].first, args[k].second);
+          if (hs.empty()) continue;
+          if (report == nullptr && ct_allowed(m, line)) break;  // audited
+          out.reached_branch = true;
+          if (ct_report) {
+            (*report)({"GKA601", m.path, line,
+                       "secret-derived '" + hs.front().tok->text +
+                           "' passed to '" + t.text +
+                           "', which branches on argument " +
+                           std::to_string(k) +
+                           " (interprocedural summary); make the callee "
+                           "constant-time or pass a fingerprint"});
+          }
+          break;
+        }
+      }
+    }
+
     if (!ids.empty() && ids.front().text == "return") continue;
 
     // --- GKA203 (direct): tainted value reaching a sink -------------------
@@ -335,8 +563,15 @@ ScanOutcome scan_body(const FileModel& m, const Function& fn,
     const LineTok* name = nullptr;
     std::size_t init_begin = 0;
     if (parse_decl(c, ids, &type, &name, &init_begin)) {
-      const auto hits =
-          region_hits(c, ids, tainted, init_begin, c.size(), iv, self);
+      // `auto it = keys_.find(epoch)` initializes from public container
+      // structure, not from the secret mapped values — such declarations
+      // neither escape secret bytes nor taint the new name.
+      auto hits = region_hits(c, ids, tainted, init_begin, c.size(), iv, self);
+      hits.erase(std::remove_if(hits.begin(), hits.end(),
+                                [&](const TaintHit& h) {
+                                  return public_accessor_use(c, *h.tok);
+                                }),
+                 hits.end());
       if (!hits.empty()) {
         const bool is_auto = type.find("auto") != std::string::npos;
         const bool reveal_init =
@@ -390,6 +625,7 @@ SummaryMap compute_taint_summaries(
     TaintSummary s;
     s.param_to_sink.assign(ref.fn->params.size(), false);
     s.param_to_return.assign(ref.fn->params.size(), false);
+    s.param_to_branch.assign(ref.fn->params.size(), false);
     sums[ref.fn] = std::move(s);
   }
 
@@ -408,7 +644,9 @@ SummaryMap compute_taint_summaries(
 
       for (std::size_t p = 0; p < fn.params.size(); ++p) {
         if (fn.params[p].empty()) continue;
-        if (sum.param_to_sink[p] && sum.param_to_return[p]) continue;
+        if (sum.param_to_sink[p] && sum.param_to_return[p] &&
+            sum.param_to_branch[p])
+          continue;
         const ScanOutcome o =
             scan_body(*ref.file, fn, {fn.params[p]}, &iv, nullptr);
         if (o.reached_sink && !sum.param_to_sink[p]) {
@@ -417,6 +655,10 @@ SummaryMap compute_taint_summaries(
         }
         if (o.reached_return && !sum.param_to_return[p]) {
           sum.param_to_return[p] = true;
+          changed = true;
+        }
+        if (o.reached_branch && !sum.param_to_branch[p]) {
+          sum.param_to_branch[p] = true;
           changed = true;
         }
       }
