@@ -1,0 +1,304 @@
+// Multi-group server bench: thousands of concurrent secure groups hosted by
+// one GroupServer (src/server), executed across worker threads with
+// bit-for-bit deterministic output (ROADMAP item 4's "heavy traffic"
+// regime).
+//
+// Headline metrics (all virtual-time, hence deterministic and CI-gateable):
+// groups/sec onboarded, aggregate rekeys/sec, per-group p50/p99
+// event-to-key latency under contention. With --wallclock the bench also
+// measures real host seconds per thread count and prints the scaling
+// table (speedup and efficiency vs. the single-threaded run); wall numbers
+// live only in the stdout table and the report's "wallclock" section, so
+// the deterministic sections stay byte-identical across thread counts.
+//
+// Unless --threads pins a single count, the bench sweeps --scale (default
+// 1,2,4,8) over the same scenario and verifies that every run's canonical
+// JSON is byte-identical to the first — the determinism regression runs
+// inside the bench itself on every invocation.
+//
+// Usage: multi_group [--groups N] [--members N] [--events N] [--window MS]
+//                    [--fault-rate R] [--protocol all|gdh|ckd|tgdh|str|bd]
+//                    [--scale 1,2,4,8] [--per-group] [--threads N]
+//                    [--seed BASE] [--json out.json] [--trace out.trace.json]
+//                    [--wallclock]
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_io.h"
+#include "obs/metrics.h"
+#include "obs/wallclock.h"
+#include "server/server.h"
+
+namespace {
+
+using sgk::ProtocolKind;
+
+bool parse_protocols(const std::string& name, std::vector<ProtocolKind>& out) {
+  static const std::map<std::string, ProtocolKind> kByName = {
+      {"gdh", ProtocolKind::kGdh},   {"ckd", ProtocolKind::kCkd},
+      {"tgdh", ProtocolKind::kTgdh}, {"str", ProtocolKind::kStr},
+      {"bd", ProtocolKind::kBd},     {"tgdh-bal", ProtocolKind::kTgdhBalanced}};
+  std::string lower;
+  for (char c : name)
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "all") {
+    out = {ProtocolKind::kGdh, ProtocolKind::kCkd, ProtocolKind::kTgdh,
+           ProtocolKind::kStr, ProtocolKind::kBd};
+    return true;
+  }
+  const auto it = kByName.find(lower);
+  if (it == kByName.end()) return false;
+  out = {it->second};
+  return true;
+}
+
+/// Matches `--flag value` and `--flag=value`; advances `i` past the value.
+bool take_flag(const std::vector<std::string>& rest, std::size_t& i,
+               const std::string& flag, std::string& value) {
+  const std::string& arg = rest[i];
+  if (arg == flag) {
+    if (i + 1 >= rest.size())
+      throw std::runtime_error(flag + " requires an argument");
+    value = rest[++i];
+    return true;
+  }
+  if (arg.rfind(flag + "=", 0) == 0) {
+    value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+std::vector<int> parse_scale(const std::string& list) {
+  std::vector<int> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int t = std::stoi(item);
+    if (t < 1) throw std::runtime_error("--scale entries must be >= 1");
+    out.push_back(t);
+  }
+  if (out.empty()) throw std::runtime_error("--scale requires a list");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sgk::BenchOptions opts;
+  std::string err;
+  if (!sgk::BenchOptions::parse(argc, argv, opts, err)) {
+    std::cerr << "error: " << err << "\n";
+    return 2;
+  }
+
+  std::size_t groups = 1000;
+  std::size_t members = 4;
+  int events = 2;
+  double window_ms = 50.0;
+  double fault_rate = 0.0;
+  bool per_group = false;
+  std::vector<ProtocolKind> protocols;
+  parse_protocols("all", protocols);
+  std::vector<int> scale = {1, 2, 4, 8};
+  bool scale_set = false;
+  try {
+    for (std::size_t i = 0; i < opts.rest.size(); ++i) {
+      std::string value;
+      if (take_flag(opts.rest, i, "--groups", value)) {
+        groups = std::stoul(value);
+      } else if (take_flag(opts.rest, i, "--members", value)) {
+        members = std::stoul(value);
+      } else if (take_flag(opts.rest, i, "--events", value)) {
+        events = std::stoi(value);
+      } else if (take_flag(opts.rest, i, "--window", value)) {
+        window_ms = std::stod(value);
+      } else if (take_flag(opts.rest, i, "--fault-rate", value)) {
+        fault_rate = std::stod(value);
+      } else if (take_flag(opts.rest, i, "--protocol", value)) {
+        if (!parse_protocols(value, protocols)) {
+          std::cerr << "error: unknown protocol '" << value << "'\n";
+          return 2;
+        }
+      } else if (take_flag(opts.rest, i, "--scale", value)) {
+        scale = parse_scale(value);
+        scale_set = true;
+      } else if (opts.rest[i] == "--per-group") {
+        per_group = true;
+      } else {
+        std::cerr << "error: unknown argument '" << opts.rest[i] << "'\n";
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (groups < 1 || members < 2 || events < 0 || window_ms <= 0.0 ||
+      fault_rate < 0.0 || fault_rate > 1.0) {
+    std::cerr << "error: need --groups >= 1, --members >= 2, --events >= 0, "
+                 "--window > 0, --fault-rate in [0,1]\n";
+    return 2;
+  }
+  // --threads pins one count; otherwise the scale list is swept and every
+  // run's canonical JSON must match the first byte-for-byte.
+  if (opts.threads_set && !scale_set) scale = {opts.threads};
+
+  sgk::ObsSession session(opts);
+  sgk::obs::RunReport report("multi_group");
+  {
+    sgk::obs::Json params = sgk::obs::Json::object();
+    params.set("groups", sgk::obs::Json(static_cast<std::uint64_t>(groups)));
+    params.set("members", sgk::obs::Json(static_cast<std::uint64_t>(members)));
+    params.set("events", sgk::obs::Json(static_cast<std::int64_t>(events)));
+    params.set("window_ms", sgk::obs::Json(window_ms));
+    params.set("fault_rate", sgk::obs::Json(fault_rate));
+    // Deliberately no thread count here: the deterministic sections must be
+    // byte-identical for any --threads/--scale (it is recorded in the
+    // "wallclock" env instead, where bench_gate checks it).
+    report.add_section("params", std::move(params));
+  }
+
+  auto config_for = [&](int threads) {
+    sgk::server::ServerConfig cfg;
+    cfg.groups = groups;
+    cfg.members_per_group = members;
+    cfg.churn_events = events;
+    cfg.threads = threads;
+    cfg.seed = opts.seed;
+    cfg.epoch_window_ms = window_ms;
+    cfg.protocols = protocols;
+    cfg.rates = sgk::fault::FaultRates::uniform(fault_rate);
+    cfg.per_group_metrics = per_group;
+    return cfg;
+  };
+
+  std::string canonical;       // first run's deterministic JSON
+  int canonical_threads = 0;
+  bool determinism_ok = true;
+  std::size_t failures = 0;
+  std::vector<std::pair<int, double>> wall_ms;  // (threads, host ms)
+  sgk::obs::Json multi;                         // first run's section
+
+  for (std::size_t run = 0; run < scale.size(); ++run) {
+    const int threads = scale[run];
+    const std::uint64_t t0 = opts.wallclock ? sgk::obs::wall_now_ns() : 0;
+    sgk::server::GroupServer server(config_for(threads));
+    sgk::server::ServerResult result = server.run();
+    if (opts.wallclock) {
+      const std::uint64_t t1 = sgk::obs::wall_now_ns();
+      wall_ms.emplace_back(threads,
+                           static_cast<double>(t1 - t0) / 1e6);
+    }
+
+    const sgk::obs::Json json = result.to_json(/*with_groups=*/per_group);
+    const std::string dump = json.dump(2);
+    if (run == 0) {
+      canonical = dump;
+      canonical_threads = threads;
+      multi = json;
+      failures = result.groups_hosted - result.groups_converged;
+      for (const auto& g : result.groups) {
+        if (g.converged) continue;
+        std::cout << "FAIL group g" << g.id << " ("
+                  << sgk::to_string(g.protocol) << "):\n";
+        for (const std::string& v : g.violations)
+          std::cout << "       " << v << "\n";
+      }
+      std::cout << "multi_group: " << result.groups_hosted << " groups, "
+                << result.groups_converged << " converged, "
+                << result.rekeys << " rekeys over " << std::fixed
+                << std::setprecision(1) << result.virtual_makespan_ms
+                << "ms virtual (" << result.epochs_executed << " epochs)\n"
+                << "  groups/sec " << std::setprecision(2)
+                << result.groups_per_sec << "  rekeys/sec "
+                << result.rekeys_per_sec << "  onboard p50 "
+                << result.onboard_p50_ms << "ms p99 " << result.onboard_p99_ms
+                << "ms  event-to-key p50 " << result.event_to_key_p50_ms
+                << "ms p99 " << result.event_to_key_p99_ms << "ms\n";
+    } else if (dump != canonical) {
+      determinism_ok = false;
+      const auto mismatch =
+          std::mismatch(dump.begin(), dump.end(), canonical.begin(),
+                        canonical.end());
+      std::cout << "DETERMINISM VIOLATION: --threads " << threads
+                << " diverges from --threads " << canonical_threads
+                << " at byte "
+                << (mismatch.first - dump.begin()) << "\n"
+                << "       repro: multi_group --groups=" << groups
+                << " --members=" << members << " --events=" << events
+                << " --seed=" << opts.seed << " --scale="
+                << canonical_threads << "," << threads << "\n";
+    } else {
+      std::cout << "determinism ok: --threads " << threads << " == --threads "
+                << canonical_threads << " (" << canonical.size()
+                << " bytes)\n";
+    }
+  }
+
+  report.add_section("multi_group", std::move(multi));
+
+  {
+    // "table" rows feed the CI gate (tools/bench_gate) alongside the
+    // aggregate cells it reads from the multi_group section directly.
+    sgk::obs::Json table = sgk::obs::Json::array();
+    const sgk::obs::Json* protos = report.json().find("multi_group");
+    if (protos != nullptr) {
+      if (const sgk::obs::Json* rows = protos->find("protocols")) {
+        for (const sgk::obs::Json& row : rows->as_array()) {
+          const sgk::obs::Json* proto = row.find("protocol");
+          const sgk::obs::Json* onboard = row.find("onboard_p50_ms");
+          const sgk::obs::Json* p99 = row.find("event_to_key_p99_ms");
+          if (proto == nullptr) continue;
+          if (onboard != nullptr) {
+            sgk::obs::Json r = sgk::obs::Json::object();
+            r.set("protocol", *proto);
+            r.set("event", sgk::obs::Json("mg_onboard_p50"));
+            r.set("elapsed_ms", *onboard);
+            table.push(std::move(r));
+          }
+          if (p99 != nullptr) {
+            sgk::obs::Json r = sgk::obs::Json::object();
+            r.set("protocol", *proto);
+            r.set("event", sgk::obs::Json("mg_event_to_key_p99"));
+            r.set("elapsed_ms", *p99);
+            table.push(std::move(r));
+          }
+        }
+      }
+    }
+    report.add_section("table", std::move(table));
+  }
+
+  if (opts.wallclock && !wall_ms.empty()) {
+    // Host-time scaling table (stdout only: wall numbers must not leak into
+    // the deterministic sections; the per-site histograms are in the
+    // report's "wallclock" section).
+    const double base = wall_ms.front().second;
+    const int base_threads = wall_ms.front().first;
+    std::cout << "\nwall-clock scaling (host ms; baseline " << base_threads
+              << " thread" << (base_threads == 1 ? "" : "s") << ")\n";
+    std::cout << std::setw(8) << "threads" << std::setw(12) << "wall_ms"
+              << std::setw(10) << "speedup" << std::setw(12) << "efficiency"
+              << "\n";
+    for (const auto& [threads, ms] : wall_ms) {
+      const double speedup = ms > 0.0 ? base / ms : 0.0;
+      const double eff =
+          speedup * static_cast<double>(base_threads) / threads;
+      std::cout << std::setw(8) << threads << std::setw(12) << std::fixed
+                << std::setprecision(1) << ms << std::setw(10)
+                << std::setprecision(2) << speedup << std::setw(12) << eff
+                << "\n";
+    }
+  }
+
+  const bool wrote = session.finish(report);
+  return failures == 0 && determinism_ok && wrote ? 0 : 1;
+}

@@ -50,7 +50,20 @@ void GdhProtocol::handle_view(const View& view, const ViewDelta& delta) {
     // An interrupted factor-out round can leave a member (the would-be new
     // controller) with a current-looking order but no partial keys; it has
     // no established state to act from and must fall back too.
-    if (sorted_copy(pruned) != *core || partials_.count(self()) == 0) {
+    //
+    // restarting() covers the remaining hole: a cached (order_, partials_)
+    // pair is only coherent with the peers' current exponents if the
+    // instance that built it completed. A view change that aborts an
+    // in-flight agreement can strand one member with a current-looking
+    // cache (e.g. a controller whose partial-key broadcast the other
+    // members stale-dropped) while the fallback chain refreshes everyone
+    // else's r_; acting on that cache forks the group onto two instances
+    // whose keys silently diverge. Key delivery flips in_flight at agreed-
+    // stream handler time, so "the previous instance completed" is decided
+    // at the same total-order position at every member and the fallback
+    // below stays unanimous.
+    if (restarting() || sorted_copy(pruned) != *core ||
+        partials_.count(self()) == 0) {
       // The seed must come from the core side: only core members execute
       // this branch, and a seed that does not know a fallback is happening
       // would leave the whole view waiting for a token nobody sends.

@@ -46,19 +46,25 @@ SpreadNetwork::~SpreadNetwork() = default;
 // ---------------------------------------------------------------------------
 // processes
 
+std::size_t SpreadNetwork::slot_of(ProcessId p) const {
+  SGK_CHECK(p >= params_.first_process_id);
+  return static_cast<std::size_t>(p - params_.first_process_id);
+}
+
 ProcessId SpreadNetwork::create_process(MachineId machine) {
   SGK_CHECK(machine >= 0 &&
             static_cast<std::size_t>(machine) < topo_.machine_count());
   processes_.push_back(ProcessInfo{machine, nullptr, true, {}});
-  return static_cast<ProcessId>(processes_.size() - 1);
+  return params_.first_process_id +
+         static_cast<ProcessId>(processes_.size() - 1);
 }
 
 void SpreadNetwork::attach(ProcessId process, GroupClient* client) {
-  processes_.at(process).client = client;
+  proc(process).client = client;
 }
 
 MachineId SpreadNetwork::machine_of(ProcessId process) const {
-  return processes_.at(process).machine;
+  return proc(process).machine;
 }
 
 CpuScheduler& SpreadNetwork::cpu_of(ProcessId process) {
@@ -81,12 +87,12 @@ void SpreadNetwork::leave_group(const std::string& group, ProcessId process) {
   auto it = std::lower_bound(members.begin(), members.end(), process);
   SGK_CHECK(it != members.end() && *it == process);
   members.erase(it);
-  processes_.at(process).last_view.erase(group);
+  proc(process).last_view.erase(group);
   request_view_update(group, component_of(machine_of(process)));
 }
 
 void SpreadNetwork::disconnect(ProcessId process) {
-  processes_.at(process).connected = false;
+  proc(process).connected = false;
   for (auto& [group, members] : group_registry_) {
     auto it = std::lower_bound(members.begin(), members.end(), process);
     if (it != members.end() && *it == process) {
@@ -180,7 +186,7 @@ void SpreadNetwork::unicast(const std::string& group, ProcessId sender,
   const MachineId src_m = machine_of(sender);
   const MachineId dst_m = machine_of(dest);
   if (component_of(src_m) != component_of(dst_m)) return;  // partitioned away
-  if (processes_.at(dest).client == nullptr || !processes_.at(dest).connected)
+  if (proc(dest).client == nullptr || !proc(dest).connected)
     return;
   double delay = topo_.latency(src_m, dst_m) + params_.deliver_ms;
   if (fault_hook_ != nullptr)
@@ -202,8 +208,8 @@ void SpreadNetwork::unicast(const std::string& group, ProcessId sender,
   // Resolve the client at delivery time: it may detach before the message
   // lands (a member that left and was destroyed).
   sim_.after(delay, [this, dest, g, sender, data]() {
-    GroupClient* client = processes_.at(dest).client;
-    if (client != nullptr && processes_.at(dest).connected)
+    GroupClient* client = proc(dest).client;
+    if (client != nullptr && proc(dest).connected)
       client->on_message(g, sender, data);
   });
 }
@@ -413,7 +419,7 @@ void SpreadNetwork::deliver_view(Daemon& daemon, const Payload& payload) {
   });
   for (ProcessId p : view.members) {
     if (machine_of(p) != daemon.machine) continue;
-    ProcessInfo& info = processes_.at(p);
+    ProcessInfo& info = proc(p);
     if (info.client == nullptr || !info.connected) continue;
     View prev;
     bool first = true;
@@ -428,8 +434,8 @@ void SpreadNetwork::deliver_view(Daemon& daemon, const Payload& payload) {
     std::string group = payload.group;
     View v = view;
     sim_.after(params_.deliver_ms, [this, p, group, v, delta]() {
-      GroupClient* client = processes_.at(p).client;
-      if (client != nullptr && processes_.at(p).connected)
+      GroupClient* client = proc(p).client;
+      if (client != nullptr && proc(p).connected)
         client->on_view(group, v, delta);
     });
   }
@@ -442,14 +448,14 @@ void SpreadNetwork::deliver_data(Daemon& daemon, const Payload& payload) {
   for (ProcessId p : view.members) {
     if (machine_of(p) != daemon.machine) continue;
     if (payload.dest != kNoProcess && payload.dest != p) continue;
-    ProcessInfo& info = processes_.at(p);
+    ProcessInfo& info = proc(p);
     if (info.client == nullptr || !info.connected) continue;
     std::string group = payload.group;
     ProcessId sender = payload.sender;
     Bytes data = payload.data;
     sim_.after(params_.deliver_ms, [this, p, group, sender, data]() {
-      GroupClient* client = processes_.at(p).client;
-      if (client != nullptr && processes_.at(p).connected)
+      GroupClient* client = proc(p).client;
+      if (client != nullptr && proc(p).connected)
         client->on_message(group, sender, data);
     });
   }
@@ -583,7 +589,7 @@ void SpreadNetwork::heal() {
 
 std::optional<View> SpreadNetwork::current_view(const std::string& group,
                                                 ProcessId process) const {
-  const auto& info = processes_.at(process);
+  const auto& info = proc(process);
   auto it = info.last_view.find(group);
   if (it == info.last_view.end()) return std::nullopt;
   return it->second;

@@ -27,7 +27,8 @@ bool BenchOptions::parse(int argc, char** argv, BenchOptions& out,
       out.wallclock = true;
       continue;
     }
-    if (arg != "--json" && arg != "--trace" && arg != "--seed") {
+    if (arg != "--json" && arg != "--trace" && arg != "--seed" &&
+        arg != "--threads") {
       out.rest.push_back(orig);
       continue;
     }
@@ -42,6 +43,17 @@ bool BenchOptions::parse(int argc, char** argv, BenchOptions& out,
       out.json_path = value;
     } else if (arg == "--trace") {
       out.trace_path = value;
+    } else if (arg == "--threads") {
+      try {
+        out.threads = std::stoi(value);
+      } catch (const std::exception&) {
+        out.threads = 0;
+      }
+      if (out.threads < 1) {
+        error = "--threads requires a positive integer, got '" + value + "'";
+        return false;
+      }
+      out.threads_set = true;
     } else {
       try {
         out.seed = std::stoull(value);
@@ -110,7 +122,15 @@ bool ObsSession::finish(obs::RunReport& report) {
     // The schema bump and the section land together, so a v1 report never
     // contains wall data and a v2 report always does.
     report.set_schema(obs::kBenchSchemaWallclock);
-    report.add_section("wallclock", wall_->to_json());
+    obs::Json wall_json = wall_->to_json();
+    // The thread count lives here, in the wall env, and nowhere else: wall
+    // numbers from different thread counts are not comparable (bench_gate
+    // refuses the pairing), while the deterministic sections must stay
+    // byte-identical across thread counts.
+    for (auto& [section, value] : wall_json.as_object()) {
+      if (section == "env") value.set("threads", obs::Json(opts_.threads));
+    }
+    report.add_section("wallclock", std::move(wall_json));
   }
   bool ok = true;
   std::string error;

@@ -29,6 +29,14 @@ struct BenchOptions {
   /// sites (see obs/wallclock.h). Off by default; without it no host clock
   /// is read and all output stays byte-identical to a flagless run.
   bool wallclock = false;
+  /// --threads <n>: worker threads for benches that parallelize (others
+  /// ignore it). Recorded inside the report's "wallclock" env — wall
+  /// trajectories from different thread counts must never be compared
+  /// silently (tools/bench_gate refuses) — and deliberately NOT in any
+  /// deterministic section: the same scenario at any thread count must
+  /// produce byte-identical v1 report bytes.
+  int threads = 1;
+  bool threads_set = false;  // --threads was given explicitly
   std::vector<std::string> rest;
 
   bool observing() const { return !json_path.empty() || !trace_path.empty(); }

@@ -7,7 +7,11 @@
 namespace sgk::obs {
 
 namespace {
-MetricsRegistry* g_metrics = nullptr;
+// Thread-local so parallel multi-group workers can install a per-group
+// registry without racing each other or the main thread's session registry.
+// A freshly spawned worker sees nullptr (recording disabled) until its
+// executor installs a sink.
+thread_local MetricsRegistry* g_metrics = nullptr;
 }  // namespace
 
 MetricsRegistry* metrics() { return g_metrics; }
@@ -75,6 +79,23 @@ double Histogram::quantile(double q) const {
   return max_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Json Histogram::to_json() const {
   Json j = Json::object();
   j.set("count", Json(count_));
@@ -96,6 +117,21 @@ Json Histogram::to_json() const {
   }
   j.set("buckets", std::move(buckets));
   return j;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters()) counter(name).add(c.value());
+  for (const auto& [name, h] : other.histograms()) histogram(name).merge(h);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other,
+                                 const std::string& prefix) {
+  for (const auto& [name, c] : other.counters()) {
+    counter(prefix + name).add(c.value());
+  }
+  for (const auto& [name, h] : other.histograms()) {
+    histogram(prefix + name).merge(h);
+  }
 }
 
 Json MetricsRegistry::to_json() const {

@@ -5,7 +5,10 @@
 namespace sgk::obs {
 
 namespace {
-Tracer* g_tracer = nullptr;
+// Thread-local for the same reason as the metrics sink: parallel multi-group
+// workers must not race the main thread's session tracer. Workers default to
+// nullptr (tracing disabled) unless an executor installs a sink.
+thread_local Tracer* g_tracer = nullptr;
 }  // namespace
 
 Tracer* tracer() { return g_tracer; }

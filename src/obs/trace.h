@@ -122,8 +122,10 @@ class Tracer {
   std::vector<std::pair<std::uint32_t, std::string>> track_names_;
 };
 
-/// Process-global tracer used by instrumentation sites; nullptr (the
-/// default) disables tracing.
+/// Ambient tracer used by instrumentation sites; nullptr (the default)
+/// disables tracing. Thread-local: worker threads of a parallel run see
+/// their own slot (null unless their executor installs one), so tracing on
+/// the main thread never races them.
 Tracer* tracer();
 void set_tracer(Tracer* tracer);
 

@@ -8,7 +8,11 @@ namespace sgk::obs {
 
 namespace {
 
-WallProfiler* g_wall_profiler = nullptr;
+// Thread-local like the metrics/tracer sinks: worker threads of a parallel
+// multi-group run see nullptr (no clock reads) unless an executor installs a
+// profiler, so the main thread's session profiler is never written
+// cross-thread.
+thread_local WallProfiler* g_wall_profiler = nullptr;
 
 /// First line of `path` whose field name (text before ':') matches `field`,
 /// trimmed; empty when the file or field is absent. /proc and /sys reads

@@ -13,7 +13,7 @@
 //  * Determinism is untouched. The profiler never feeds anything back into
 //    simulation, metrics, or tracing state; with `--wallclock` on, two runs
 //    still produce RunReports that are byte-identical outside the
-//    "wallclock" section. Instrumentation sites check the process-global
+//    "wallclock" section. Instrumentation sites check the thread-local
 //    pointer (null by default), so a run without the flag does no clock
 //    reads at all and its output is byte-identical to a build without this
 //    file.
@@ -131,8 +131,10 @@ WallCalibration calibrate_wall_timer();
 /// build flags, architecture. Never raises; unknown fields say "unknown".
 Json wall_env_json();
 
-/// Process-global profiler used by instrumentation sites; nullptr (the
-/// default) disables wall-clock profiling entirely — no clock is read.
+/// Ambient profiler used by instrumentation sites; nullptr (the default)
+/// disables wall-clock profiling entirely — no clock is read. Thread-local:
+/// worker threads of a parallel run have their own (null) slot, so the main
+/// thread's session profiler is never written cross-thread.
 WallProfiler* wall_profiler();
 void set_wall_profiler(WallProfiler* profiler);
 

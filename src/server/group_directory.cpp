@@ -1,0 +1,52 @@
+#include "server/group_directory.h"
+
+#include "util/check.h"
+
+namespace sgk::server {
+
+const char* to_string(GroupState state) {
+  switch (state) {
+    case GroupState::kPending: return "pending";
+    case GroupState::kOnboarding: return "onboarding";
+    case GroupState::kActive: return "active";
+    case GroupState::kSettled: return "settled";
+    case GroupState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void GroupDirectory::register_group(const GroupSpec& spec) {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  const bool inserted = entries_.emplace(spec.id, Entry{spec, {}}).second;
+  SGK_CHECK(inserted);
+}
+
+void GroupDirectory::update(GroupId id, const GroupStatus& status) {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  entries_.at(id).status = status;
+}
+
+std::size_t GroupDirectory::group_count() const {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  return entries_.size();
+}
+
+std::size_t GroupDirectory::count(GroupState state) const {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  std::size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    if (e.status.state == state) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<GroupSpec, GroupStatus>> GroupDirectory::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  std::vector<std::pair<GroupSpec, GroupStatus>> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.emplace_back(e.spec, e.status);
+  return out;
+}
+
+}  // namespace sgk::server

@@ -1,0 +1,223 @@
+#include "server/group_host.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sgk::server {
+
+fault::FaultPlan build_group_plan(const GroupSpec& spec) {
+  fault::FaultPlan plan(spec.seed, spec.rates);
+  // Churn starts churn_start_ms after onboarding so the first op routinely
+  // lands inside an in-flight agreement — the cascaded regime, per group.
+  plan.randomize(spec.churn_events, spec.onboard_at_ms + spec.churn_start_ms,
+                 spec.min_gap_ms, spec.max_gap_ms);
+  return plan;
+}
+
+double group_deadline_ms(const GroupSpec& spec) {
+  const fault::FaultPlan plan = build_group_plan(spec);
+  const auto& ops = plan.ops();
+  const double last_op = ops.empty() ? spec.onboard_at_ms : ops.back().at_ms;
+  return std::max(last_op, spec.onboard_at_ms) + spec.grace_ms;
+}
+
+GroupHost::GroupHost(const GroupSpec& spec, std::shared_ptr<Pki> pki,
+                     ProcessId first_pid, const Topology& topology)
+    : spec_(spec),
+      first_pid_(first_pid),
+      net_(sim_, topology,
+           [&] {
+             SpreadParams p;
+             p.first_process_id = first_pid;
+             return p;
+           }()),
+      pki_(std::move(pki)),
+      injector_(build_group_plan(spec)) {
+  SGK_CHECK(spec_.initial_size >= 2);
+  net_.set_fault_hook(&injector_);
+
+  const auto& ops = injector_.plan().ops();
+  last_op_ms_ = ops.empty() ? spec_.onboard_at_ms : ops.back().at_ms;
+  deadline_ms_ = std::max(last_op_ms_, spec_.onboard_at_ms) + spec_.grace_ms;
+
+  // Arm everything up front on this group's private simulator: onboarding at
+  // the scheduled time, then the churn plan (absolute virtual times).
+  sim_.at(spec_.onboard_at_ms, [this] {
+    for (std::size_t i = 0; i < spec_.initial_size; ++i) spawn().join();
+  });
+  // The scheduler adapter is only used during arm(); all ops land on sim_.
+  SimFaultScheduler sched(sim_);
+  injector_.arm(sched, *this);
+}
+
+GroupHost::~GroupHost() = default;
+
+void GroupHost::advance(SimTime until) {
+  if (done()) return;
+  // Every metric recorded while this group's events run lands in the
+  // group's own registry, so worker threads never share a sink.
+  obs::ScopedMetrics scoped(&metrics_);
+  sim_.run_until(until);
+}
+
+GroupStatus GroupHost::status() const {
+  GroupStatus s;
+  if (finalized_ || done()) {
+    s.state = forced_ ? GroupState::kFailed : GroupState::kSettled;
+    s.settled_ms = sim_.now();
+  } else if (first_key_ms_ >= 0.0) {
+    s.state = GroupState::kActive;
+  } else {
+    s.state = GroupState::kOnboarding;
+  }
+  s.epoch = keyed_epochs_.empty() ? 0 : keyed_epochs_.back();
+  s.members = alive().size();
+  s.rekeys = keyed_epochs_.size() <= 1 ? 0 : keyed_epochs_.size() - 1;
+  return s;
+}
+
+GroupReport GroupHost::finalize(SharedSpreadStats* shared) {
+  SGK_CHECK(!finalized_);
+  finalized_ = true;
+  obs::ScopedMetrics scoped(&metrics_);
+
+  if (forced_ && sim_.pending() > 0) {
+    checker_.flag_timeout(spec_.name + " still active at deadline (last op " +
+                          std::to_string(last_op_ms_) + "ms + grace " +
+                          std::to_string(spec_.grace_ms) + "ms)");
+  }
+
+  GroupReport r;
+  r.id = spec_.id;
+  r.protocol = spec_.protocol;
+  std::vector<fault::KeyProbe> probes;
+  for (const auto& m : members_) {
+    if (!m) continue;
+    ++r.final_size;
+    fault::KeyProbe p;
+    p.member = m->id();
+    p.component = net_.component_of_machine(net_.machine_of(m->id()));
+    p.has_key = m->has_key();
+    p.epoch = m->key_epoch();
+    p.key = m->has_key() ? &m->key() : nullptr;
+    probes.push_back(p);
+    checker_.check_no_wedge(m->id(), m->agreement_in_flight());
+    r.restarts += m->agreement_restarts();
+    r.stale_dropped += m->stale_dropped();
+    r.frames_rejected += m->frames_rejected();
+    r.recoveries += m->recoveries();
+    r.final_epoch = std::max(r.final_epoch, m->key_epoch());
+    if (r.fingerprint.empty()) r.fingerprint = m->key_fingerprint();
+  }
+  checker_.check_convergence(probes);
+  if (r.final_size < 2) checker_.flag_timeout("fewer than two members survived");
+
+  r.converged = checker_.ok() && r.final_size >= 2;
+  r.violations = checker_.violations();
+  r.rekeys = keyed_epochs_.size() <= 1 ? 0 : keyed_epochs_.size() - 1;
+  r.onboard_ms =
+      first_key_ms_ < 0.0 ? 0.0 : first_key_ms_ - spec_.onboard_at_ms;
+  r.settled_ms = sim_.now();
+  r.event_to_key_ms = event_to_key_ms_;
+
+  metrics_.counter("server/groups_finalized").add();
+  if (!r.converged) metrics_.counter("server/groups_failed").add();
+
+  if (shared != nullptr) shared->absorb(net_);
+  return r;
+}
+
+void GroupHost::apply(const fault::ChurnOp& op) {
+  switch (op.kind) {
+    case fault::ChurnKind::kJoin:
+      spawn().join();
+      break;
+    case fault::ChurnKind::kLeave: {
+      auto live = alive();
+      if (live.size() <= 2) break;  // keep a group worth agreeing over
+      SecureGroupMember* victim = live[op.arg % live.size()];
+      victim->leave();
+      members_.at(slot(victim->id())).reset();
+      break;
+    }
+    case fault::ChurnKind::kCrash: {
+      auto live = alive();
+      if (live.size() <= 2) break;
+      SecureGroupMember* victim = live[op.arg % live.size()];
+      net_.disconnect(victim->id());
+      members_.at(slot(victim->id())).reset();
+      break;
+    }
+    case fault::ChurnKind::kPartition: {
+      const auto mc =
+          static_cast<std::uint64_t>(net_.topology().machine_count());
+      if (mc < 2) break;
+      const auto split = static_cast<MachineId>(1 + op.arg % (mc - 1));
+      std::vector<MachineId> a, b;
+      for (MachineId m = 0; m < static_cast<MachineId>(mc); ++m)
+        (m < split ? a : b).push_back(m);
+      net_.partition({a, b});
+      break;
+    }
+    case fault::ChurnKind::kHeal:
+      net_.heal();
+      break;
+    case fault::ChurnKind::kRekey: {
+      auto live = alive();
+      if (live.empty()) break;
+      live[op.arg % live.size()]->request_rekey();
+      break;
+    }
+  }
+  if (obs::MetricsRegistry* mr = obs::metrics())
+    mr->counter(std::string("server/op/") + fault::to_string(op.kind)).add();
+}
+
+SecureGroupMember& GroupHost::spawn() {
+  const auto machine = static_cast<MachineId>(
+      spawned_ % net_.topology().machine_count());
+  ++spawned_;
+  const ProcessId pid = net_.create_process(machine);
+  MemberConfig cfg;
+  cfg.group = spec_.name;
+  cfg.protocol = spec_.protocol;
+  cfg.dh_bits = spec_.dh_bits;
+  cfg.seed = spec_.seed;
+  cfg.recovery_watchdog_ms = spec_.recovery_watchdog_ms;
+  auto member = std::make_unique<SecureGroupMember>(net_, pid, pki_, cfg);
+  SecureGroupMember* mp = member.get();
+  member->set_key_listener([this, mp, pid](SimTime t, std::uint64_t epoch) {
+    checker_.observe_epoch(pid, epoch);
+    if (first_key_ms_ < 0.0) first_key_ms_ = t;
+    // View install -> key established, the per-install agreement latency.
+    const double latency = t - mp->view_time();
+    event_to_key_ms_.push_back(latency);
+    if (obs::MetricsRegistry* mr = obs::metrics())
+      mr->histogram("server/event_to_key_ms").observe(latency);
+    // Track distinct keyed epochs (mostly ascending; cascades can skip).
+    if (keyed_epochs_.empty() || keyed_epochs_.back() < epoch) {
+      keyed_epochs_.push_back(epoch);
+    } else if (!std::binary_search(keyed_epochs_.begin(), keyed_epochs_.end(),
+                                   epoch)) {
+      keyed_epochs_.insert(std::lower_bound(keyed_epochs_.begin(),
+                                            keyed_epochs_.end(), epoch),
+                           epoch);
+    }
+  });
+  const std::size_t s = slot(pid);
+  if (members_.size() <= s) members_.resize(s + 1);
+  members_.at(s) = std::move(member);
+  return *members_.at(s);
+}
+
+std::vector<SecureGroupMember*> GroupHost::alive() const {
+  std::vector<SecureGroupMember*> out;
+  for (const auto& m : members_)
+    if (m) out.push_back(m.get());
+  return out;
+}
+
+}  // namespace sgk::server

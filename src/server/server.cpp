@@ -1,0 +1,246 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "fault/rng.h"
+#include "obs/metrics.h"
+#include "obs/wallclock.h"
+#include "util/check.h"
+
+namespace sgk::server {
+
+namespace {
+
+/// Nearest-rank quantile with interpolation over a copy of `v`.
+double sample_quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace
+
+GroupServer::GroupServer(ServerConfig config)
+    : config_(std::move(config)), pki_(std::make_shared<Pki>()) {
+  SGK_CHECK(config_.groups >= 1);
+  SGK_CHECK(config_.members_per_group >= 2);
+  SGK_CHECK(config_.threads >= 1);
+  SGK_CHECK(!config_.protocols.empty());
+  SGK_CHECK(config_.epoch_window_ms > 0.0);
+}
+
+GroupServer::~GroupServer() = default;
+
+GroupSpec GroupServer::spec_for(GroupId gid) const {
+  GroupSpec spec;
+  spec.id = gid;
+  spec.name = "g" + std::to_string(gid);
+  spec.protocol = config_.protocols[gid % config_.protocols.size()];
+  spec.dh_bits = config_.dh_bits;
+  spec.initial_size = config_.members_per_group;
+  spec.churn_events = config_.churn_events;
+  spec.onboard_at_ms = static_cast<double>(gid) * config_.onboard_gap_ms;
+  // Independent per-group schedule/DRBG stream, order-free in gid.
+  spec.seed = fault::fault_hash(config_.seed, gid, 0x5eedULL, 1);
+  spec.rates = config_.rates;
+  spec.min_gap_ms = config_.min_gap_ms;
+  spec.max_gap_ms = config_.max_gap_ms;
+  spec.grace_ms = config_.grace_ms;
+  return spec;
+}
+
+ServerResult GroupServer::run() {
+  SGK_CHECK(!ran_);
+  ran_ = true;
+
+  const auto n = config_.groups;
+  std::vector<GroupSpec> specs;
+  specs.reserve(n);
+  double max_deadline = 0.0;
+  for (GroupId gid = 0; gid < static_cast<GroupId>(n); ++gid) {
+    specs.push_back(spec_for(gid));
+    directory_.register_group(specs.back());
+    max_deadline = std::max(max_deadline, group_deadline_ms(specs.back()));
+  }
+  hosts_.resize(n);  // slots are shard-owned from here until the last barrier
+
+  const Topology topo = lan_testbed(config_.machines_per_group);
+  ShardExecutor exec(config_.threads);
+  const int shards = exec.threads();
+
+  ServerResult result;
+  {
+    obs::WallScope run_scope("server/run");
+    double t = 0.0;
+    std::size_t unfinished = n;
+    while (unfinished > 0) {
+      t += config_.epoch_window_ms;
+      {
+        obs::WallScope epoch_scope("server/epoch");
+        exec.run_epoch([&](int shard) {
+          for (std::size_t gid = static_cast<std::size_t>(shard); gid < n;
+               gid += static_cast<std::size_t>(shards)) {
+            auto& slot = hosts_[gid];
+            if (!slot) {
+              if (specs[gid].onboard_at_ms > t) continue;
+              slot = std::make_unique<GroupHost>(
+                  specs[gid], pki_,
+                  static_cast<ProcessId>(gid) * kPidStride, topo);
+              directory_.update(specs[gid].id, slot->status());
+            }
+            if (slot->done()) continue;
+            if (t >= slot->deadline_ms()) {
+              slot->advance(slot->deadline_ms());
+              if (!slot->done()) slot->force_settle();
+            } else if (slot->next_event_time() > t) {
+              continue;  // conservative lookahead: nothing to do this epoch
+            } else {
+              slot->advance(t);
+            }
+            directory_.update(specs[gid].id, slot->status());
+          }
+        });
+      }
+      ++result.epochs_executed;
+      // Barrier passed: worker writes to this epoch's slots are visible.
+      unfinished = 0;
+      for (const auto& slot : hosts_) {
+        if (!slot || !slot->done()) ++unfinished;
+      }
+      SGK_CHECK(t <= max_deadline + 2.0 * config_.epoch_window_ms);
+    }
+  }
+
+  // Aggregate on the main thread in ascending group-id order — the fixed
+  // fold order is what keeps the report independent of worker interleaving.
+  obs::MetricsRegistry* ambient = obs::metrics();
+  std::vector<double> onboard_ms;
+  std::vector<double> event_to_key_ms;
+  result.groups.reserve(n);
+  for (std::size_t gid = 0; gid < n; ++gid) {
+    GroupHost& host = *hosts_[gid];
+    GroupReport report = host.finalize(&shared_stats_);
+    directory_.update(report.id, host.status());
+    if (ambient != nullptr) {
+      ambient->merge_from(host.metrics());
+      if (config_.per_group_metrics) {
+        ambient->merge_from(host.metrics(),
+                            "group/" + host.spec().name + "/");
+      }
+    }
+    ++result.groups_hosted;
+    if (report.converged) ++result.groups_converged;
+    if (report.onboard_ms > 0.0) onboard_ms.push_back(report.onboard_ms);
+    event_to_key_ms.insert(event_to_key_ms.end(),
+                           report.event_to_key_ms.begin(),
+                           report.event_to_key_ms.end());
+    result.key_installs += report.event_to_key_ms.size();
+    result.rekeys += report.rekeys;
+    result.virtual_makespan_ms =
+        std::max(result.virtual_makespan_ms, report.settled_ms);
+    result.groups.push_back(std::move(report));
+  }
+  result.onboard_p50_ms = sample_quantile(onboard_ms, 0.50);
+  result.onboard_p99_ms = sample_quantile(onboard_ms, 0.99);
+  result.event_to_key_p50_ms = sample_quantile(event_to_key_ms, 0.50);
+  result.event_to_key_p99_ms = sample_quantile(event_to_key_ms, 0.99);
+  const double makespan_s = result.virtual_makespan_ms / 1000.0;
+  if (makespan_s > 0.0) {
+    result.groups_per_sec =
+        static_cast<double>(result.groups_converged) / makespan_s;
+    result.rekeys_per_sec = static_cast<double>(result.rekeys) / makespan_s;
+  }
+  result.shared_messages_stamped = shared_stats_.stamped_total();
+  result.shared_processes = shared_stats_.processes_total();
+  if (ambient != nullptr) {
+    ambient->counter("server/epochs").add(result.epochs_executed);
+    ambient->counter("server/groups_hosted").add(result.groups_hosted);
+  }
+  return result;
+}
+
+obs::Json ServerResult::to_json(bool with_groups) const {
+  obs::Json j = obs::Json::object();
+  obs::Json agg = obs::Json::object();
+  agg.set("groups_hosted", obs::Json(static_cast<std::uint64_t>(groups_hosted)));
+  agg.set("groups_converged",
+          obs::Json(static_cast<std::uint64_t>(groups_converged)));
+  agg.set("epochs_executed", obs::Json(epochs_executed));
+  agg.set("virtual_makespan_ms", obs::Json(virtual_makespan_ms));
+  agg.set("key_installs", obs::Json(key_installs));
+  agg.set("rekeys", obs::Json(rekeys));
+  agg.set("onboard_p50_ms", obs::Json(onboard_p50_ms));
+  agg.set("onboard_p99_ms", obs::Json(onboard_p99_ms));
+  agg.set("event_to_key_p50_ms", obs::Json(event_to_key_p50_ms));
+  agg.set("event_to_key_p99_ms", obs::Json(event_to_key_p99_ms));
+  agg.set("groups_per_sec", obs::Json(groups_per_sec));
+  agg.set("rekeys_per_sec", obs::Json(rekeys_per_sec));
+  agg.set("shared_messages_stamped", obs::Json(shared_messages_stamped));
+  agg.set("shared_processes", obs::Json(shared_processes));
+  j.set("aggregate", std::move(agg));
+
+  // Per-protocol rollup in protocol-name order (deterministic).
+  struct Roll {
+    std::uint64_t hosted = 0;
+    std::uint64_t converged = 0;
+    std::uint64_t rekeys = 0;
+    std::vector<double> onboard_ms;
+    std::vector<double> event_to_key_ms;
+  };
+  std::map<std::string, Roll> rolls;
+  for (const GroupReport& g : groups) {
+    Roll& r = rolls[to_string(g.protocol)];
+    ++r.hosted;
+    if (g.converged) ++r.converged;
+    r.rekeys += g.rekeys;
+    if (g.onboard_ms > 0.0) r.onboard_ms.push_back(g.onboard_ms);
+    r.event_to_key_ms.insert(r.event_to_key_ms.end(),
+                             g.event_to_key_ms.begin(),
+                             g.event_to_key_ms.end());
+  }
+  obs::Json protos = obs::Json::array();
+  for (const auto& [name, r] : rolls) {
+    obs::Json row = obs::Json::object();
+    row.set("protocol", obs::Json(name));
+    row.set("groups", obs::Json(r.hosted));
+    row.set("converged", obs::Json(r.converged));
+    row.set("rekeys", obs::Json(r.rekeys));
+    row.set("onboard_p50_ms", obs::Json(sample_quantile(r.onboard_ms, 0.50)));
+    row.set("event_to_key_p99_ms",
+            obs::Json(sample_quantile(r.event_to_key_ms, 0.99)));
+    protos.push(std::move(row));
+  }
+  j.set("protocols", std::move(protos));
+
+  if (with_groups) {
+    obs::Json rows = obs::Json::array();
+    for (const GroupReport& g : groups) {
+      obs::Json row = obs::Json::object();
+      row.set("id", obs::Json(static_cast<std::uint64_t>(g.id)));
+      row.set("protocol", obs::Json(to_string(g.protocol)));
+      row.set("converged", obs::Json(g.converged));
+      row.set("final_size",
+              obs::Json(static_cast<std::uint64_t>(g.final_size)));
+      row.set("final_epoch", obs::Json(g.final_epoch));
+      row.set("rekeys", obs::Json(g.rekeys));
+      row.set("onboard_ms", obs::Json(g.onboard_ms));
+      row.set("settled_ms", obs::Json(g.settled_ms));
+      row.set("event_to_key_p99_ms",
+              obs::Json(sample_quantile(g.event_to_key_ms, 0.99)));
+      row.set("fingerprint", obs::Json(g.fingerprint));
+      rows.push(std::move(row));
+    }
+    j.set("groups", std::move(rows));
+  }
+  return j;
+}
+
+}  // namespace sgk::server

@@ -1,0 +1,127 @@
+// GroupServer: hosts N independent secure groups over one shared daemon
+// topology shape and executes them in parallel across shard workers with
+// bit-for-bit deterministic output.
+//
+// Execution model (docs/multi_group.md has the long form):
+//  * Every group gets its own seeded schedule (Simulator + SpreadNetwork +
+//    churn plan derived from fault_hash(seed, gid)), a disjoint process-id
+//    block, and a pin to shard gid % threads.
+//  * Time advances on a fixed epoch grid (epoch_window_ms). Each epoch, the
+//    ShardExecutor runs every shard once: a worker lazily constructs hosts
+//    whose onboard time has arrived and advances each unfinished host of its
+//    shard to the epoch end (skipping hosts whose next_event_time() lies
+//    beyond it — conservative lookahead). The epoch barrier then orders all
+//    worker writes before the next epoch and before main-thread reads.
+//  * Results are aggregated on the main thread in ascending group-id order,
+//    so reports are byte-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gcs/secure_group.h"
+#include "gcs/spread.h"
+#include "obs/json.h"
+#include "server/group_directory.h"
+#include "server/group_host.h"
+#include "server/shard_executor.h"
+#include "sim/topology.h"
+#include "util/thread_annotations.h"
+
+namespace sgk::server {
+
+struct ServerConfig {
+  // Fixed before run(); read-only once workers start.
+  SGK_CONFINED_TO_RUN;
+  std::size_t groups = 16;
+  std::size_t members_per_group = 4;
+  int churn_events = 4;
+  int threads = 1;
+  std::uint64_t seed = 1;
+  /// Groups onboard staggered: group g starts at g * onboard_gap_ms.
+  double onboard_gap_ms = 1.0;
+  /// Virtual-time epoch window between executor barriers.
+  double epoch_window_ms = 50.0;
+  /// Protocol mix, assigned round-robin by group id.
+  std::vector<ProtocolKind> protocols = {ProtocolKind::kGdh,
+                                         ProtocolKind::kCkd,
+                                         ProtocolKind::kTgdh,
+                                         ProtocolKind::kStr,
+                                         ProtocolKind::kBd};
+  DhBits dh_bits = DhBits::k512;
+  /// Machines in every group's (private) LAN topology.
+  int machines_per_group = 4;
+  /// Wire-fault rates applied inside every group's network.
+  fault::FaultRates rates;
+  double min_gap_ms = 5.0;
+  double max_gap_ms = 40.0;
+  double grace_ms = 30000.0;
+  /// Also fold each group's registry under a "group/<name>/" metric prefix
+  /// (aggregate-only by default: 1000 groups would mean 1000x the labels).
+  bool per_group_metrics = false;
+};
+
+struct ServerResult {
+  // Built on the main thread after the run.
+  SGK_CONFINED_TO_RUN;
+  std::vector<GroupReport> groups;  // ascending group id
+  std::size_t groups_hosted = 0;
+  std::size_t groups_converged = 0;
+  std::uint64_t epochs_executed = 0;     // executor barriers crossed
+  double virtual_makespan_ms = 0.0;      // max settled_ms over groups
+  std::uint64_t key_installs = 0;        // key-listener fires, all groups
+  std::uint64_t rekeys = 0;              // distinct keyed epochs beyond first
+  double onboard_p50_ms = 0.0;           // onboard latency quantiles
+  double onboard_p99_ms = 0.0;
+  double event_to_key_p50_ms = 0.0;      // per-install latency quantiles
+  double event_to_key_p99_ms = 0.0;
+  double groups_per_sec = 0.0;           // converged groups / virtual second
+  double rekeys_per_sec = 0.0;           // rekeys / virtual second
+  std::uint64_t shared_messages_stamped = 0;  // SharedSpreadStats totals
+  std::uint64_t shared_processes = 0;
+
+  /// Canonical deterministic JSON (no wall-clock, no thread count): the
+  /// payload the determinism regression compares byte-for-byte across
+  /// thread counts. Per-group rows are included only when `with_groups`.
+  obs::Json to_json(bool with_groups = false) const;
+};
+
+class GroupServer {
+  // Orchestrator state is main-thread-owned: workers only ever touch the
+  // host slots of their shard (handed out via the epoch closure) plus the
+  // individually locked shared structures (Pki, GroupDirectory,
+  // SharedSpreadStats). The epoch barrier orders every slot hand-off.
+  SGK_CONFINED_TO_RUN;
+
+ public:
+  explicit GroupServer(ServerConfig config);
+  ~GroupServer();
+
+  GroupServer(const GroupServer&) = delete;
+  GroupServer& operator=(const GroupServer&) = delete;
+
+  /// Executes every group to settlement (or its deadline) and aggregates.
+  /// Deterministic in the config minus `threads`: any thread count produces
+  /// byte-identical results. Call once.
+  ServerResult run();
+
+  const GroupDirectory& directory() const { return directory_; }
+  const SharedSpreadStats& shared_stats() const { return shared_stats_; }
+
+  /// Process-id block width per group (first pid of group g is
+  /// g * kPidStride), sized so no realistic churn schedule overflows it.
+  static constexpr ProcessId kPidStride = 4096;
+
+ private:
+  GroupSpec spec_for(GroupId gid) const;
+
+  ServerConfig config_;
+  std::shared_ptr<Pki> pki_;
+  GroupDirectory directory_;
+  SharedSpreadStats shared_stats_;
+  std::vector<std::unique_ptr<GroupHost>> hosts_;  // slot gid; shard-owned
+  bool ran_ = false;
+};
+
+}  // namespace sgk::server

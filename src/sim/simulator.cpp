@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <limits>
+
 #include "util/check.h"
 
 namespace sgk {
@@ -34,6 +36,11 @@ void Simulator::run() {
 void Simulator::run_until(SimTime t) {
   while (!queue_.empty() && queue_.top().time <= t) step();
   if (now_ < t) now_ = t;
+}
+
+SimTime Simulator::next_event_time() const {
+  if (queue_.empty()) return std::numeric_limits<SimTime>::infinity();
+  return queue_.top().time;
 }
 
 }  // namespace sgk

@@ -40,6 +40,12 @@ class Simulator {
   /// Events after `t` remain queued.
   void run_until(SimTime t);
 
+  /// Virtual time of the earliest queued event, or +infinity when the queue
+  /// is empty. A parallel multi-group executor uses this as a conservative
+  /// lookahead bound: a run whose next event lies beyond the epoch window
+  /// provably cannot act inside it and can be skipped without advancing.
+  SimTime next_event_time() const;
+
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t executed() const { return executed_; }
 

@@ -76,6 +76,28 @@ TEST_P(Chaos, CrashDuringAgreementConverges) {
   expect_converged(run_chaos(cfg), cfg);
 }
 
+TEST_P(Chaos, RekeyDuringOnboardingThenLeaveConverges) {
+  // Regression (found by the multi-group server's seed sweep): a rekey
+  // lands inside the still-running initial agreement, and a leave lands
+  // inside the restarted one. The first restart used to strand a GDH
+  // member whose partial-key broadcast died with the interrupted instance
+  // but whose local cache survived looking established; it then keyed
+  // from stale peer exponents and the group silently forked onto two
+  // divergent keys. The clean wire keeps the timing deterministic so the
+  // ops hit exactly those windows.
+  ChaosConfig cfg = base_config();
+  cfg.initial_size = 3;
+  cfg.rates = fault::FaultRates{};
+  cfg.script = {ChurnOp{50.0, ChurnKind::kRekey, 1},
+                ChurnOp{78.0, ChurnKind::kLeave, 1}};
+  const ChaosResult r = run_chaos(cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.violations.empty())
+      << "first violation: " << r.violations.front();
+  EXPECT_EQ(r.churn_applied, cfg.script.size());
+  EXPECT_EQ(r.final_size, 2u);
+}
+
 TEST_P(Chaos, RandomizedRunIsDeterministic) {
   ChaosConfig cfg = base_config();
   cfg.events = 4;

@@ -1,0 +1,10 @@
+namespace sgk::server {
+
+// Mutable global in the multi-group server: every hosted group in the
+// process shares (and races on) this counter, and one run's result depends
+// on whatever ran before it. GKA401.
+int g_groups_onboarded = 0;
+
+void bump() { ++g_groups_onboarded; }
+
+}  // namespace sgk::server

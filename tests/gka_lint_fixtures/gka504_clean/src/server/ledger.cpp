@@ -1,0 +1,24 @@
+#include "util/thread_annotations.h"
+
+namespace sgk::server {
+
+// Classified the cross-thread way: workers publish into this ledger, so the
+// field carries a real guard instead of a confinement marker.
+class EpochLedger {
+ public:
+  void bump() SGK_EXCLUDES(ledger_mu_) {
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    ++epochs_run_;
+  }
+
+  int epochs_run() const SGK_EXCLUDES(ledger_mu_) {
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    return epochs_run_;
+  }
+
+ private:
+  mutable std::mutex ledger_mu_;
+  int epochs_run_ SGK_GUARDED_BY(ledger_mu_) = 0;
+};
+
+}  // namespace sgk::server

@@ -1,0 +1,14 @@
+namespace sgk::server {
+
+// Mutable top-level structure in the multi-group server with neither
+// SGK_GUARDED_BY members nor an SGK_CONFINED_TO_RUN marker: the daemon's
+// worker threads share exactly these records, so every one must be
+// consciously classified. GKA504.
+struct EpochLedger {
+  int epochs_run = 0;
+  double busy_ms = 0.0;
+};
+
+void bump(EpochLedger& l) { ++l.epochs_run; }
+
+}  // namespace sgk::server

@@ -782,6 +782,19 @@ TEST(GkaLintLock, Gka501GuardedFieldNeedsTheMutex) {
   EXPECT_FALSE(has_rule(
       lint_source("src/gcs/t.cpp", decl + "T::T() { epoch_ = 1; }\n"),
       "GKA501"));
+  // Trailing SGK_REQUIRES on a lambda (the cv.wait-predicate idiom): the
+  // annotation attaches to the lambda's pseudo-function, so touching the
+  // guarded field inside the predicate is clean.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/server/t.cpp",
+                  decl +
+                      "void T::wait_ready() {\n"
+                      "  std::unique_lock<std::mutex> lk(mu_);\n"
+                      "  cv_.wait(lk, [this]() SGK_REQUIRES(mu_) {\n"
+                      "    return epoch_ > 0;\n"
+                      "  });\n"
+                      "}\n"),
+      "GKA501"));
 }
 
 TEST(GkaLintLock, Gka502RequiresAndExcludesAtCallSites) {

@@ -8,11 +8,17 @@
 //  * "sweeps" sections: per (sweep, series label, group size) the median
 //    virtual-time latency (median_ms);
 //  * "table" sections: per (protocol, event) the elapsed_ms of the run.
+//  * "multi_group" sections (bench/multi_group): every "_ms" number in the
+//    aggregate rollup (latency quantiles, makespan — lower is better) plus
+//    the "_per_sec" throughput numbers, gated in the opposite direction
+//    (higher is better: a drop beyond tolerance is the regression).
 //
-// A cell fails when current > baseline * (1 + tolerance) + abs_epsilon. The
-// absolute epsilon keeps near-zero baseline cells (sub-millisecond events)
-// from tripping on harmless rounding. Improvements and disappearing cells
-// are reported but never fail the gate; *new* cells are informational too.
+// A lower-is-better cell fails when current > baseline * (1 + tolerance) +
+// abs_epsilon; a higher-is-better cell when current < baseline * (1 -
+// tolerance) - abs_epsilon. The absolute epsilon keeps near-zero baseline
+// cells (sub-millisecond events) from tripping on harmless rounding.
+// Improvements and disappearing cells are reported but never fail the gate;
+// *new* cells are informational too.
 //
 // Wall-clock trajectory (schema sgk-bench/2, the "wallclock" section):
 // per-site p50_ns cells are compared the same ratio-based way but under
@@ -23,6 +29,12 @@
 //    regressions without failing the exit code, which is how CI runs it
 //    until the committed wall baselines have proven quiet. Promotion to
 //    `gate` is a one-flag change (see docs/observability.md).
+//
+// Multi-threaded benches record their thread count in the wallclock env
+// (bench_io --threads). Wall numbers from different thread counts are not
+// comparable, so when both documents record a thread count and they differ,
+// the pairing is refused (exit 2) unless --wall-mode off — the virtual
+// sections are byte-identical across thread counts and stay comparable.
 //
 // Usage: bench_gate <baseline.json> <current.json>
 //                   [--tolerance 0.10] [--abs-epsilon 0.05]
@@ -102,7 +114,38 @@ std::map<std::string, double> watched_cells(const Json& doc) {
             "/elapsed_ms"] = elapsed->as_number();
     }
   }
+  if (const Json* mg = doc.find("multi_group")) {
+    if (const Json* agg = mg->find("aggregate"); agg && agg->is_object())
+      for (const auto& [name, value] : agg->as_object())
+        if (name.ends_with("_ms") && value.is_number())
+          cells["multi_group/aggregate/" + name] = value.as_number();
+  }
   return cells;
+}
+
+// Cells where MORE is better (multi-group throughput); a drop beyond
+// tolerance is the regression.
+std::map<std::string, double> throughput_cells(const Json& doc) {
+  std::map<std::string, double> cells;
+  const Json* mg = doc.find("multi_group");
+  if (mg == nullptr) return cells;
+  if (const Json* agg = mg->find("aggregate"); agg && agg->is_object())
+    for (const auto& [name, value] : agg->as_object())
+      if (name.ends_with("_per_sec") && value.is_number())
+        cells["multi_group/aggregate/" + name] = value.as_number();
+  return cells;
+}
+
+// Thread count recorded in the wallclock env by bench_io --threads, or 0
+// when the document predates it / never recorded one.
+int wall_threads(const Json& doc) {
+  const Json* wall = doc.find("wallclock");
+  if (wall == nullptr) return 0;
+  const Json* env = wall->find("env");
+  if (env == nullptr) return 0;
+  const Json* threads = env->find("threads");
+  if (threads == nullptr || !threads->is_number()) return 0;
+  return static_cast<int>(threads->as_number());
 }
 
 }  // namespace
@@ -167,6 +210,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Refuse wall comparisons across different recorded thread counts: those
+  // numbers measure different machines-worth of parallelism. The virtual
+  // sections are byte-identical across thread counts, so `--wall-mode off`
+  // still compares them.
+  if (wall_mode != "off") {
+    const int base_threads = wall_threads(baseline);
+    const int cur_threads = wall_threads(current);
+    if (base_threads != 0 && cur_threads != 0 && base_threads != cur_threads) {
+      std::fprintf(stderr,
+                   "error: wallclock thread counts differ (baseline "
+                   "--threads %d vs current --threads %d); these wall "
+                   "numbers are not comparable — rerun with matching "
+                   "--threads or pass --wall-mode off\n",
+                   base_threads, cur_threads);
+      return 2;
+    }
+  }
+
   const std::map<std::string, double> base = watched_cells(baseline);
   const std::map<std::string, double> cur = watched_cells(current);
   if (base.empty()) {
@@ -196,6 +257,32 @@ int main(int argc, char** argv) {
   }
   for (const auto& [key, value] : cur)
     if (base.find(key) == base.end())
+      std::printf("new %s = %.3f (not gated)\n", key.c_str(), value);
+
+  // Throughput cells gate in the opposite direction: current must not DROP
+  // below baseline * (1 - tolerance) - abs_epsilon.
+  const std::map<std::string, double> tp_base = throughput_cells(baseline);
+  const std::map<std::string, double> tp_cur = throughput_cells(current);
+  for (const auto& [key, base_value] : tp_base) {
+    auto it = tp_cur.find(key);
+    if (it == tp_cur.end()) {
+      std::printf("MISSING %s (baseline %.3f)\n", key.c_str(), base_value);
+      continue;
+    }
+    ++compared;
+    const double floor = base_value * (1.0 - tolerance) - abs_epsilon;
+    if (it->second < floor) {
+      ++regressions;
+      std::printf("REGRESSION %s: %.3f -> %.3f (floor %.3f, higher=better)\n",
+                  key.c_str(), base_value, it->second, floor);
+    } else if (it->second > base_value + abs_epsilon) {
+      ++improvements;
+      std::printf("improved %s: %.3f -> %.3f\n", key.c_str(), base_value,
+                  it->second);
+    }
+  }
+  for (const auto& [key, value] : tp_cur)
+    if (tp_base.find(key) == tp_base.end())
       std::printf("new %s = %.3f (not gated)\n", key.c_str(), value);
 
   // Wall-clock cells: same shape, separate knobs, and by default the

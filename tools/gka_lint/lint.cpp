@@ -30,12 +30,15 @@ const char* const kSecretComponents[] = {
 
 // A component that marks a name as public, derived, or merely key-adjacent
 // metadata. "bkey" is TGDH/STR's blinded (public) key; epochs, listeners and
-// fingerprints are about keys but are not key material.
+// fingerprints are about keys but are not key material. "ms" marks a
+// latency/timestamp ("event_to_key_ms") and "installs" an install-event
+// count — timing and cardinality metadata about keys, like "time"/"epoch".
 const char* const kAllowComponents[] = {
     "bkey",   "bkeys", "bk",          "br",       "pub",    "public",
     "verify", "fingerprint", "fp",    "epoch",    "has",    "listener",
     "time",   "kind",  "confirmation", "agreement", "tree",  "size",
-    "len",    "id",    "epochs",      "name",     "schedule",
+    "len",    "id",    "epochs",      "name",     "schedule", "ms",
+    "installs",
 };
 
 std::vector<std::string> components(const std::string& ident) {
@@ -160,7 +163,8 @@ const std::vector<Rule>& rules() {
        "reject path"},
       {"GKA101", Severity::kError,
        "include edge violates the subsystem layering DAG (util -> bignum -> "
-       "crypto -> core -> {sim, gcs} -> harness; obs from core up)"},
+       "crypto -> core -> {sim, gcs} -> server -> harness; obs from core "
+       "up)"},
       {"GKA102", Severity::kError, "cycle in the file-level include graph"},
       {"GKA201", Severity::kError,
        "secret-derived value escapes into a raw byte/string local without "
@@ -172,8 +176,8 @@ const std::vector<Rule>& rules() {
        "(taint-based, interprocedural over the cross-TU call graph)"},
       {"GKA301", Severity::kError,
        "unordered container in a deterministic subsystem (src/core, src/sim, "
-       "src/gcs, src/fault); iteration order is not reproducible — use "
-       "std::map/std::set"},
+       "src/gcs, src/fault, src/server); iteration order is not reproducible "
+       "— use std::map/std::set"},
       {"GKA302", Severity::kWarning,
        "container ordered or hashed by pointer value in a deterministic "
        "subsystem; addresses vary per run (ASLR) — key by a stable id"},
@@ -191,13 +195,13 @@ const std::vector<Rule>& rules() {
        "pointer-to-integer reinterpret_cast in a deterministic subsystem; "
        "the value is an address and varies per run"},
       {"GKA401", Severity::kError,
-       "mutable namespace-scope state in src/core, src/sim, or src/gcs; "
-       "couples simulation runs — make it const or pass it through the "
-       "scenario"},
+       "mutable namespace-scope state in src/core, src/sim, src/gcs, or "
+       "src/server; couples simulation runs — make it const or pass it "
+       "through the scenario"},
       {"GKA402", Severity::kError,
-       "mutable function-local static in src/core, src/sim, or src/gcs; "
-       "hidden shared state plus an initialization race once runs go "
-       "parallel"},
+       "mutable function-local static in src/core, src/sim, src/gcs, or "
+       "src/server; hidden shared state plus an initialization race once "
+       "runs go parallel"},
       {"GKA501", Severity::kError,
        "SGK_GUARDED_BY field accessed without its mutex held; take a "
        "std::lock_guard or annotate the accessor with SGK_REQUIRES"},
@@ -210,8 +214,9 @@ const std::vector<Rule>& rules() {
        "unlock() at exit, or a conditional early return while held); use "
        "std::lock_guard or declare SGK_ACQUIRE"},
       {"GKA504", Severity::kError,
-       "mutable sim/gcs structure with no concurrency classification; guard "
-       "fields with SGK_GUARDED_BY or mark the type SGK_CONFINED_TO_RUN"},
+       "mutable sim/gcs/server structure with no concurrency classification; "
+       "guard fields with SGK_GUARDED_BY or mark the type "
+       "SGK_CONFINED_TO_RUN"},
       {"GKA601", Severity::kError,
        "secret-derived value in an if/while/switch/ternary condition (or "
        "passed to a callee that branches on it, interprocedurally); "

@@ -401,6 +401,15 @@ void extract_annotations(const std::vector<Tok>& pure,
             continue;
           }
           if (!keyword_not_call(cand)) fn = cand;
+        } else if (q >= 1 && pure[q - 1].kind == TokKind::kPunct &&
+                   pure[q - 1].text == "]") {
+          // Trailing annotation on a lambda (`[..](..) SGK_REQUIRES(mu) {`,
+          // the cv.wait-predicate idiom): the function extractor models the
+          // lambda body as a pseudo-function named after the annotation
+          // macro itself, so attach the capability to that name. All
+          // annotated lambdas merge under it — the same deliberate
+          // name-level over-approximation the rest of the pass uses.
+          fn = pure[i].text;
         }
         break;
       }

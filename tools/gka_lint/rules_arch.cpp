@@ -3,15 +3,17 @@
 // The subsystem layering DAG this repo commits to (see DESIGN.md and
 // docs/static_analysis.md):
 //
-//     util -> bignum -> crypto -> core -> fault -> {sim, gcs} -> harness
+//     util -> bignum -> crypto -> core -> fault -> {sim, gcs} -> server
+//       -> harness
 //
 // where "A -> B" means B may include A. The braces group sim and gcs above
 // fault; within the group, gcs may include sim (the Spread model runs on the
 // simulator) but not vice versa. `fault` is pure policy (plans, hooks,
 // invariants) consumed by sim/gcs through interfaces, so it sits below both
-// and must not include either. `obs` is a side layer includable from core
-// upward only — the numeric/crypto layers below core must stay free of
-// observability hooks.
+// and must not include either. `server` (the multi-group daemon) composes
+// whole per-group stacks, so it sits on top of sim and gcs and below the
+// harness. `obs` is a side layer includable from core upward only — the
+// numeric/crypto layers below core must stay free of observability hooks.
 //
 // GKA101 rejects any `#include "subsys/..."` edge outside that table;
 // GKA102 rejects cycles in the file-level include graph (which the DAG
@@ -57,9 +59,12 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"sim", {"sim", "fault", "core", "crypto", "bignum", "util", "obs"}},
       {"gcs",
        {"gcs", "sim", "fault", "core", "crypto", "bignum", "util", "obs"}},
-      {"harness",
-       {"harness", "gcs", "sim", "fault", "core", "crypto", "bignum", "util",
+      {"server",
+       {"server", "gcs", "sim", "fault", "core", "crypto", "bignum", "util",
         "obs"}},
+      {"harness",
+       {"harness", "server", "gcs", "sim", "fault", "core", "crypto", "bignum",
+        "util", "obs"}},
   };
   return kAllowed;
 }
@@ -89,8 +94,8 @@ void run_arch_rules(const std::vector<FileModel>& files, const Sink& sink) {
               "include of \"" + inc.target + "\" makes '" + from +
                   "' depend on '" + to +
                   "', violating the layering DAG util -> bignum -> crypto "
-                  "-> core -> fault -> {sim, gcs} -> harness (obs from core "
-                  "up)"});
+                  "-> core -> fault -> {sim, gcs} -> server -> harness (obs "
+                  "from core up)"});
       }
     }
   }

@@ -28,9 +28,10 @@
 //   GKA306  reinterpret_cast of a pointer to uintptr_t/intptr_t in a
 //           deterministic subsystem — an address about to leak into logic.
 //
-//   GKA401  mutable namespace-scope state in src/core|sim|gcs — simulator
-//           runs must be independent; a mutable global couples them and
-//           blocks future in-process parallel sweeps.
+//   GKA401  mutable namespace-scope state in src/core|sim|gcs|server —
+//           simulator runs must be independent; a mutable global couples
+//           them and blocks in-process parallel sweeps (src/server runs
+//           thousands of them concurrently).
 //   GKA402  mutable function-local statics in the same subsystems — same
 //           problem plus an initialization race once runs go parallel.
 #include <cctype>
@@ -42,19 +43,25 @@ namespace gka_lint {
 namespace {
 
 /// Subsystems that must be deterministic: protocol logic, the simulator,
-/// the group-communication layer, and fault injection (whose schedules are
-/// part of the reproducible scenario).
+/// the group-communication layer, fault injection (whose schedules are part
+/// of the reproducible scenario), and the multi-group server (whose whole
+/// contract is bit-identical output regardless of worker-thread count).
 bool deterministic_subsystem(const std::string& path) {
   return path_has_prefix(path, "src/core/") ||
          path_has_prefix(path, "src/sim/") ||
          path_has_prefix(path, "src/gcs/") ||
-         path_has_prefix(path, "src/fault/");
+         path_has_prefix(path, "src/fault/") ||
+         path_has_prefix(path, "src/server/");
 }
 
-/// GKA401/402 scope: the subsystems whose state a simulation run owns.
+/// GKA401/402 scope: the subsystems whose state a simulation run owns. The
+/// server hosts many runs in one process, so a mutable global there couples
+/// every group it serves.
 bool shared_state_scope(const std::string& path) {
   return path_has_prefix(path, "src/core/") ||
-         path_has_prefix(path, "src/sim/") || path_has_prefix(path, "src/gcs/");
+         path_has_prefix(path, "src/sim/") ||
+         path_has_prefix(path, "src/gcs/") ||
+         path_has_prefix(path, "src/server/");
 }
 
 /// The sanctioned host-time boundary: exactly the WallProfiler translation

@@ -18,12 +18,13 @@
 //           function exit, or a conditional early return while the lock is
 //           held, in a function not annotated SGK_ACQUIRE(m). Lock
 //           *wrappers* declare SGK_ACQUIRE and are exempt.
-//   GKA504  a mutable top-level class/struct under src/sim or src/gcs with
-//           neither an SGK_GUARDED_BY member nor the SGK_CONFINED_TO_RUN
-//           classification marker: unclassified shared state. This is the
-//           escape-analysis complement to GKA401/402 — the worker threads
-//           of ROADMAP item 4 will share exactly these structures, so every
-//           one must be consciously classified. Mutex/atomic members, const
+//   GKA504  a mutable top-level class/struct under src/sim, src/gcs or
+//           src/server with neither an SGK_GUARDED_BY member nor the
+//           SGK_CONFINED_TO_RUN classification marker: unclassified shared
+//           state. This is the escape-analysis complement to GKA401/402 —
+//           the multi-group server's worker threads (src/server, ROADMAP
+//           item 4) share exactly these structures, so every one must be
+//           consciously classified. Mutex/atomic members, const
 //           members, nested records (covered by the enclosing record's
 //           classification) and function-local records (run-confined by
 //           construction) are exempt.
@@ -322,8 +323,10 @@ void run_lock_rules(const FileModel& m,
   for (const Function& fn : m.functions)
     scan_locks(m, fn, facts, guards, &sink);
 
-  // --- GKA504: unclassified mutable shared structure in sim/gcs ----------
-  if (!path_has_prefix(m.path, "src/sim") && !path_has_prefix(m.path, "src/gcs"))
+  // --- GKA504: unclassified mutable shared structure in sim/gcs/server ----
+  if (!path_has_prefix(m.path, "src/sim") &&
+      !path_has_prefix(m.path, "src/gcs") &&
+      !path_has_prefix(m.path, "src/server"))
     return;
   for (const Record& r : m.records) {
     if (r.nested || !r.has_mutable_member) continue;
