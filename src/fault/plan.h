@@ -82,6 +82,25 @@ class FaultPlan {
   void randomize(int events, double start_ms, double min_gap_ms,
                  double max_gap_ms);
 
+  /// Poisson storm: `events` ops starting at `start_ms` with exponentially
+  /// distributed inter-arrival gaps of mean `mean_gap_ms` — the classic
+  /// memoryless churn model, whose clustering (many gaps far below the
+  /// mean) is what exercises an adaptive batching window. Join/leave-heavy
+  /// mix (partitions/heals season it), always ends healed. Deterministic in
+  /// (seed, arguments); uses a stream disjoint from randomize()'s.
+  void poisson_storm(int events, double start_ms, double mean_gap_ms);
+
+  /// Bursty storm: `bursts` clusters of `burst_size` ops each; ops inside a
+  /// burst are `intra_gap_ms` apart (well inside one batching window), and
+  /// bursts are separated by `idle_gap_ms` of quiet (long enough for the
+  /// window to drain and shrink). The flash-crowd model the
+  /// keys-per-membership-event acceptance criterion is judged on. Each
+  /// burst leans all-join or all-leave so the aggregate event is a real
+  /// merge/partition-shaped delta. Always ends healed. Deterministic in
+  /// (seed, arguments).
+  void bursty_storm(int bursts, int burst_size, double start_ms,
+                    double intra_gap_ms, double idle_gap_ms);
+
   /// Stateless per-copy verdict for a daemon-to-daemon copy: the same
   /// (seed, from, to, seq) always yields the same fault, independent of
   /// call order.

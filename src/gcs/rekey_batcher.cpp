@@ -1,0 +1,243 @@
+#include "gcs/rekey_batcher.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace sgk {
+
+namespace {
+
+void count(const char* name, std::uint64_t n = 1) {
+  if (auto* m = obs::metrics()) m->counter(name).add(n);
+}
+
+void observe(const char* name, double v) {
+  if (auto* m = obs::metrics()) m->histogram(name).observe(v);
+}
+
+}  // namespace
+
+const char* to_string(BatchEventKind kind) {
+  switch (kind) {
+    case BatchEventKind::kJoin: return "join";
+    case BatchEventKind::kLeave: return "leave";
+    case BatchEventKind::kPartition: return "partition";
+    case BatchEventKind::kMerge: return "merge";
+    case BatchEventKind::kRefresh: return "refresh";
+  }
+  return "?";
+}
+
+const char* to_string(OverloadVerdict verdict) {
+  switch (verdict) {
+    case OverloadVerdict::kAdmitted: return "admitted";
+    case OverloadVerdict::kCoalesced: return "coalesced";
+    case OverloadVerdict::kShedOldest: return "shed_oldest";
+  }
+  return "?";
+}
+
+const char* to_string(GroupHealth health) {
+  switch (health) {
+    case GroupHealth::kNormal: return "normal";
+    case GroupHealth::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+RekeyBatcher::RekeyBatcher(Simulator& sim, BatchConfig config, FlushFn flush)
+    : sim_(sim), config_(config), flush_fn_(std::move(flush)) {
+  // Sanitize: a budget cap below the minimum window would make the adaptive
+  // range empty, and min > max inverts the clamp.
+  config_.min_window_ms = std::max(0.0, config_.min_window_ms);
+  config_.max_window_ms = std::max(config_.min_window_ms, config_.max_window_ms);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.grow_threshold = std::max<std::size_t>(2, config_.grow_threshold);
+  config_.degrade_after_misses = std::max(1, config_.degrade_after_misses);
+  config_.recover_after_hits = std::max(1, config_.recover_after_hits);
+}
+
+double RekeyBatcher::window_cap() const {
+  double cap = config_.max_window_ms;
+  if (config_.latency_budget_ms > 0.0 && config_.budget_window_fraction > 0.0) {
+    cap = std::min(cap,
+                   config_.latency_budget_ms * config_.budget_window_fraction);
+  }
+  return std::max(cap, config_.min_window_ms);
+}
+
+RekeyBatcher::GroupPipe& RekeyBatcher::pipe(const std::string& group) {
+  auto [it, inserted] = pipes_.try_emplace(group);
+  if (inserted) it->second.window_ms = config_.min_window_ms;
+  return it->second;
+}
+
+OverloadVerdict RekeyBatcher::note_event(const std::string& group,
+                                         BatchEventKind kind) {
+  GroupPipe& p = pipe(group);
+  p.stats.events += 1;
+  count("gcs/batch/events");
+
+  OverloadVerdict verdict;
+  if (p.pending.size() >= config_.queue_capacity) {
+    p.pending.pop_front();
+    p.stats.shed += 1;
+    count("gcs/batch/shed_oldest");
+    verdict = OverloadVerdict::kShedOldest;
+  } else if (p.window_open) {
+    p.stats.coalesced += 1;
+    count("gcs/batch/coalesced");
+    verdict = OverloadVerdict::kCoalesced;
+  } else {
+    verdict = OverloadVerdict::kAdmitted;
+  }
+
+  p.pending.push_back(PendingEvent{sim_.now(), kind});
+  if (kind == BatchEventKind::kRefresh) p.force = true;
+  observe("gcs/batch/queue_depth", static_cast<double>(p.pending.size()));
+
+  if (!p.window_open) open_window(group, p);
+  return verdict;
+}
+
+void RekeyBatcher::open_window(const std::string& group, GroupPipe& p) {
+  p.window_open = true;
+  const double window = (p.stats.health == GroupHealth::kDegraded)
+                            ? config_.max_window_ms
+                            : std::min(p.window_ms, window_cap());
+  observe("gcs/batch/window_ms", window);
+  const std::uint64_t gen = ++p.window_gen;
+  sim_.after(window, [this, group, gen] {
+    auto it = pipes_.find(group);
+    if (it == pipes_.end()) return;
+    GroupPipe& pg = it->second;
+    if (!pg.window_open || pg.window_gen != gen) return;
+    flush(group, pg);
+  });
+}
+
+void RekeyBatcher::flush(const std::string& group, GroupPipe& p) {
+  const std::size_t batch = p.pending.size();
+  p.window_open = false;
+  const bool force = p.force;
+  p.force = false;
+  if (batch == 0) return;  // everything was shed away (capacity 0 impossible,
+                           // but stay safe)
+
+  p.stats.flushes += 1;
+  p.stats.max_batch = std::max<std::uint64_t>(p.stats.max_batch, batch);
+  count("gcs/batch/flushes");
+  observe("gcs/batch/size", static_cast<double>(batch));
+
+  OutstandingFlush record;
+  record.flushed_at = sim_.now();
+  record.arrivals.reserve(batch);
+  for (const PendingEvent& ev : p.pending) record.arrivals.push_back(ev.at);
+  p.pending.clear();
+  p.outstanding.push_back(std::move(record));
+  // A flush whose view got deduplicated (membership unchanged, not forced)
+  // never sees a key install; bound the backlog so stale records cannot
+  // poison latency attribution forever.
+  while (p.outstanding.size() > kMaxOutstanding) p.outstanding.pop_front();
+
+  adapt_window(p, batch);
+  flush_fn_(group, force);
+}
+
+void RekeyBatcher::adapt_window(GroupPipe& p, std::size_t batch_size) const {
+  if (p.stats.health == GroupHealth::kDegraded) return;  // pinned widest
+  if (batch_size >= config_.grow_threshold) {
+    p.window_ms = std::min(p.window_ms * 2.0, window_cap());
+  } else if (batch_size <= 1) {
+    p.window_ms = std::max(p.window_ms * 0.5, config_.min_window_ms);
+  }
+}
+
+void RekeyBatcher::note_key_installed(const std::string& group, SimTime t) {
+  auto it = pipes_.find(group);
+  if (it == pipes_.end()) return;
+  GroupPipe& p = it->second;
+  if (p.outstanding.empty()) return;
+
+  // A fresh key completes every window flushed before it, not only the
+  // oldest: cascaded view changes abort the agreements of intermediate
+  // flushes (their epochs never key), and the agreement that finally lands
+  // covers the aggregate of all of them. (In the rare race where a flush's
+  // view stamps after this install, its events get slightly optimistic
+  // latencies — acceptable for a latency metric, and the alternative would
+  // leave superseded flushes unsampled forever.)
+  double worst = 0.0;
+  while (!p.outstanding.empty() && p.outstanding.front().flushed_at <= t) {
+    OutstandingFlush record = std::move(p.outstanding.front());
+    p.outstanding.pop_front();
+    for (SimTime arrival : record.arrivals) {
+      const double latency = std::max(0.0, t - arrival);
+      worst = std::max(worst, latency);
+      p.stats.event_to_key_ms.push_back(latency);
+      observe("gcs/batch/event_to_key_ms", latency);
+    }
+  }
+
+  if (config_.latency_budget_ms <= 0.0) return;
+  if (worst > config_.latency_budget_ms) {
+    p.stats.budget_misses += 1;
+    count("gcs/batch/budget_misses");
+    p.consecutive_hits = 0;
+    p.consecutive_misses += 1;
+    if (p.stats.health == GroupHealth::kNormal &&
+        p.consecutive_misses >= config_.degrade_after_misses) {
+      set_health(group, p, GroupHealth::kDegraded);
+    }
+  } else {
+    p.consecutive_misses = 0;
+    p.consecutive_hits += 1;
+    if (p.stats.health == GroupHealth::kDegraded &&
+        p.consecutive_hits >= config_.recover_after_hits) {
+      set_health(group, p, GroupHealth::kNormal);
+    }
+  }
+}
+
+void RekeyBatcher::set_health(const std::string& group, GroupPipe& p,
+                              GroupHealth health) {
+  if (p.stats.health == health) return;
+  p.stats.health = health;
+  p.consecutive_misses = 0;
+  p.consecutive_hits = 0;
+  if (health == GroupHealth::kDegraded) {
+    p.stats.degraded_entries += 1;
+    count("gcs/batch/degraded_enter");
+    // Widest-window fallback: one rekey per (maximal) epoch until recovery.
+    p.window_ms = config_.max_window_ms;
+  } else {
+    p.stats.degraded_exits += 1;
+    count("gcs/batch/degraded_exit");
+    // Re-enter adaptation from the top of the allowed range rather than the
+    // floor so a still-loaded group does not thrash straight back.
+    p.window_ms = window_cap();
+  }
+  if (health_fn_) health_fn_(group, health, sim_.now());
+}
+
+double RekeyBatcher::window_ms(const std::string& group) const {
+  auto it = pipes_.find(group);
+  return it == pipes_.end() ? config_.min_window_ms : it->second.window_ms;
+}
+
+GroupHealth RekeyBatcher::health(const std::string& group) const {
+  auto it = pipes_.find(group);
+  return it == pipes_.end() ? GroupHealth::kNormal : it->second.stats.health;
+}
+
+BatchStats RekeyBatcher::stats(const std::string& group) const {
+  auto it = pipes_.find(group);
+  return it == pipes_.end() ? BatchStats{} : it->second.stats;
+}
+
+std::size_t RekeyBatcher::queue_depth(const std::string& group) const {
+  auto it = pipes_.find(group);
+  return it == pipes_.end() ? 0 : it->second.pending.size();
+}
+
+}  // namespace sgk

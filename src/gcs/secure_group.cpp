@@ -1,8 +1,11 @@
 #include "gcs/secure_group.h"
 
+#include <algorithm>
+
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "fault/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/wallclock.h"
@@ -25,6 +28,24 @@ struct ScopedSubkey {
   ~ScopedSubkey() { secure_zero(b.data(), b.size()); }
 };
 }  // namespace
+
+double recovery_backoff_ms(double base_ms, double cap_ms, int attempt,
+                           std::uint64_t seed, ProcessId self,
+                           std::uint64_t epoch) {
+  // A cap below the base would SHORTEN the first delay; the legacy contract
+  // is that attempt 0 waits exactly base_ms, so the effective ceiling is
+  // never less than the base.
+  const double cap = cap_ms > 0 ? std::max(cap_ms, base_ms) : 0.0;
+  const int shift = std::min(std::max(attempt, 0), 30);
+  double d = base_ms * static_cast<double>(1u << shift);
+  if (cap > 0) d = std::min(d, cap);
+  if (attempt > 0) {
+    d += d * 0.25 *
+         fault::fault_unit(seed, static_cast<std::uint64_t>(self), epoch,
+                           static_cast<std::uint64_t>(attempt));
+  }
+  return d;
+}
 
 SecureGroupMember::SecureGroupMember(SpreadNetwork& net, ProcessId self,
                                      std::shared_ptr<Pki> pki, MemberConfig config)
@@ -172,6 +193,7 @@ void SecureGroupMember::end_handler() {
           key_epoch_ = epoch;
           key_time_ = net_.simulator().now();
           recovery_attempts_ = 0;  // converged: refill the recovery budget
+          watchdog_streak_ = 0;    // and restart the watchdog chain's backoff
           SGK_TRACE(if (tr->event_active()) {
             obs::SpanId mark = tr->instant(
                 "key_install", key_time_,
@@ -226,15 +248,22 @@ void SecureGroupMember::on_view(const std::string& group, const View& view,
   // bounded-horizon harnesses like run_fuzz.
   if (config_.recovery_watchdog_ms > 0) {
     const std::uint64_t epoch = epoch_;
-    net_.simulator().after(config_.recovery_watchdog_ms,
-                           [this, alive = alive_, epoch] {
-                             if (!*alive || epoch_ != epoch) return;
-                             if (!protocol_->in_flight()) return;
-                             ++recoveries_;
-                             if (obs::MetricsRegistry* mr = obs::metrics())
-                               mr->counter("member/recoveries").add();
-                             request_rekey();
-                           });
+    // Consecutive unkeyed fires stretch the chain's period exponentially
+    // (streak resets on key install), so a long corruption storm costs
+    // O(log) rekeys instead of one per fixed deadline while the chain stays
+    // budget-exempt and therefore can never wedge.
+    const double deadline = recovery_backoff_ms(
+        config_.recovery_watchdog_ms, config_.recovery_backoff_cap_ms,
+        watchdog_streak_, config_.seed, self_, epoch);
+    net_.simulator().after(deadline, [this, alive = alive_, epoch] {
+      if (!*alive || epoch_ != epoch) return;
+      if (!protocol_->in_flight()) return;
+      ++watchdog_streak_;
+      ++recoveries_;
+      if (obs::MetricsRegistry* mr = obs::metrics())
+        mr->counter("member/recoveries").add();
+      request_rekey();
+    });
   }
 
   // Replay protocol frames that raced ahead of this view install, then drop
@@ -318,14 +347,21 @@ void SecureGroupMember::reject_frame(RejectReason reason, std::size_t wire_size,
 
 void SecureGroupMember::schedule_recovery() {
   // A rejected frame on the protocol path may have replaced an honest frame
-  // the agreement needed. Give the protocol recovery_delay_ms of virtual
-  // time to converge on its own; if it is still in flight at this epoch,
-  // request a rekey. One recovery per epoch: the rekey changes the epoch,
-  // so a repeat at the same epoch means this recovery is already pending.
+  // the agreement needed. Give the protocol a grace delay to converge on its
+  // own; if it is still in flight at this epoch, request a rekey. One
+  // recovery per epoch: the rekey changes the epoch, so a repeat at the same
+  // epoch means this recovery is already pending. The delay starts at
+  // recovery_delay_ms and backs off exponentially (with seeded jitter)
+  // across the consecutive failed recoveries of one convergence episode, so
+  // a group fighting a persistent corruptor spaces its rekey storm out
+  // instead of burning the whole 8-attempt budget at a fixed cadence.
   if (!view_ || last_recovery_epoch_ == epoch_) return;
   last_recovery_epoch_ = epoch_;
   const std::uint64_t epoch = epoch_;
-  net_.simulator().after(config_.recovery_delay_ms, [this, alive = alive_, epoch] {
+  const double delay =
+      recovery_backoff_ms(config_.recovery_delay_ms, config_.recovery_backoff_cap_ms,
+                          recovery_attempts_, config_.seed, self_, epoch);
+  net_.simulator().after(delay, [this, alive = alive_, epoch] {
     if (!*alive || epoch_ != epoch) return;
     if (!protocol_->in_flight()) return;
     if (recovery_attempts_ >= kMaxRecoveryAttempts) return;

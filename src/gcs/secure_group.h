@@ -81,16 +81,35 @@ struct MemberConfig {
   /// harnesses that study what strict structural validation alone catches;
   /// loopback integrity and all semantic checks stay on.
   bool verify_signatures = true;
-  /// Virtual-time delay between a recoverable frame rejection and the rekey
-  /// request it triggers when the agreement is still stuck (quarantine
-  /// policy; rate-limited to one recovery per epoch).
+  /// Base virtual-time delay between a recoverable frame rejection and the
+  /// rekey request it triggers when the agreement is still stuck (quarantine
+  /// policy; rate-limited to one recovery per epoch). The FIRST recovery of
+  /// a convergence episode waits exactly this long; consecutive failed
+  /// recoveries back off exponentially with seeded jitter (see
+  /// recovery_backoff_ms) up to recovery_backoff_cap_ms.
   double recovery_delay_ms = 20.0;
   /// When > 0, an agreement still in flight this long (virtual ms) after its
   /// view installed triggers a rekey request — the backstop for frames an
   /// adversary erased outright, which produce no rejection at the members
-  /// that needed them. 0 disables the watchdog.
+  /// that needed them. 0 disables the watchdog. Like the reject path, the
+  /// watchdog's retry chain backs off exponentially across consecutive
+  /// unkeyed fires (streak resets on every key install).
   double recovery_watchdog_ms = 0.0;
+  /// Upper bound for the deterministic part of both backoff schedules
+  /// (virtual ms). Jitter of up to 25% rides on top, so the true ceiling is
+  /// 1.25x this. <= 0 disables the cap (pure exponential growth).
+  double recovery_backoff_cap_ms = 2000.0;
 };
+
+/// Deterministic backoff schedule shared by the reject-path recovery and the
+/// watchdog retry chain: min(base * 2^attempt, cap), plus up to 25% seeded
+/// jitter for attempt >= 1 (attempt 0 keeps the exact legacy delay). The
+/// jitter draw is fault_unit(seed, self, epoch, attempt) — stateless and
+/// order-independent, so two members with the same config desynchronize
+/// their retry storms identically on every replay of the same seed.
+double recovery_backoff_ms(double base_ms, double cap_ms, int attempt,
+                           std::uint64_t seed, ProcessId self,
+                           std::uint64_t epoch);
 
 class SecureGroupMember final : public GroupClient, private ProtocolHost {
   // A member belongs to exactly one SpreadNetwork/Simulator pair and is
@@ -262,9 +281,14 @@ class SecureGroupMember final : public GroupClient, private ProtocolHost {
   // Consecutive recovery rekeys since the last successful key install. A
   // persistent adversary (or a member that will never converge) must not be
   // able to drive an unbounded rekey storm: after the budget is exhausted
-  // the member stops initiating recoveries until a key installs again.
+  // the member stops initiating recoveries until a key installs again. The
+  // same counter indexes the exponential backoff schedule, so each retry of
+  // an episode waits longer than the last.
   int recovery_attempts_ = 0;
   static constexpr int kMaxRecoveryAttempts = 8;
+  // Consecutive watchdog fires without an intervening key install; indexes
+  // the watchdog chain's backoff (the chain itself stays budget-exempt).
+  int watchdog_streak_ = 0;
 
   // Protocol frames I sent, pristine as framed (epoch, wire). A kProtocol
   // frame that loops back under my own id must byte-match one of these —

@@ -39,6 +39,17 @@ SpreadNetwork::SpreadNetwork(Simulator& sim, Topology topology, SpreadParams par
   }
   SGK_TRACE(tr->set_track_name(0, "membership events"));
   components_.push_back(std::move(comp));
+  if (params_.batch.enabled) {
+    // A flushed window requests one aggregate view per component; the
+    // stamp-time dedup (last_stamped) suppresses components whose membership
+    // is unchanged, so a flush costs exactly one view install per component
+    // the batch actually touched.
+    batcher_ = std::make_unique<RekeyBatcher>(
+        sim_, params_.batch, [this](const std::string& group, bool force) {
+          for (std::size_t c = 0; c < components_.size(); ++c)
+            request_view_update(group, static_cast<int>(c), force);
+        });
+  }
 }
 
 SpreadNetwork::~SpreadNetwork() = default;
@@ -79,7 +90,8 @@ void SpreadNetwork::join_group(const std::string& group, ProcessId process) {
   auto it = std::lower_bound(members.begin(), members.end(), process);
   SGK_CHECK(it == members.end() || *it != process);
   members.insert(it, process);
-  request_view_update(group, component_of(machine_of(process)));
+  membership_event(group, component_of(machine_of(process)),
+                   BatchEventKind::kJoin);
 }
 
 void SpreadNetwork::leave_group(const std::string& group, ProcessId process) {
@@ -88,7 +100,8 @@ void SpreadNetwork::leave_group(const std::string& group, ProcessId process) {
   SGK_CHECK(it != members.end() && *it == process);
   members.erase(it);
   proc(process).last_view.erase(group);
-  request_view_update(group, component_of(machine_of(process)));
+  membership_event(group, component_of(machine_of(process)),
+                   BatchEventKind::kLeave);
 }
 
 void SpreadNetwork::disconnect(ProcessId process) {
@@ -97,7 +110,8 @@ void SpreadNetwork::disconnect(ProcessId process) {
     auto it = std::lower_bound(members.begin(), members.end(), process);
     if (it != members.end() && *it == process) {
       members.erase(it);
-      request_view_update(group, component_of(machine_of(process)));
+      membership_event(group, component_of(machine_of(process)),
+                       BatchEventKind::kLeave);
     }
   }
 }
@@ -138,7 +152,18 @@ double SpreadNetwork::token_cycle_ms(MachineId machine) const {
 void SpreadNetwork::refresh_group(const std::string& group, ProcessId requester) {
   const auto& members = group_registry_[group];
   SGK_CHECK(std::binary_search(members.begin(), members.end(), requester));
-  request_view_update(group, component_of(machine_of(requester)), /*force=*/true);
+  membership_event(group, component_of(machine_of(requester)),
+                   BatchEventKind::kRefresh);
+}
+
+void SpreadNetwork::membership_event(const std::string& group,
+                                     int component_index, BatchEventKind kind) {
+  if (batcher_ != nullptr) {
+    batcher_->note_event(group, kind);
+    return;
+  }
+  request_view_update(group, component_index,
+                      /*force=*/kind == BatchEventKind::kRefresh);
 }
 
 void SpreadNetwork::request_view_update(const std::string& group,
@@ -465,6 +490,11 @@ void SpreadNetwork::deliver_data(Daemon& daemon, const Payload& payload) {
 // partitions
 
 void SpreadNetwork::partition(const std::vector<std::vector<MachineId>>& components) {
+  partition_impl(components, /*is_merge=*/false);
+}
+
+void SpreadNetwork::partition_impl(
+    const std::vector<std::vector<MachineId>>& components, bool is_merge) {
   // Validate loudly: every machine in exactly one component. A malformed
   // split is a driver bug; each message names the offending machine so a
   // failing chaos seed is diagnosable from the exception text alone.
@@ -564,12 +594,23 @@ void SpreadNetwork::partition(const std::vector<std::vector<MachineId>>& compone
     std::erase_if(d.outbox, [](const Payload& p) { return p.kind == Payload::kView; });
   }
 
-  // Install new views for every group in every component.
-  for (std::size_t c = 0; c < components_.size(); ++c)
+  // Install new views for every group in every component. With batching on,
+  // one kPartition/kMerge event per group is enough — the flush requests
+  // views for all components at flush time (the topology change itself took
+  // effect above; only the rekey is coalesced).
+  if (batcher_ != nullptr) {
     for (const auto& [group, members] : group_registry_) {
       (void)members;
-      request_view_update(group, static_cast<int>(c));
+      batcher_->note_event(group, is_merge ? BatchEventKind::kMerge
+                                           : BatchEventKind::kPartition);
     }
+  } else {
+    for (std::size_t c = 0; c < components_.size(); ++c)
+      for (const auto& [group, members] : group_registry_) {
+        (void)members;
+        request_view_update(group, static_cast<int>(c));
+      }
+  }
 
   // Wake tokens for components with queued data.
   for (std::size_t c = 0; c < components_.size(); ++c)
@@ -584,7 +625,7 @@ void SpreadNetwork::heal() {
   std::vector<MachineId> all;
   for (std::size_t m = 0; m < topo_.machine_count(); ++m)
     all.push_back(static_cast<MachineId>(m));
-  partition({all});
+  partition_impl({all}, /*is_merge=*/true);
 }
 
 std::optional<View> SpreadNetwork::current_view(const std::string& group,

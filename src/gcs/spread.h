@@ -29,6 +29,7 @@
 
 #include "core/view.h"
 #include "fault/hooks.h"
+#include "gcs/rekey_batcher.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
@@ -64,6 +65,10 @@ struct SpreadParams {
   /// and structures shared across groups (the Pki, aggregate stats) can key
   /// on them without collisions.
   ProcessId first_process_id = 0;
+  /// Event-coalescing rekey pipeline (see rekey_batcher.h). Disabled by
+  /// default: membership events trigger immediate view updates, exactly the
+  /// pre-batching behavior.
+  BatchConfig batch;
 };
 
 class SpreadNetwork {
@@ -152,6 +157,12 @@ class SpreadNetwork {
     return component_of(machine);
   }
 
+  /// The rekey batcher, or nullptr when batching is disabled. Hosts feed it
+  /// key-install feedback (`note_key_installed`) and read its per-group
+  /// pipeline stats after the run.
+  RekeyBatcher* batcher() { return batcher_.get(); }
+  const RekeyBatcher* batcher() const { return batcher_.get(); }
+
  private:
   struct Payload {
     enum Kind { kData, kView } kind = kData;
@@ -222,6 +233,12 @@ class SpreadNetwork {
   void deliver_data(Daemon& daemon, const Payload& payload);
 
   // Membership machinery.
+  /// Routes one membership event either through the batcher (when enabled)
+  /// or straight to request_view_update (the legacy per-event path).
+  void membership_event(const std::string& group, int component_index,
+                        BatchEventKind kind);
+  void partition_impl(const std::vector<std::vector<MachineId>>& components,
+                      bool is_merge);
   void request_view_update(const std::string& group, int component_index,
                            bool force = false);
   std::vector<ProcessId> component_members(const std::string& group,
@@ -251,6 +268,7 @@ class SpreadNetwork {
   std::uint64_t messages_stamped_ = 0;
   std::function<void(const std::string&, ProcessId, const Bytes&)> wire_tap_;
   fault::WireFaultHook* fault_hook_ = nullptr;
+  std::unique_ptr<RekeyBatcher> batcher_;  // non-null iff params_.batch.enabled
   std::uint64_t unicast_mutation_units_ = 0;  // see unicast() mutation point
 };
 

@@ -120,8 +120,13 @@ bool ObsSession::finish(obs::RunReport& report) {
   report.add_span_rollup(*tracer_);
   if (wall_ != nullptr) {
     // The schema bump and the section land together, so a v1 report never
-    // contains wall data and a v2 report always does.
-    report.set_schema(obs::kBenchSchemaWallclock);
+    // contains wall data and a v2 report always does. A report a bench
+    // already stamped past v1 (e.g. sgk-bench/3 batch payloads) keeps its
+    // higher schema — those supersets admit the wallclock section too.
+    const obs::Json* schema = report.json().find("schema");
+    if (schema != nullptr && schema->is_string() &&
+        schema->as_string() == obs::kBenchSchema)
+      report.set_schema(obs::kBenchSchemaWallclock);
     obs::Json wall_json = wall_->to_json();
     // The thread count lives here, in the wall env, and nowhere else: wall
     // numbers from different thread counts are not comparable (bench_gate

@@ -19,7 +19,12 @@ class ChaosRun final : public fault::ChurnTarget {
  public:
   ChaosRun(const ChaosConfig& config, fault::FaultPlan plan)
       : config_(config),
-        net_(sim_, config.topology),
+        net_(sim_, config.topology,
+             [&] {
+               SpreadParams p;
+               p.batch = config.batch;
+               return p;
+             }()),
         pki_(std::make_shared<Pki>()),
         injector_(std::move(plan)) {
     if (config_.mutation_rate > 0.0) {

@@ -59,6 +59,9 @@ struct ChaosConfig {
   /// Per-member recovery watchdog (0 = disabled); fuzz runs arm it so frames
   /// erased outright (replay mutations) cannot wedge an agreement.
   double recovery_watchdog_ms = 0.0;
+  /// Rekey batching for the deployment's network (default disabled, so the
+  /// chaos baselines keep exercising the per-event rekey path).
+  BatchConfig batch;
 };
 
 struct ChaosResult {

@@ -23,6 +23,12 @@ inline constexpr const char* kBenchSchema = "sgk-bench/1";
 /// stays at v1 unless wall-clock mode is on, so `--wallclock`-less output
 /// remains byte-identical across the schema bump.
 inline constexpr const char* kBenchSchemaWallclock = "sgk-bench/2";
+/// Bumped schema for reports carrying the rekey-pipeline "batch" payload
+/// (bench/churn_storm and any server bench run with batching enabled).
+/// Supersedes v2: a v3 report may also carry the "wallclock" section —
+/// ObsSession::finish only upgrades v1 reports and never downgrades one a
+/// bench already stamped.
+inline constexpr const char* kBenchSchemaBatch = "sgk-bench/3";
 
 class RunReport {
  public:

@@ -4,6 +4,15 @@
 
 namespace sgk::server {
 
+const char* to_string(StormKind kind) {
+  switch (kind) {
+    case StormKind::kUniform: return "uniform";
+    case StormKind::kPoisson: return "poisson";
+    case StormKind::kBursty: return "bursty";
+  }
+  return "?";
+}
+
 const char* to_string(GroupState state) {
   switch (state) {
     case GroupState::kPending: return "pending";

@@ -20,11 +20,21 @@
 #include "core/key_agreement.h"
 #include "crypto/dh.h"
 #include "fault/plan.h"
+#include "gcs/rekey_batcher.h"
 #include "util/thread_annotations.h"
 
 namespace sgk::server {
 
 using GroupId = std::uint32_t;
+
+/// Shape of a group's churn schedule (see fault::FaultPlan).
+enum class StormKind {
+  kUniform,  // randomize(): uniform gaps in [min_gap_ms, max_gap_ms]
+  kPoisson,  // poisson_storm(): exponential gaps of mean mean_gap_ms
+  kBursty,   // bursty_storm(): tight bursts separated by idle stretches
+};
+
+const char* to_string(StormKind kind);
 
 /// Lifecycle of a hosted group.
 enum class GroupState {
@@ -63,6 +73,17 @@ struct GroupSpec {
   /// wedging forever. A long-lived server arms it by default — at thousands
   /// of groups, rare per-group liveness corners become routine events.
   double recovery_watchdog_ms = 5000.0;
+  /// Ceiling for the recovery/watchdog exponential backoff (MemberConfig).
+  double recovery_backoff_cap_ms = 2000.0;
+  /// Churn schedule shape; kUniform reproduces the pre-storm plans exactly.
+  StormKind storm = StormKind::kUniform;
+  double mean_gap_ms = 10.0;   // kPoisson: mean inter-event gap
+  int burst_size = 8;          // kBursty: events per burst
+  double intra_gap_ms = 1.0;   // kBursty: gap inside a burst
+  double idle_gap_ms = 400.0;  // kBursty: quiet stretch between bursts
+  /// Rekey batching for this group's network (disabled by default — every
+  /// membership event rekeys immediately, the legacy behavior).
+  BatchConfig batch;
 };
 
 /// Mutable status row a group's host publishes as it runs.

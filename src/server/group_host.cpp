@@ -12,8 +12,25 @@ fault::FaultPlan build_group_plan(const GroupSpec& spec) {
   fault::FaultPlan plan(spec.seed, spec.rates);
   // Churn starts churn_start_ms after onboarding so the first op routinely
   // lands inside an in-flight agreement — the cascaded regime, per group.
-  plan.randomize(spec.churn_events, spec.onboard_at_ms + spec.churn_start_ms,
-                 spec.min_gap_ms, spec.max_gap_ms);
+  const double start = spec.onboard_at_ms + spec.churn_start_ms;
+  switch (spec.storm) {
+    case StormKind::kUniform:
+      plan.randomize(spec.churn_events, start, spec.min_gap_ms,
+                     spec.max_gap_ms);
+      break;
+    case StormKind::kPoisson:
+      plan.poisson_storm(spec.churn_events, start, spec.mean_gap_ms);
+      break;
+    case StormKind::kBursty: {
+      // churn_events stays the total event budget across storm shapes, so
+      // the batched/unbatched comparison holds workload size constant.
+      const int size = std::max(1, spec.burst_size);
+      const int bursts = std::max(1, spec.churn_events / size);
+      plan.bursty_storm(bursts, size, start, spec.intra_gap_ms,
+                        spec.idle_gap_ms);
+      break;
+    }
+  }
   return plan;
 }
 
@@ -32,6 +49,7 @@ GroupHost::GroupHost(const GroupSpec& spec, std::shared_ptr<Pki> pki,
            [&] {
              SpreadParams p;
              p.first_process_id = first_pid;
+             p.batch = spec.batch;
              return p;
            }()),
       pki_(std::move(pki)),
@@ -122,6 +140,8 @@ GroupReport GroupHost::finalize(SharedSpreadStats* shared) {
       first_key_ms_ < 0.0 ? 0.0 : first_key_ms_ - spec_.onboard_at_ms;
   r.settled_ms = sim_.now();
   r.event_to_key_ms = event_to_key_ms_;
+  r.events_applied = events_applied_;
+  if (const RekeyBatcher* b = net_.batcher()) r.batch = b->stats(spec_.name);
 
   metrics_.counter("server/groups_finalized").add();
   if (!r.converged) metrics_.counter("server/groups_failed").add();
@@ -131,13 +151,17 @@ GroupReport GroupHost::finalize(SharedSpreadStats* shared) {
 }
 
 void GroupHost::apply(const fault::ChurnOp& op) {
+  bool applied = true;
   switch (op.kind) {
     case fault::ChurnKind::kJoin:
       spawn().join();
       break;
     case fault::ChurnKind::kLeave: {
       auto live = alive();
-      if (live.size() <= 2) break;  // keep a group worth agreeing over
+      if (live.size() <= 2) {  // keep a group worth agreeing over
+        applied = false;
+        break;
+      }
       SecureGroupMember* victim = live[op.arg % live.size()];
       victim->leave();
       members_.at(slot(victim->id())).reset();
@@ -145,7 +169,10 @@ void GroupHost::apply(const fault::ChurnOp& op) {
     }
     case fault::ChurnKind::kCrash: {
       auto live = alive();
-      if (live.size() <= 2) break;
+      if (live.size() <= 2) {
+        applied = false;
+        break;
+      }
       SecureGroupMember* victim = live[op.arg % live.size()];
       net_.disconnect(victim->id());
       members_.at(slot(victim->id())).reset();
@@ -154,7 +181,10 @@ void GroupHost::apply(const fault::ChurnOp& op) {
     case fault::ChurnKind::kPartition: {
       const auto mc =
           static_cast<std::uint64_t>(net_.topology().machine_count());
-      if (mc < 2) break;
+      if (mc < 2) {
+        applied = false;
+        break;
+      }
       const auto split = static_cast<MachineId>(1 + op.arg % (mc - 1));
       std::vector<MachineId> a, b;
       for (MachineId m = 0; m < static_cast<MachineId>(mc); ++m)
@@ -167,11 +197,15 @@ void GroupHost::apply(const fault::ChurnOp& op) {
       break;
     case fault::ChurnKind::kRekey: {
       auto live = alive();
-      if (live.empty()) break;
+      if (live.empty()) {
+        applied = false;
+        break;
+      }
       live[op.arg % live.size()]->request_rekey();
       break;
     }
   }
+  if (applied) ++events_applied_;
   if (obs::MetricsRegistry* mr = obs::metrics())
     mr->counter(std::string("server/op/") + fault::to_string(op.kind)).add();
 }
@@ -187,6 +221,7 @@ SecureGroupMember& GroupHost::spawn() {
   cfg.dh_bits = spec_.dh_bits;
   cfg.seed = spec_.seed;
   cfg.recovery_watchdog_ms = spec_.recovery_watchdog_ms;
+  cfg.recovery_backoff_cap_ms = spec_.recovery_backoff_cap_ms;
   auto member = std::make_unique<SecureGroupMember>(net_, pid, pki_, cfg);
   SecureGroupMember* mp = member.get();
   member->set_key_listener([this, mp, pid](SimTime t, std::uint64_t epoch) {
@@ -200,6 +235,10 @@ SecureGroupMember& GroupHost::spawn() {
     // Track distinct keyed epochs (mostly ascending; cascades can skip).
     if (keyed_epochs_.empty() || keyed_epochs_.back() < epoch) {
       keyed_epochs_.push_back(epoch);
+      // Latency feedback for the rekey pipeline, once per fresh epoch: the
+      // first member to key an epoch completes the oldest outstanding
+      // flush's event-arrival -> key samples.
+      if (RekeyBatcher* b = net_.batcher()) b->note_key_installed(spec_.name, t);
     } else if (!std::binary_search(keyed_epochs_.begin(), keyed_epochs_.end(),
                                    epoch)) {
       keyed_epochs_.insert(std::lower_bound(keyed_epochs_.begin(),

@@ -55,6 +55,13 @@ struct GroupReport {
   std::uint64_t frames_rejected = 0;
   std::uint64_t recoveries = 0;
   std::string fingerprint;  // final group key fingerprint (loggable)
+  /// Churn ops that actually took effect (a leave skipped to keep two
+  /// members does not count) — the denominator of keys-per-event.
+  std::uint64_t events_applied = 0;
+  /// Rekey pipeline stats (all zeros when spec.batch is disabled); the
+  /// batcher's own event-arrival -> key latency samples live in
+  /// batch.event_to_key_ms.
+  BatchStats batch;
 };
 
 class GroupHost final : public fault::ChurnTarget {
@@ -128,6 +135,7 @@ class GroupHost final : public fault::ChurnTarget {
   obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<SecureGroupMember>> members_;  // slot(pid)
   std::size_t spawned_ = 0;
+  std::uint64_t events_applied_ = 0;
   double last_op_ms_ = 0.0;
   double deadline_ms_ = 0.0;
   double first_key_ms_ = -1.0;

@@ -54,6 +54,12 @@ GroupSpec GroupServer::spec_for(GroupId gid) const {
   spec.min_gap_ms = config_.min_gap_ms;
   spec.max_gap_ms = config_.max_gap_ms;
   spec.grace_ms = config_.grace_ms;
+  spec.storm = config_.storm;
+  spec.mean_gap_ms = config_.mean_gap_ms;
+  spec.burst_size = config_.burst_size;
+  spec.intra_gap_ms = config_.intra_gap_ms;
+  spec.idle_gap_ms = config_.idle_gap_ms;
+  spec.batch = config_.batch;
   return spec;
 }
 
@@ -124,6 +130,7 @@ ServerResult GroupServer::run() {
   obs::MetricsRegistry* ambient = obs::metrics();
   std::vector<double> onboard_ms;
   std::vector<double> event_to_key_ms;
+  std::vector<double> batch_event_to_key_ms;
   result.groups.reserve(n);
   for (std::size_t gid = 0; gid < n; ++gid) {
     GroupHost& host = *hosts_[gid];
@@ -146,6 +153,18 @@ ServerResult GroupServer::run() {
     result.rekeys += report.rekeys;
     result.virtual_makespan_ms =
         std::max(result.virtual_makespan_ms, report.settled_ms);
+    result.events_applied += report.events_applied;
+    result.batch_events += report.batch.events;
+    result.batch_flushes += report.batch.flushes;
+    result.batch_coalesced += report.batch.coalesced;
+    result.batch_shed += report.batch.shed;
+    result.batch_budget_misses += report.batch.budget_misses;
+    result.degraded_entries += report.batch.degraded_entries;
+    result.degraded_exits += report.batch.degraded_exits;
+    if (report.batch.health == GroupHealth::kDegraded) ++result.groups_degraded;
+    batch_event_to_key_ms.insert(batch_event_to_key_ms.end(),
+                                 report.batch.event_to_key_ms.begin(),
+                                 report.batch.event_to_key_ms.end());
     result.groups.push_back(std::move(report));
   }
   result.onboard_p50_ms = sample_quantile(onboard_ms, 0.50);
@@ -158,6 +177,14 @@ ServerResult GroupServer::run() {
         static_cast<double>(result.groups_converged) / makespan_s;
     result.rekeys_per_sec = static_cast<double>(result.rekeys) / makespan_s;
   }
+  if (result.events_applied > 0) {
+    result.rekeys_per_event = static_cast<double>(result.rekeys) /
+                            static_cast<double>(result.events_applied);
+  }
+  result.batch_event_to_key_p50_ms =
+      sample_quantile(batch_event_to_key_ms, 0.50);
+  result.batch_event_to_key_p99_ms =
+      sample_quantile(batch_event_to_key_ms, 0.99);
   result.shared_messages_stamped = shared_stats_.stamped_total();
   result.shared_processes = shared_stats_.processes_total();
   if (ambient != nullptr) {
@@ -186,6 +213,28 @@ obs::Json ServerResult::to_json(bool with_groups) const {
   agg.set("shared_messages_stamped", obs::Json(shared_messages_stamped));
   agg.set("shared_processes", obs::Json(shared_processes));
   j.set("aggregate", std::move(agg));
+
+  // Rekey-pipeline rollup, present only when batching actually ran: a server
+  // with batching disabled produces byte-identical JSON to the pre-pipeline
+  // versions, which keeps the committed multi_group baselines valid.
+  if (batch_events > 0) {
+    obs::Json batch = obs::Json::object();
+    batch.set("events_applied",
+              obs::Json(static_cast<std::uint64_t>(events_applied)));
+    batch.set("events", obs::Json(batch_events));
+    batch.set("flushes", obs::Json(batch_flushes));
+    batch.set("coalesced", obs::Json(batch_coalesced));
+    batch.set("shed", obs::Json(batch_shed));
+    batch.set("budget_misses", obs::Json(batch_budget_misses));
+    batch.set("degraded_entries", obs::Json(degraded_entries));
+    batch.set("degraded_exits", obs::Json(degraded_exits));
+    batch.set("groups_degraded",
+              obs::Json(static_cast<std::uint64_t>(groups_degraded)));
+    batch.set("rekeys_per_event", obs::Json(rekeys_per_event));
+    batch.set("event_to_key_p50_ms", obs::Json(batch_event_to_key_p50_ms));
+    batch.set("event_to_key_p99_ms", obs::Json(batch_event_to_key_p99_ms));
+    j.set("batch", std::move(batch));
+  }
 
   // Per-protocol rollup in protocol-name order (deterministic).
   struct Roll {

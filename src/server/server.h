@@ -57,6 +57,15 @@ struct ServerConfig {
   double min_gap_ms = 5.0;
   double max_gap_ms = 40.0;
   double grace_ms = 30000.0;
+  /// Churn schedule shape for every group (kUniform = legacy plans) and the
+  /// storm parameters the non-uniform shapes read (GroupSpec docs).
+  StormKind storm = StormKind::kUniform;
+  double mean_gap_ms = 10.0;
+  int burst_size = 8;
+  double intra_gap_ms = 1.0;
+  double idle_gap_ms = 400.0;
+  /// Rekey batching applied to every group's network (default disabled).
+  BatchConfig batch;
   /// Also fold each group's registry under a "group/<name>/" metric prefix
   /// (aggregate-only by default: 1000 groups would mean 1000x the labels).
   bool per_group_metrics = false;
@@ -80,6 +89,23 @@ struct ServerResult {
   double rekeys_per_sec = 0.0;           // rekeys / virtual second
   std::uint64_t shared_messages_stamped = 0;  // SharedSpreadStats totals
   std::uint64_t shared_processes = 0;
+  // Rekey-pipeline rollup (all zeros when batching is disabled).
+  std::uint64_t events_applied = 0;     // churn ops that took effect
+  std::uint64_t batch_events = 0;       // events noted by the batchers
+  std::uint64_t batch_flushes = 0;      // aggregate rekeys issued
+  std::uint64_t batch_coalesced = 0;
+  std::uint64_t batch_shed = 0;
+  std::uint64_t batch_budget_misses = 0;
+  std::uint64_t degraded_entries = 0;   // health transitions, all groups
+  std::uint64_t degraded_exits = 0;
+  std::size_t groups_degraded = 0;      // final health == degraded
+  /// Distinct rekeys per applied membership event (the amortization
+  /// headline; 0 when no events applied).
+  double rekeys_per_event = 0.0;
+  /// Batcher-attributed latency quantiles: event ARRIVAL -> new key (the
+  /// event_to_key_* fields above measure view install -> key instead).
+  double batch_event_to_key_p50_ms = 0.0;
+  double batch_event_to_key_p99_ms = 0.0;
 
   /// Canonical deterministic JSON (no wall-clock, no thread count): the
   /// payload the determinism regression compares byte-for-byte across

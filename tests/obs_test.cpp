@@ -6,6 +6,7 @@
 #include <string>
 
 #include "gtest/gtest.h"
+#include "harness/bench_io.h"
 #include "harness/experiment.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -392,6 +393,27 @@ TEST(Wallclock, ReportsDifferOnlyInWallclockSection) {
     return out.dump(2);
   };
   EXPECT_EQ(without_wallclock(a), without_wallclock(b));
+}
+
+// Schema ladder: ObsSession::finish upgrades a v1 report to v2 when the
+// wall profiler ran, but never downgrades a report a bench already stamped
+// higher (sgk-bench/3 batch payloads carry their wallclock section at v3).
+TEST(Wallclock, FinishNeverDowngradesABatchSchemaReport) {
+  const std::string dir = ::testing::TempDir();
+  const auto finish_with_wall = [&](const char* stamp, const std::string& path) {
+    sgk::BenchOptions opts;
+    opts.wallclock = true;
+    opts.json_path = path;
+    sgk::ObsSession session(opts);
+    RunReport report("schema_probe");
+    if (stamp != nullptr) report.set_schema(stamp);
+    EXPECT_TRUE(session.finish(report));
+    return report.json().at("schema").as_string();
+  };
+  EXPECT_EQ(finish_with_wall(kBenchSchemaBatch, dir + "/schema_v3.json"),
+            kBenchSchemaBatch);
+  EXPECT_EQ(finish_with_wall(nullptr, dir + "/schema_v1.json"),
+            kBenchSchemaWallclock);
 }
 
 }  // namespace

@@ -12,6 +12,10 @@
 //    aggregate rollup (latency quantiles, makespan — lower is better) plus
 //    the "_per_sec" throughput numbers, gated in the opposite direction
 //    (higher is better: a drop beyond tolerance is the regression).
+//  * "churn_storm" sections (bench/churn_storm, schema sgk-bench/3): the
+//    same aggregate rules applied per rekey mode (unbatched/batched), plus
+//    the batch payload's "_ms" latency quantiles and rekeys_per_event
+//    amortization headline (all lower is better).
 //
 // A lower-is-better cell fails when current > baseline * (1 + tolerance) +
 // abs_epsilon; a higher-is-better cell when current < baseline * (1 -
@@ -120,6 +124,26 @@ std::map<std::string, double> watched_cells(const Json& doc) {
         if (name.ends_with("_ms") && value.is_number())
           cells["multi_group/aggregate/" + name] = value.as_number();
   }
+  // bench/churn_storm nests one ServerResult document per rekey mode; the
+  // aggregate latency cells and the batch payload's amortization headline
+  // (rekeys_per_event, event-arrival -> key quantiles) are all
+  // lower-is-better.
+  if (const Json* cs = doc.find("churn_storm")) {
+    for (const char* mode : {"unbatched", "batched"}) {
+      const Json* m = cs->find(mode);
+      if (m == nullptr) continue;
+      const std::string prefix = std::string("churn_storm/") + mode + "/";
+      if (const Json* agg = m->find("aggregate"); agg && agg->is_object())
+        for (const auto& [name, value] : agg->as_object())
+          if (name.ends_with("_ms") && value.is_number())
+            cells[prefix + "aggregate/" + name] = value.as_number();
+      if (const Json* batch = m->find("batch"); batch && batch->is_object())
+        for (const auto& [name, value] : batch->as_object())
+          if ((name.ends_with("_ms") || name == "rekeys_per_event") &&
+              value.is_number())
+            cells[prefix + "batch/" + name] = value.as_number();
+    }
+  }
   return cells;
 }
 
@@ -127,12 +151,21 @@ std::map<std::string, double> watched_cells(const Json& doc) {
 // tolerance is the regression.
 std::map<std::string, double> throughput_cells(const Json& doc) {
   std::map<std::string, double> cells;
-  const Json* mg = doc.find("multi_group");
-  if (mg == nullptr) return cells;
-  if (const Json* agg = mg->find("aggregate"); agg && agg->is_object())
-    for (const auto& [name, value] : agg->as_object())
-      if (name.ends_with("_per_sec") && value.is_number())
-        cells["multi_group/aggregate/" + name] = value.as_number();
+  if (const Json* mg = doc.find("multi_group"))
+    if (const Json* agg = mg->find("aggregate"); agg && agg->is_object())
+      for (const auto& [name, value] : agg->as_object())
+        if (name.ends_with("_per_sec") && value.is_number())
+          cells["multi_group/aggregate/" + name] = value.as_number();
+  if (const Json* cs = doc.find("churn_storm"))
+    for (const char* mode : {"unbatched", "batched"}) {
+      const Json* m = cs->find(mode);
+      if (m == nullptr) continue;
+      if (const Json* agg = m->find("aggregate"); agg && agg->is_object())
+        for (const auto& [name, value] : agg->as_object())
+          if (name.ends_with("_per_sec") && value.is_number())
+            cells[std::string("churn_storm/") + mode + "/aggregate/" + name] =
+                value.as_number();
+    }
   return cells;
 }
 
@@ -204,7 +237,8 @@ int main(int argc, char** argv) {
     const Json* schema = doc.find("schema");
     if (schema == nullptr || !schema->is_string() ||
         (schema->as_string() != sgk::obs::kBenchSchema &&
-         schema->as_string() != sgk::obs::kBenchSchemaWallclock)) {
+         schema->as_string() != sgk::obs::kBenchSchemaWallclock &&
+         schema->as_string() != sgk::obs::kBenchSchemaBatch)) {
       std::fprintf(stderr, "error: not a sgk-bench document\n");
       return 2;
     }
